@@ -1,0 +1,67 @@
+"""FIG8 — Round execution time vs device participation time.
+
+Paper (Appendix A, Fig. 8): round run time roughly equals the majority of
+device participation times (the server stops once enough devices finish),
+and device participation time is *capped* (straggler control).
+
+Regenerates: the two distributions (P2-sketched quantiles) and the
+cap/straggler relationship.
+"""
+
+import numpy as np
+
+from repro.analytics.quantile import MetricSummary
+from repro.core.rounds import DeviceOutcome
+
+
+def summarize_timing(fleet):
+    round_times = MetricSummary.empty()
+    participation = MetricSummary.empty()
+    completer_participation = MetricSummary.empty()
+    for result in fleet.round_results:
+        if not result.committed:
+            continue
+        round_times.update(result.round_run_time_s)
+        for record in result.participant_records:
+            if record.participation_time_s is None:
+                continue
+            participation.update(record.participation_time_s)
+            if record.outcome is DeviceOutcome.COMPLETED:
+                completer_participation.update(record.participation_time_s)
+    return {
+        "round": round_times.to_dict(),
+        "participation": participation.to_dict(),
+        "completers": completer_participation.to_dict(),
+    }
+
+
+def test_fig8_timing(fleet, benchmark):
+    stats = benchmark.pedantic(
+        summarize_timing, args=(fleet,), rounds=1, iterations=1
+    )
+
+    print("\n=== FIG8: round vs participation time (seconds) ===")
+    header = f"{'':>22}{'p25':>8}{'p50':>8}{'p75':>8}{'p95':>8}{'max':>8}"
+    print(header)
+    for label, key in (
+        ("round run time", "round"),
+        ("participation (all)", "participation"),
+        ("participation (done)", "completers"),
+    ):
+        d = stats[key]
+        print(
+            f"{label:>22}{d['p25']:>8.0f}{d['p50']:>8.0f}{d['p75']:>8.0f}"
+            f"{d['p95']:>8.0f}{d['max']:>8.0f}"
+        )
+    reporting_cap = 300.0
+    print(f"participation cap (reporting timeout): {reporting_cap:.0f}s")
+
+    benchmark.extra_info.update(
+        {f"{k}_{s}": v for k, d in stats.items() for s, v in d.items()}
+    )
+    # Completers' participation sits at/below the round time: the round
+    # ends when the target count of them finishes.
+    assert stats["completers"]["p50"] <= stats["round"]["p75"]
+    assert stats["round"]["p50"] >= stats["completers"]["p25"]
+    # Participation is capped by the server's reporting window.
+    assert stats["participation"]["max"] <= reporting_cap * 1.1

@@ -1,0 +1,46 @@
+"""FIG9 — Server network traffic: download dominates upload.
+
+Paper (Appendix A, Fig. 9): "download from server dominates upload ...
+each device downloads both an FL task plan and current global model (plan
+size is comparable with the global model) whereas it uploads only updates
+to the global model; the model updates are inherently more compressible".
+
+Regenerates: total and per-participant traffic by direction, and the
+asymmetry ratio with its decomposition.
+"""
+
+
+def summarize_traffic(fleet):
+    meter = fleet.config.network.meter
+    participants = sum(
+        r.selected_count for r in fleet.round_results if r.committed
+    )
+    return {
+        "download_gb": meter.downloaded_bytes / 1e9,
+        "upload_gb": meter.uploaded_bytes / 1e9,
+        "ratio": meter.download_upload_ratio,
+        "downloads": meter.download_count,
+        "uploads": meter.upload_count,
+        "per_device_down_mb": meter.downloaded_bytes / max(meter.download_count, 1) / 1e6,
+        "per_device_up_mb": meter.uploaded_bytes / max(meter.upload_count, 1) / 1e6,
+        "participants": participants,
+    }
+
+
+def test_fig9_traffic(fleet, benchmark):
+    stats = benchmark.pedantic(
+        summarize_traffic, args=(fleet,), rounds=1, iterations=1
+    )
+
+    print("\n=== FIG9: server network traffic (3 simulated days) ===")
+    print(f"download: {stats['download_gb']:.2f} GB over {stats['downloads']} transfers "
+          f"({stats['per_device_down_mb']:.2f} MB each: plan + checkpoint)")
+    print(f"upload:   {stats['upload_gb']:.2f} GB over {stats['uploads']} transfers "
+          f"({stats['per_device_up_mb']:.2f} MB each: compressed update)")
+    print(f"asymmetry: {stats['ratio']:.1f}x download-dominated")
+    print("decomposition: download = plan(~model) + model = ~2 model sizes;")
+    print("upload = update / compression(3x) = ~0.33 model size -> ~6x expected")
+
+    benchmark.extra_info.update(stats)
+    assert stats["ratio"] > 2.0
+    assert stats["per_device_down_mb"] > stats["per_device_up_mb"]

@@ -1,0 +1,97 @@
+"""SEC8 — Next-word prediction: FL RNN vs n-gram vs server-trained RNN.
+
+Paper (Sec. 8): the FL-trained RNN improves top-1 recall over the n-gram
+baseline from 13.0% to 16.4% and, in live A/B experiments, outperforms
+both the n-gram and the RNN server-trained on proxy data (footnote 3
+notes the server model had to use *different, proxy* data).
+
+Regenerates: the three-way comparison at laptop scale.  Absolute numbers
+depend on corpus size; the ordering and rough magnitudes are the shape
+under test.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FedAvgConfig, FederatedAveraging
+from repro.baselines.central import CentralizedTrainer
+from repro.baselines.ngram import NGramLanguageModel
+from repro.data.keyboard import (
+    KeyboardCorpusConfig,
+    build_keyboard_clients,
+    build_proxy_corpus,
+    evaluation_split,
+)
+from repro.nn.metrics import top_k_recall
+from repro.nn.models import RNNLanguageModel
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(42)
+    config = KeyboardCorpusConfig(
+        vocab_size=100, num_users=80, sentences_per_user_mean=50.0,
+        personalization=0.15, topic_strength=0.5, num_topics=8,
+    )
+    clients = build_keyboard_clients(config, rng)
+    clients, eval_set = evaluation_split(clients, 0.15, rng)
+    proxy = build_proxy_corpus(config, rng, num_tokens=20_000)
+    return config, clients, eval_set, proxy
+
+
+def run_comparison(corpus):
+    config, clients, eval_set, proxy = corpus
+    rng = np.random.default_rng(7)
+    model = RNNLanguageModel(vocab_size=config.vocab_size, embed_dim=24,
+                             hidden_dim=64)
+
+    ngram_recall = NGramLanguageModel(
+        vocab_size=config.vocab_size
+    ).fit(clients).top_k_recall(eval_set, k=1)
+
+    server = CentralizedTrainer(model, learning_rate=0.3, batch_size=32)
+    server_params = server.fit(proxy, epochs=3, rng=rng)
+    server_recall = top_k_recall(
+        model.logits(server_params, eval_set.x), eval_set.y, k=1
+    )
+
+    algo = FederatedAveraging(
+        model,
+        FedAvgConfig(clients_per_round=25, epochs=1, batch_size=16,
+                     learning_rate=0.5),
+    )
+    fl_params, _ = algo.fit(clients, num_rounds=60, rng=rng)
+    fl_recall = top_k_recall(
+        model.logits(fl_params, eval_set.x), eval_set.y, k=1
+    )
+    return {
+        "ngram_top1": ngram_recall,
+        "server_proxy_top1": server_recall,
+        "federated_top1": fl_recall,
+        "relative_gain_vs_ngram": fl_recall / ngram_recall - 1.0,
+    }
+
+
+def test_sec8_next_word_comparison(corpus, benchmark):
+    stats = benchmark.pedantic(
+        run_comparison, args=(corpus,), rounds=1, iterations=1
+    )
+
+    print("\n=== SEC8: next-word prediction, top-1 recall ===")
+    print(f"{'model':<28}{'paper':>10}{'measured':>10}")
+    print(f"{'n-gram baseline':<28}{'13.0%':>10}{stats['ngram_top1']:>10.1%}")
+    print(
+        f"{'server RNN (proxy data)':<28}{'~16%':>10}"
+        f"{stats['server_proxy_top1']:>10.1%}"
+    )
+    print(f"{'federated RNN':<28}{'16.4%':>10}{stats['federated_top1']:>10.1%}")
+    print(
+        f"relative FL gain over n-gram: {stats['relative_gain_vs_ngram']:.0%} "
+        "(paper: +26%)"
+    )
+
+    benchmark.extra_info.update(stats)
+    # The paper's ordering: FL beats the n-gram...
+    assert stats["federated_top1"] > 1.1 * stats["ngram_top1"]
+    # ...and at least matches the proxy-trained server model (live A/B).
+    assert stats["federated_top1"] >= stats["server_proxy_top1"]

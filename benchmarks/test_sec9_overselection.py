@@ -1,0 +1,143 @@
+"""SEC9 — 130% over-selection compensates drop-out; a few hundred devices
+per round suffice.
+
+Paper (Sec. 9): "on average the portion of devices that drop out ...
+varies between 6% and 10%.  Therefore, in order to compensate for device
+drop out as well as to allow stragglers to be discarded, the server
+typically selects 130% of the target number of devices"; and "for most
+models receiving updates from a few hundred devices per FL round is
+sufficient (diminishing improvements ... from training on larger
+numbers)".
+
+Regenerates both claims:
+* a Monte-Carlo sweep of the round state machine over over-selection
+  factors under 6-10% drop-out — the round failure probability collapses
+  at 1.3x;
+* a FedAvg clients-per-round sweep showing diminishing returns.
+"""
+
+import numpy as np
+
+from repro import ClientDataset, FedAvgConfig, FederatedAveraging
+from repro.core.config import RoundConfig
+from repro.core.rounds import RoundStateMachine, RoundPhase
+from repro.nn.models import LogisticRegression
+
+
+def round_failure_rate(
+    factor: float, drop_prob: float, trials: int, rng: np.random.Generator
+) -> float:
+    """Monte Carlo: fraction of rounds that miss the target count K=100."""
+    failures = 0
+    for _ in range(trials):
+        sm = RoundStateMachine(
+            1,
+            "t",
+            RoundConfig(
+                target_participants=100,
+                overselection_factor=factor,
+                min_participant_fraction=1.0,  # strict: need the full target
+                selection_timeout_s=60,
+                reporting_timeout_s=300,
+            ),
+            0.0,
+        )
+        for device in range(sm.config.selection_goal):
+            sm.on_checkin(device, 1.0)
+        for device in range(sm.config.selection_goal):
+            if sm.is_terminal:
+                break
+            if rng.random() < drop_prob:
+                sm.on_device_dropped(device, 10.0)
+            else:
+                sm.on_report(device, 10.0)
+        if not sm.is_terminal:
+            sm.on_reporting_timeout(300.0)
+        if sm.phase is not RoundPhase.COMPLETED:
+            failures += 1
+    return failures / trials
+
+
+def sweep_overselection(rng):
+    out = {}
+    for factor in (1.0, 1.1, 1.2, 1.3, 1.4):
+        out[factor] = {
+            "fail@6%": round_failure_rate(factor, 0.06, 300, rng),
+            "fail@10%": round_failure_rate(factor, 0.10, 300, rng),
+            "fail@15%": round_failure_rate(factor, 0.15, 300, rng),
+        }
+    return out
+
+
+def test_sec9_overselection_compensates_dropout(benchmark):
+    rng = np.random.default_rng(0)
+    table = benchmark.pedantic(
+        sweep_overselection, args=(rng,), rounds=1, iterations=1
+    )
+
+    print("\n=== SEC9a: round failure probability vs over-selection ===")
+    print(f"{'factor':>8}{'fail@6%':>10}{'fail@10%':>10}{'fail@15%':>10}")
+    for factor, row in table.items():
+        print(
+            f"{factor:>8.1f}{row['fail@6%']:>10.2f}{row['fail@10%']:>10.2f}"
+            f"{row['fail@15%']:>10.2f}"
+        )
+
+    # 1.0x cannot survive any drop-out when the full target is required.
+    assert table[1.0]["fail@6%"] > 0.95
+    # The paper's 1.3x absorbs the entire observed 6-10% band.
+    assert table[1.3]["fail@6%"] == 0.0
+    assert table[1.3]["fail@10%"] == 0.0
+    benchmark.extra_info["failure_table"] = {
+        str(k): v for k, v in table.items()
+    }
+
+
+def sweep_clients_per_round(rng):
+    dim, classes = 12, 5
+    w_true = rng.normal(size=(dim, classes))
+    clients = []
+    for i in range(400):
+        x = rng.normal(size=(30, dim))
+        y = (x @ w_true + 0.8 * rng.normal(size=(30, classes))).argmax(axis=1)
+        clients.append(ClientDataset(f"c{i}", x, y))
+    test_x = rng.normal(size=(2000, dim))
+    test_y = (test_x @ w_true).argmax(axis=1)
+
+    model = LogisticRegression(input_dim=dim, n_classes=classes)
+    results = {}
+    for k in (5, 25, 100, 300):
+        algo = FederatedAveraging(
+            model,
+            FedAvgConfig(clients_per_round=k, epochs=1, batch_size=15,
+                         learning_rate=0.3),
+        )
+        params, _ = algo.fit(clients, num_rounds=25,
+                             rng=np.random.default_rng(1))
+        acc = float(
+            (model.logits(params, test_x).argmax(axis=1) == test_y).mean()
+        )
+        results[k] = acc
+    return results
+
+
+def test_sec9_diminishing_returns_beyond_hundreds(benchmark):
+    rng = np.random.default_rng(3)
+    results = benchmark.pedantic(
+        sweep_clients_per_round, args=(rng,), rounds=1, iterations=1
+    )
+
+    print("\n=== SEC9b: accuracy after 25 rounds vs devices per round ===")
+    for k, acc in results.items():
+        print(f"  K={k:>4}: {acc:.3f}")
+    gain_small_to_mid = results[100] - results[5]
+    gain_mid_to_large = results[300] - results[100]
+    print(
+        f"gain 5->100: {gain_small_to_mid:+.3f}; "
+        f"gain 100->300: {gain_mid_to_large:+.3f} (diminishing)"
+    )
+
+    benchmark.extra_info.update({f"acc_k{k}": v for k, v in results.items()})
+    assert results[100] > results[5]
+    # Tripling past ~100 devices buys far less than the climb to 100.
+    assert gain_mid_to_large < 0.5 * max(gain_small_to_mid, 1e-9)

@@ -1,0 +1,49 @@
+"""TAB1 — Distribution of on-device training-round session shapes.
+
+Paper (Table 1):
+
+    -v[]+^   1,116,401   75%   (completed and accepted)
+    -v[]+#     327,478   22%   (completed; upload rejected — late/aborted)
+    -v[!        29,771    2%   (interrupted before completion)
+
+Regenerates: the same table from the simulated fleet's event log.
+"""
+
+from repro.analytics.session_shapes import format_table, shape_distribution
+
+
+def summarize_sessions(fleet):
+    counts = shape_distribution(fleet.event_log)
+    total = sum(counts.values())
+    return {
+        "total_sessions": total,
+        "pct_success": counts.get("-v[]+^", 0) / total,
+        "pct_rejected": counts.get("-v[]+#", 0) / total,
+        "pct_interrupted": counts.get("-v[!", 0) / total,
+        "counts": counts,
+    }
+
+
+def test_table1_session_shapes(fleet, benchmark):
+    stats = benchmark.pedantic(
+        summarize_sessions, args=(fleet,), rounds=1, iterations=1
+    )
+
+    print("\n=== TABLE 1: session shape distribution ===")
+    print(format_table(stats["counts"], top=8))
+    print(
+        f"\npaper:    -v[]+^ 75%   -v[]+# 22%   -v[! 2%\n"
+        f"measured: -v[]+^ {stats['pct_success']:.0%}   "
+        f"-v[]+# {stats['pct_rejected']:.0%}   "
+        f"-v[! {stats['pct_interrupted']:.0%}"
+    )
+
+    benchmark.extra_info.update(
+        {k: v for k, v in stats.items() if k != "counts"}
+    )
+    assert stats["total_sessions"] > 1000
+    # Bands around the paper's 75 / 22 / 2 split.
+    assert 0.60 <= stats["pct_success"] <= 0.90
+    assert 0.08 <= stats["pct_rejected"] <= 0.35
+    assert stats["pct_interrupted"] <= 0.08
+    assert stats["pct_success"] > stats["pct_rejected"] > stats["pct_interrupted"]

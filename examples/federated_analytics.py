@@ -1,0 +1,66 @@
+"""Federated Analytics (Sec. 11 "Federated Computation").
+
+Monitors aggregate device statistics — counts, means, histograms —
+without logging raw device data to the cloud.  Everything is a sum of
+per-device contribution vectors, so the same machinery (and Secure
+Aggregation) that serves FL serves analytics too.
+
+    python examples/federated_analytics.py
+"""
+
+import numpy as np
+
+from repro.federated_analytics import (
+    HistogramSpec,
+    count_statistic,
+    histogram_statistic,
+    run_federated_analytics,
+    sum_and_count_statistic,
+)
+from repro.secagg.protocol import DropoutSchedule
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+
+    # Each device holds private per-app session lengths (minutes) that
+    # never leave it; we want fleet-level aggregates.
+    fleet = {
+        uid: np.abs(rng.normal(12.0, 6.0, size=rng.integers(10, 80)))
+        for uid in range(40)
+    }
+    spec = HistogramSpec(edges=tuple(np.arange(0.0, 41.0, 5.0)))
+    statistics = [
+        count_statistic("devices"),
+        sum_and_count_statistic("session_minutes"),
+        histogram_statistic(spec, "session_histogram"),
+    ]
+
+    plain = run_federated_analytics(fleet, statistics, rng)
+    print("== plain aggregation ==")
+    print(f"devices reporting:    {plain.totals['devices'][0]:.0f}")
+    print(f"fleet mean session:   {plain.mean('session_minutes'):.2f} min")
+    print("histogram (5-minute buckets):")
+    for lo, count in zip(spec.edges, plain.totals["session_histogram"]):
+        bar = "#" * int(count / 20)
+        print(f"  {lo:>4.0f}-{lo + 5:<4.0f} {bar} {count:.0f}")
+
+    # Same computation under Secure Aggregation: the server never sees any
+    # individual device's contribution, and dropouts are tolerated.
+    secure = run_federated_analytics(
+        fleet,
+        statistics,
+        rng,
+        secure=True,
+        dropouts=DropoutSchedule(after_share=frozenset({3, 17})),
+    )
+    print("\n== under Secure Aggregation (2 devices dropped mid-protocol) ==")
+    print(f"devices reporting:    {secure.totals['devices'][0]:.0f}")
+    print(f"fleet mean session:   {secure.mean('session_minutes'):.2f} min")
+    drift = abs(secure.mean("session_minutes") - plain.mean("session_minutes"))
+    print(f"secure-vs-plain drift: {drift:.4f} min "
+          "(quantization + the two dropped devices)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a reproduction of "Towards Federated Learning at Scale: System
+Design" (Bonawitz et al., MLSYS 2019).
+
+Three API layers:
+
+* **Algorithms** (:mod:`repro.core`): ``FederatedAveraging`` / ``FedSGD``
+  over in-memory clients — Appendix B, runnable anywhere.
+* **System** (:class:`repro.system.FLSystem`): the full production design —
+  actor server, simulated device fleet, pace steering, Secure Aggregation,
+  analytics — on a deterministic discrete-event simulation.
+* **Tools** (:mod:`repro.tools`): the model-engineer workflow — define,
+  validate, version, gate, deploy.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FederatedAveraging, FedAvgConfig, ClientDataset
+    from repro.nn import LogisticRegression
+
+    rng = np.random.default_rng(0)
+    model = LogisticRegression(input_dim=10, n_classes=3)
+    clients = [...]  # list[ClientDataset]
+    algo = FederatedAveraging(model, FedAvgConfig(clients_per_round=10))
+    params, history = algo.fit(clients, num_rounds=100, rng=rng)
+"""
+
+from repro.core import (
+    ClientDataset,
+    ClientTrainingConfig,
+    FedAvgConfig,
+    FedSGD,
+    FederatedAveraging,
+    RoundConfig,
+    SecAggConfig,
+    TaskConfig,
+    TaskKind,
+)
+from repro.system import FLSystem, FLSystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientDataset",
+    "ClientTrainingConfig",
+    "FedAvgConfig",
+    "FedSGD",
+    "FederatedAveraging",
+    "RoundConfig",
+    "SecAggConfig",
+    "TaskConfig",
+    "TaskKind",
+    "FLSystem",
+    "FLSystemConfig",
+    "__version__",
+]

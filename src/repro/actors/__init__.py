@@ -1,0 +1,33 @@
+"""The FL server (Sec. 4): an actor system on simulated time.
+
+Actors are "universal primitives of concurrent computation which use
+message passing as the sole communication mechanism".  Our kernel gives
+each actor a sequentially processed mailbox on the discrete-event loop,
+supervision (death notices), and failure injection — enough to reproduce
+every failure mode in Sec. 4.4:
+
+* Aggregator/Selector crash — only their devices are lost;
+* Master Aggregator crash — its round fails, the Coordinator restarts it;
+* Coordinator crash — the Selector layer detects it and respawns it
+  exactly once, arbitrated through the shared locking service.
+"""
+
+from repro.actors.kernel import Actor, ActorRef, ActorSystem, DeathNotice
+from repro.actors.locking import LockService
+from repro.actors.coordinator import Coordinator, CoordinatorConfig
+from repro.actors.selector import Selector
+from repro.actors.master_aggregator import MasterAggregator
+from repro.actors.aggregator import Aggregator
+
+__all__ = [
+    "Actor",
+    "ActorRef",
+    "ActorSystem",
+    "DeathNotice",
+    "LockService",
+    "Coordinator",
+    "CoordinatorConfig",
+    "Selector",
+    "MasterAggregator",
+    "Aggregator",
+]

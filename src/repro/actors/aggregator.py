@@ -1,0 +1,189 @@
+"""Aggregator actor (Sec. 4.2): ephemeral, leaf-level update aggregation.
+
+Aggregators receive forwarded devices, collect their reported updates and
+combine them.  Without Secure Aggregation the combination is a running
+``(Σ Δ, Σ n)`` — updates are "processed online as they are received
+without a need to store them" (Sec. 10); an update is held only for the
+few-millisecond window between upload and the Master Aggregator's
+accept/reject decision, then folded into the sum or discarded.  With
+Secure Aggregation enabled the Aggregator runs one protocol instance over
+its cohort (Sec. 6); the cryptography executes over the observed
+participation trace when the round closes, with devices that vanished
+mid-round entering the protocol as post-ShareKeys dropouts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.actors.kernel import Actor, ActorRef
+from repro.actors import messages as msg
+from repro.core.config import SecAggConfig
+from repro.secagg.masking import VectorQuantizer
+from repro.secagg.protocol import DropoutSchedule, SecAggError, run_secure_aggregation
+
+
+class Aggregator(Actor):
+    """One leaf aggregator for one round."""
+
+    def __init__(
+        self,
+        round_id: int,
+        task_id: str,
+        master: ActorRef,
+        secagg: SecAggConfig,
+        rng: np.random.Generator,
+    ):
+        self.round_id = round_id
+        self.task_id = task_id
+        self.master = master
+        self.secagg = secagg
+        self.rng = rng
+        self._delta_sum: np.ndarray | None = None
+        self._weight_sum: float = 0.0
+        self._accepted_count = 0
+        #: Reports awaiting the master's accept/reject decision.
+        self._pending: dict[int, tuple[np.ndarray, float]] = {}
+        #: SecAgg mode: accepted vectors retained inside the crypto sim.
+        self._vectors: dict[int, np.ndarray] = {}
+        self._weights: dict[int, float] = {}
+        self._devices: dict[int, ActorRef] = {}
+        self._dropped: set[int] = set()
+        self._closed = False
+
+    # -- membership ------------------------------------------------------------
+    def register_device(self, device_id: int, device_ref: ActorRef) -> None:
+        self._devices[device_id] = device_ref
+
+    @property
+    def device_count(self) -> int:
+        return len(self._devices)
+
+    # -- message handling --------------------------------------------------------
+    def receive(self, sender: Optional[ActorRef], message: Any) -> None:
+        if isinstance(message, msg.DeviceReport):
+            self._on_report(message)
+        elif isinstance(message, msg.DeviceDropped):
+            self._on_dropped(message)
+
+    def _on_report(self, report: msg.DeviceReport) -> None:
+        if (
+            report.round_id != self.round_id
+            or report.device_id in self._dropped
+            or report.device_id in self._pending
+        ):
+            return
+        if self._closed:
+            self._nack(report.device_id)
+            return
+        vector = np.asarray(report.delta_vector, dtype=np.float64)
+        self._pending[report.device_id] = (vector, report.weight)
+        # The master's round state machine decides acceptance; it calls
+        # back via ack_device.
+        self.tell(self.master, report)
+
+    def _on_dropped(self, dropped: msg.DeviceDropped) -> None:
+        if dropped.round_id != self.round_id or self._closed:
+            return
+        if dropped.device_id in self._pending:
+            return  # already reported; the report wins
+        self._dropped.add(dropped.device_id)
+        self.tell(self.master, dropped)
+
+    def _nack(self, device_id: int) -> None:
+        device = self._devices.get(device_id)
+        if device is not None:
+            self.tell(device, msg.ReportAck(self.round_id, accepted=False))
+
+    def ack_device(self, device_id: int, accepted: bool) -> None:
+        """Master's decision for a pending report: fold in or discard."""
+        pending = self._pending.pop(device_id, None)
+        if pending is not None and accepted:
+            self._fold_in(device_id, *pending)
+        device = self._devices.get(device_id)
+        if device is not None:
+            self.tell(device, msg.ReportAck(self.round_id, accepted=accepted))
+
+    def _fold_in(self, device_id: int, vector: np.ndarray, weight: float) -> None:
+        self._accepted_count += 1
+        if self.secagg.enabled:
+            self._vectors[device_id] = vector
+            self._weights[device_id] = weight
+        else:
+            self._delta_sum = (
+                vector.copy() if self._delta_sum is None else self._delta_sum + vector
+            )
+            self._weight_sum += weight
+
+    # -- flush ----------------------------------------------------------------
+    def flush(self, accepted_ids: set[int]) -> msg.IntermediateAggregate:
+        """Produce this aggregator's intermediate sum for the round.
+
+        ``accepted_ids`` (from the master's state machine) resolves any
+        reports whose accept/reject decision is still in flight.
+        """
+        self._closed = True
+        for device_id, (vector, weight) in list(self._pending.items()):
+            if device_id in accepted_ids:
+                self._fold_in(device_id, vector, weight)
+        self._pending.clear()
+        if self.secagg.enabled:
+            return self._flush_secagg()
+        return msg.IntermediateAggregate(
+            round_id=self.round_id,
+            delta_sum=self._delta_sum,
+            weight_sum=self._weight_sum,
+            device_count=self._accepted_count,
+        )
+
+    def _flush_secagg(self) -> msg.IntermediateAggregate:
+        committed = self._vectors
+        if not committed:
+            return msg.IntermediateAggregate(
+                round_id=self.round_id, delta_sum=None, weight_sum=0.0, device_count=0
+            )
+        dim = next(iter(committed.values())).shape[0]
+        # The full cohort = everyone forwarded here; non-committers are
+        # post-ShareKeys dropouts whose pairwise masks must be recovered.
+        cohort: dict[int, np.ndarray] = {
+            uid: committed.get(uid, np.zeros(dim)) for uid in self._devices
+        }
+        dropouts = DropoutSchedule(
+            after_share=frozenset(uid for uid in self._devices if uid not in committed)
+        )
+        threshold = self.secagg.threshold(len(cohort))
+        # Weights ride along as one extra securely-summed coordinate, since
+        # FedAvg needs Σ n as well as Σ Δ (Sec. 6: sums are sufficient).
+        augmented = {
+            uid: np.concatenate([vec, [self._weights.get(uid, 0.0)]])
+            for uid, vec in cohort.items()
+        }
+        max_abs = max(float(np.abs(v).max()) for v in augmented.values())
+        quantizer = VectorQuantizer(
+            modulus_bits=self.secagg.modulus_bits,
+            clip_range=max(max_abs, 1e-6),
+            max_summands=max(len(cohort), 1),
+        )
+        try:
+            total, metrics = run_secure_aggregation(
+                augmented,
+                threshold=threshold,
+                quantizer=quantizer,
+                rng=self.rng,
+                dropouts=dropouts,
+            )
+        except SecAggError:
+            # Below threshold: this aggregator contributes nothing; the
+            # round may still complete from other aggregators' cohorts.
+            return msg.IntermediateAggregate(
+                round_id=self.round_id, delta_sum=None, weight_sum=0.0, device_count=0
+            )
+        return msg.IntermediateAggregate(
+            round_id=self.round_id,
+            delta_sum=total[:-1],
+            weight_sum=float(total[-1]),
+            device_count=len(committed),
+            secagg_metrics=metrics,
+        )

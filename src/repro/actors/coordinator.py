@@ -1,0 +1,211 @@
+"""Coordinator actor (Sec. 4.2): global per-population synchronization.
+
+One Coordinator owns each FL population (ownership is registered in the
+shared locking service).  It schedules FL tasks, spawns a Master
+Aggregator per round, and instructs the Selectors how many devices to
+forward.  If it dies, the Selector layer respawns it (see
+:mod:`repro.actors.selector`); a replacement recovers its round counter
+from the checkpoint store, so commits stay monotonic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.actors.kernel import Actor, ActorRef, DeathNotice
+from repro.actors.locking import LockService
+from repro.actors.master_aggregator import MasterAggregator
+from repro.actors import messages as msg
+from repro.core.checkpoint import CheckpointStore
+from repro.core.task import TaskScheduler
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Round-scheduling policy."""
+
+    tick_interval_s: float = 10.0
+    #: Sec. 4.3 pipelining: start the next round the moment the previous
+    #: one finishes (selection already ran in parallel at the Selectors).
+    #: When False, an explicit selection gap is inserted between rounds.
+    pipelining: bool = True
+    inter_round_gap_s: float = 60.0
+    max_rounds: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        if self.inter_round_gap_s < 0:
+            raise ValueError("inter_round_gap_s must be >= 0")
+
+
+class Coordinator(Actor):
+    """Top-level actor for one FL population."""
+
+    def __init__(
+        self,
+        population_name: str,
+        scheduler: TaskScheduler,
+        selectors: list[ActorRef],
+        locks: LockService,
+        store: CheckpointStore,
+        rng: np.random.Generator,
+        config: CoordinatorConfig | None = None,
+        round_listener: Callable[..., None] | None = None,
+        metrics_store=None,
+    ):
+        self.population_name = population_name
+        self.scheduler = scheduler
+        self.selectors = list(selectors)
+        self.locks = locks
+        self.store = store
+        self.rng = rng
+        self.config = config or CoordinatorConfig()
+        self.round_listener = round_listener
+        self.metrics_store = metrics_store
+        self.round_counter = 0
+        self.active_master: ActorRef | None = None
+        self.active_round_id: int | None = None
+        self.last_round_ended_at_s: float | None = None
+        self.rounds_finished = 0
+        self.rounds_committed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_start(self) -> None:
+        # Single-owner registration (Sec. 4.2).
+        if not self.locks.acquire(f"coordinator/{self.population_name}", self.ref):
+            self.system.stop(self.ref)
+            return
+        # A respawned coordinator recovers its round counter from the
+        # last committed checkpoint.
+        if self.store.has_checkpoint(self.population_name):
+            self.round_counter = self.store.latest(self.population_name).round_number
+        for selector in self.selectors:
+            self.tell(
+                selector,
+                msg.RegisterCoordinator(
+                    coordinator=self.ref, population_name=self.population_name
+                ),
+            )
+        self.schedule(self.config.tick_interval_s, self._tick)
+
+    # -- round scheduling -----------------------------------------------------------
+    def _tick(self) -> None:
+        self._maybe_start_round()
+        self.schedule(self.config.tick_interval_s, self._tick)
+
+    def _connected_total(self) -> int:
+        """Poll Selector pool sizes (the Sec. 4.2 'how many devices are
+        connected to each Selector' report, modeled as a cheap RPC)."""
+        total = 0
+        for ref in self.selectors:
+            selector = self.system.actor_of(ref)
+            if selector is not None:
+                total += selector.connected_count  # type: ignore[attr-defined]
+        return total
+
+    def _start_threshold(self) -> int:
+        """Devices that must be waiting before a round is scheduled.
+
+        Appendix A: "the FL server schedules an FL task for execution only
+        once a desired number of devices are available and selected" —
+        this gate is what couples round completion rate to the diurnal
+        availability curve (Figs. 5/6).
+        """
+        goals = [
+            t.config.round_config.selection_goal
+            for t in self.scheduler.population.tasks
+        ]
+        return max(goals) if goals else 1
+
+    def _maybe_start_round(self) -> None:
+        if self.active_master is not None:
+            return
+        if (
+            self.config.max_rounds is not None
+            and self.rounds_finished >= self.config.max_rounds
+        ):
+            return
+        if not self.config.pipelining and self.last_round_ended_at_s is not None:
+            if self.now - self.last_round_ended_at_s < self.config.inter_round_gap_s:
+                return
+        if not self.store.has_checkpoint(self.population_name):
+            return  # model not initialized yet
+        if self._connected_total() < self._start_threshold():
+            return  # wait for enough devices (diurnal availability gate)
+        task = self.scheduler.next_task()
+        task.rounds_started += 1
+        self.round_counter += 1
+        round_id = self.round_counter
+        master = MasterAggregator(
+            round_id=round_id,
+            task=task.config,
+            coordinator=self.ref,
+            store=self.store,
+            rng=self.rng,
+            round_listener=self.round_listener,
+            metrics_store=self.metrics_store,
+        )
+        master_ref = self.system.spawn(
+            master, f"master/{self.population_name}/{round_id}"
+        )
+        self.system.watch(self.ref, master_ref)
+        self.active_master = master_ref
+        self.active_round_id = round_id
+        for selector in self.selectors:
+            self.tell(
+                selector,
+                msg.ForwardDevices(
+                    round_id=round_id,
+                    task_id=task.task_id,
+                    count=task.config.round_config.selection_goal,
+                    aggregators=(),
+                    master=master_ref,
+                ),
+            )
+
+    # -- message handling ---------------------------------------------------------
+    def receive(self, sender: Optional[ActorRef], message: Any) -> None:
+        if isinstance(message, msg.RoundFinished):
+            self._on_round_finished(message)
+        elif isinstance(message, DeathNotice):
+            self._on_death(message)
+        elif isinstance(message, msg.SelectorStatus):
+            pass  # tracked by the analytics sampler in repro.system
+
+    def _on_round_finished(self, finished: msg.RoundFinished) -> None:
+        if finished.round_id != self.active_round_id:
+            return  # stale notification from a pre-crash round
+        self.active_master = None
+        self.active_round_id = None
+        self.last_round_ended_at_s = self.now
+        self.rounds_finished += 1
+        if finished.committed:
+            self.rounds_committed += 1
+            try:
+                task = self.scheduler.population.task(finished.task_id)
+                task.rounds_committed += 1
+            except KeyError:
+                pass
+        for selector in self.selectors:
+            self.tell(selector, msg.ClearForwarding(round_id=finished.round_id))
+        if self.config.pipelining:
+            self._maybe_start_round()
+
+    def _on_death(self, notice: DeathNotice) -> None:
+        if not notice.crashed:
+            return  # graceful master stop: RoundFinished does the bookkeeping
+        if self.active_master is not None and notice.ref == self.active_master:
+            # Sec. 4.4: master crashed -> round fails, coordinator restarts
+            # (a fresh round starts on the next tick).
+            dead_round_id = self.active_round_id
+            self.active_master = None
+            self.active_round_id = None
+            self.last_round_ended_at_s = self.now
+            for selector in self.selectors:
+                self.tell(
+                    selector, msg.ClearForwarding(round_id=dead_round_id or -1)
+                )

@@ -1,0 +1,194 @@
+"""Actor kernel: mailboxes, supervision, and failure injection.
+
+Each actor handles its mailbox strictly sequentially (Sec. 4.1).  On a
+single-threaded event loop that ordering is natural: every delivery is an
+event, and events for one actor fire in schedule order.  Crashing an actor
+drops its mailbox, releases its locks, and notifies its watchers — the
+substrate for the failure-mode experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.event_loop import EventLoop
+
+
+@dataclass(frozen=True)
+class DeathNotice:
+    """Delivered to watchers when a watched actor terminates."""
+
+    ref: "ActorRef"
+    crashed: bool
+
+
+class ActorRef:
+    """Handle used to address an actor; stable across the actor's life."""
+
+    __slots__ = ("actor_id", "name", "_system")
+
+    def __init__(self, actor_id: int, name: str, system: "ActorSystem"):
+        self.actor_id = actor_id
+        self.name = name
+        self._system = system
+
+    @property
+    def alive(self) -> bool:
+        return self._system.is_alive(self)
+
+    def tell(
+        self, message: Any, sender: Optional["ActorRef"] = None, delay: float = 0.0
+    ) -> None:
+        self._system.tell(self, message, sender=sender, extra_delay=delay)
+
+    def __repr__(self) -> str:
+        return f"ActorRef({self.name}#{self.actor_id})"
+
+    def __hash__(self) -> int:
+        return hash(self.actor_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ActorRef) and other.actor_id == self.actor_id
+
+
+class Actor:
+    """Base class.  Subclasses implement :meth:`receive`.
+
+    The kernel injects ``self.system``, ``self.ref`` and ``self.loop``
+    before :meth:`on_start` runs.
+    """
+
+    system: "ActorSystem"
+    ref: ActorRef
+    loop: EventLoop
+
+    def on_start(self) -> None:
+        """Hook: runs once after spawn."""
+
+    def on_stop(self, crashed: bool) -> None:
+        """Hook: runs when the actor terminates (graceful or crash)."""
+
+    def receive(self, sender: Optional[ActorRef], message: Any) -> None:
+        raise NotImplementedError
+
+    # Convenience wrappers -----------------------------------------------------
+    def tell(self, target: ActorRef, message: Any, delay: float = 0.0) -> None:
+        self.system.tell(target, message, sender=self.ref, extra_delay=delay)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any):
+        """Schedule work for this actor; silently dropped if it died."""
+        def guarded(*inner_args: Any) -> None:
+            if self.system.is_alive(self.ref):
+                fn(*inner_args)
+
+        return self.loop.schedule(delay, guarded, *args)
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+
+class ActorSystem:
+    """Spawns actors, routes messages, injects failures.
+
+    Message delivery latency models intra-datacenter RPC; it is small,
+    random, and drawn from the dedicated ``actors/latency`` stream so the
+    rest of the simulation is unaffected by actor-count changes.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: np.random.Generator,
+        mean_latency_s: float = 0.002,
+    ):
+        self.loop = loop
+        self.rng = rng
+        self.mean_latency_s = mean_latency_s
+        self._actors: dict[int, Actor] = {}
+        self._watchers: dict[int, set[ActorRef]] = {}
+        self._next_id = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.crashes_injected = 0
+        self._lock_release_hooks: list[Callable[[ActorRef], None]] = []
+
+    # -- lifecycle ------------------------------------------------------------
+    def spawn(self, actor: Actor, name: str) -> ActorRef:
+        ref = ActorRef(self._next_id, name, self)
+        self._next_id += 1
+        actor.system = self
+        actor.ref = ref
+        actor.loop = self.loop
+        self._actors[ref.actor_id] = actor
+        actor.on_start()
+        return ref
+
+    def is_alive(self, ref: ActorRef) -> bool:
+        return ref.actor_id in self._actors
+
+    def actor_of(self, ref: ActorRef) -> Actor | None:
+        return self._actors.get(ref.actor_id)
+
+    def stop(self, ref: ActorRef) -> None:
+        """Graceful termination."""
+        self._terminate(ref, crashed=False)
+
+    def crash(self, ref: ActorRef) -> None:
+        """Failure injection: abrupt death, mailbox dropped."""
+        if self.is_alive(ref):
+            self.crashes_injected += 1
+        self._terminate(ref, crashed=True)
+
+    def _terminate(self, ref: ActorRef, crashed: bool) -> None:
+        actor = self._actors.pop(ref.actor_id, None)
+        if actor is None:
+            return
+        for hook in self._lock_release_hooks:
+            hook(ref)
+        actor.on_stop(crashed)
+        for watcher in self._watchers.pop(ref.actor_id, set()):
+            self.tell(watcher, DeathNotice(ref=ref, crashed=crashed), sender=None)
+
+    # -- supervision ------------------------------------------------------------
+    def watch(self, watcher: ActorRef, watched: ActorRef) -> None:
+        """Deliver a DeathNotice to ``watcher`` when ``watched`` dies."""
+        if not self.is_alive(watched):
+            self.tell(watcher, DeathNotice(ref=watched, crashed=True), sender=None)
+            return
+        self._watchers.setdefault(watched.actor_id, set()).add(watcher)
+
+    def unwatch(self, watcher: ActorRef, watched: ActorRef) -> None:
+        self._watchers.get(watched.actor_id, set()).discard(watcher)
+
+    def on_actor_terminated(self, hook: Callable[[ActorRef], None]) -> None:
+        """Register a hook run at every termination (lock auto-release)."""
+        self._lock_release_hooks.append(hook)
+
+    # -- messaging ------------------------------------------------------------
+    def tell(
+        self,
+        target: ActorRef,
+        message: Any,
+        sender: Optional[ActorRef] = None,
+        extra_delay: float = 0.0,
+    ) -> None:
+        latency = float(self.rng.exponential(self.mean_latency_s)) + extra_delay
+        self.loop.schedule(latency, self._deliver, target, sender, message)
+
+    def _deliver(
+        self, target: ActorRef, sender: Optional[ActorRef], message: Any
+    ) -> None:
+        actor = self._actors.get(target.actor_id)
+        if actor is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        actor.receive(sender, message)
+
+    # -- introspection ------------------------------------------------------------
+    def living_actors(self) -> list[ActorRef]:
+        return [a.ref for a in self._actors.values()]

@@ -1,0 +1,271 @@
+"""Master Aggregator actor (Sec. 4.2): owns one round of one FL task.
+
+Spawned by the Coordinator per round; spawns leaf Aggregators sized to the
+cohort (and to Secure Aggregation's group parameter ``k``); drives the
+round state machine; and — crucially for the paper's storage/attack-surface
+claims — keeps everything in memory, committing exactly one checkpoint to
+persistent storage only after full aggregation succeeds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.actors.aggregator import Aggregator
+from repro.actors.kernel import Actor, ActorRef
+from repro.actors import messages as msg
+from repro.core.checkpoint import CheckpointStore, FLCheckpoint
+from repro.core.config import TaskConfig, TaskKind
+from repro.core.rounds import (
+    CheckinDecision,
+    DeviceOutcome,
+    RoundPhase,
+    RoundStateMachine,
+)
+
+#: Devices per leaf aggregator when Secure Aggregation is off.
+_PLAIN_GROUP_SIZE = 100
+
+
+class MasterAggregator(Actor):
+    """Ephemeral per-round coordinator of leaf Aggregators."""
+
+    def __init__(
+        self,
+        round_id: int,
+        task: TaskConfig,
+        coordinator: ActorRef,
+        store: CheckpointStore,
+        rng: np.random.Generator,
+        round_listener=None,
+        metrics_store=None,
+    ):
+        self.round_id = round_id
+        self.task = task
+        self.coordinator = coordinator
+        self.store = store
+        self.rng = rng
+        self.round_listener = round_listener
+        self.metrics_store = metrics_store
+        #: Accepted devices' report metrics, summarized at round close
+        #: (Sec. 7.4 "Materialized model metrics").
+        self._device_metrics: list[dict[str, float]] = []
+        self.state = RoundStateMachine(
+            round_id=round_id,
+            task_id=task.task_id,
+            config=task.round_config,
+            started_at_s=0.0,  # fixed in on_start when sim time is known
+        )
+        self.aggregators: list[ActorRef] = []
+        self._agg_of_device: dict[int, ActorRef] = {}
+        self._next_agg = 0
+        self._finished = False
+        self._reporting_armed = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def on_start(self) -> None:
+        self.state.started_at_s = self.now
+        cohort = self.task.round_config.selection_goal
+        if self.task.secagg.enabled:
+            group = max(2, self.task.secagg.group_size)
+        else:
+            group = _PLAIN_GROUP_SIZE
+        num_aggs = max(1, math.ceil(cohort / group))
+        for i in range(num_aggs):
+            agg = Aggregator(
+                round_id=self.round_id,
+                task_id=self.task.task_id,
+                master=self.ref,
+                secagg=self.task.secagg,
+                rng=self.rng,
+            )
+            self.aggregators.append(
+                self.system.spawn(agg, f"aggregator/{self.round_id}/{i}")
+            )
+        self.schedule(
+            self.task.round_config.selection_timeout_s,
+            self._on_selection_timeout,
+        )
+
+    def on_stop(self, crashed: bool) -> None:
+        if crashed and not self._finished:
+            # Sec. 4.4: "If the Master Aggregator fails, the current round
+            # of the FL task it manages will fail" — the Coordinator learns
+            # via its death watch and restarts.
+            for agg in self.aggregators:
+                self.system.stop(agg)
+
+    # -- device admission -------------------------------------------------------
+    def admit_device(
+        self, device_id: int, device_ref: ActorRef, runtime_version: int
+    ) -> tuple[CheckinDecision, ActorRef | None]:
+        """Called (synchronously, via Selector forwarding) per device.
+
+        Returns the admission decision and the Aggregator the device was
+        attached to.
+        """
+        decision = self.state.on_checkin(device_id, self.now)
+        if decision is not CheckinDecision.ACCEPT:
+            return decision, None
+        agg_ref = self.aggregators[self._next_agg % len(self.aggregators)]
+        self._next_agg += 1
+        agg = self.system.actor_of(agg_ref)
+        if agg is not None:
+            agg.register_device(device_id, device_ref)  # type: ignore[attr-defined]
+        self._agg_of_device[device_id] = agg_ref
+        self.state.on_configured(device_id, self.now)
+        if self.state.phase is RoundPhase.REPORTING:
+            self._arm_reporting_timeout()
+        return decision, agg_ref
+
+    # -- message handling -------------------------------------------------------
+    def receive(self, sender: Optional[ActorRef], message: Any) -> None:
+        if isinstance(message, msg.DeviceReport):
+            self._on_report(message)
+        elif isinstance(message, msg.DeviceDropped):
+            self.state.on_device_dropped(
+                message.device_id, self.now, reason=message.reason
+            )
+            self._maybe_finish_on_depletion()
+
+    def _on_report(self, report: msg.DeviceReport) -> None:
+        if report.device_id not in self.state.participants:
+            return
+        was_terminal = self.state.is_terminal
+        outcome = self.state.on_report(report.device_id, self.now)
+        if outcome is DeviceOutcome.COMPLETED and report.train_metrics:
+            self._device_metrics.append(dict(report.train_metrics))
+        agg_ref = self._agg_of_device.get(report.device_id)
+        agg = self.system.actor_of(agg_ref) if agg_ref is not None else None
+        if agg is not None:
+            agg.ack_device(  # type: ignore[attr-defined]
+                report.device_id, accepted=(outcome is DeviceOutcome.COMPLETED)
+            )
+        if self.state.is_terminal and not was_terminal and not self._finished:
+            self._finish()
+
+    def _on_selection_timeout(self) -> None:
+        if self.state.phase is not RoundPhase.SELECTION:
+            return
+        phase = self.state.on_selection_timeout(self.now)
+        if phase is RoundPhase.ABANDONED:
+            self._finish()
+        elif phase is RoundPhase.REPORTING:
+            self._arm_reporting_timeout()
+
+    def _arm_reporting_timeout(self) -> None:
+        if self._reporting_armed:
+            return
+        self._reporting_armed = True
+        self.schedule(
+            self.task.round_config.reporting_timeout_s, self._on_reporting_timeout
+        )
+
+    def _on_reporting_timeout(self) -> None:
+        if self.state.phase is not RoundPhase.REPORTING:
+            return
+        self.state.on_reporting_timeout(self.now)
+        if not self._finished:
+            self._finish()
+
+    def _maybe_finish_on_depletion(self) -> None:
+        """If every selected device already dropped, fail fast."""
+        if (
+            self.state.phase is RoundPhase.REPORTING
+            and self.state.in_flight_count == 0
+            and self.state.completed_count < self.task.round_config.min_participants
+        ):
+            self.state.on_reporting_timeout(self.now)
+            if not self._finished:
+                self._finish()
+
+    # -- round completion -------------------------------------------------------
+    def _finish(self) -> None:
+        self._finished = True
+        committed = False
+        if self.state.phase is RoundPhase.COMPLETED:
+            if self.task.kind is TaskKind.TRAINING:
+                committed = self._aggregate_and_commit()
+            else:
+                # Evaluation rounds never touch the global model: their
+                # product is the materialized metrics only (Sec. 3, 7.4).
+                committed = True
+        if self.metrics_store is not None and self._device_metrics:
+            self.metrics_store.materialize(
+                task_name=self.task.task_id,
+                round_number=self.round_id,
+                time_s=self.now,
+                device_metrics=self._device_metrics,
+                kind=self.task.kind.value,
+                committed=committed,
+            )
+        result = self.state.result()
+        # The state machine may say "completed" while aggregation or the
+        # checkpoint commit failed (e.g. all aggregators crashed, or a
+        # respawned coordinator already advanced the model); the result
+        # must reflect reality.
+        result.committed = committed
+        if self.round_listener is not None:
+            self.round_listener(result)
+        self.tell(
+            self.coordinator,
+            msg.RoundFinished(
+                result=result,
+                committed=committed,
+                round_id=self.round_id,
+                task_id=self.task.task_id,
+            ),
+        )
+        for agg in self.aggregators:
+            self.system.stop(agg)
+        self.system.stop(self.ref)
+
+    def _aggregate_and_commit(self) -> bool:
+        """Combine intermediate aggregates; write exactly one checkpoint."""
+        accepted = {
+            p.device_id
+            for p in self.state.participants.values()
+            if p.outcome is DeviceOutcome.COMPLETED
+        }
+        delta_sum: np.ndarray | None = None
+        weight_sum = 0.0
+        contributing = 0
+        for agg_ref in self.aggregators:
+            agg = self.system.actor_of(agg_ref)
+            if agg is None:
+                continue  # crashed aggregator: its devices are simply lost
+            partial = agg.flush(accepted)  # type: ignore[attr-defined]
+            if partial.delta_sum is None or partial.device_count == 0:
+                continue
+            contributing += partial.device_count
+            vec = np.asarray(partial.delta_sum, dtype=np.float64)
+            delta_sum = vec.copy() if delta_sum is None else delta_sum + vec
+            weight_sum += partial.weight_sum
+        if delta_sum is None or weight_sum <= 0:
+            return False
+        if contributing < self.task.round_config.min_participants:
+            return False
+        try:
+            previous = self.store.latest(self.task.population_name)
+        except KeyError:
+            return False
+        params = previous.to_params()
+        avg_delta = params.from_vector(delta_sum / weight_sum)
+        new_params = params + avg_delta
+        checkpoint = FLCheckpoint.from_params(
+            new_params,
+            population_name=self.task.population_name,
+            task_id=self.task.task_id,
+            round_number=self.round_id,
+            contributing_devices=contributing,
+        )
+        try:
+            self.store.commit(checkpoint)
+        except ValueError:
+            # Another incarnation already advanced the model (coordinator
+            # was respawned mid-round): treat as failed commit.
+            return False
+        return True

@@ -1,0 +1,201 @@
+"""Message catalogue for the FL server actors and devices.
+
+All inter-actor communication uses these frozen dataclasses; keeping them
+in one module documents the protocol surface (Fig. 1's numbered steps map
+onto them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.checkpoint import FLCheckpoint
+from repro.core.pace import ReconnectWindow
+from repro.core.plan import FLPlan
+from repro.core.rounds import RoundResult
+
+if TYPE_CHECKING:
+    from repro.actors.kernel import ActorRef
+
+
+# -- device <-> selector ------------------------------------------------------
+@dataclass(frozen=True)
+class DeviceCheckin:
+    """Step 1 of Fig. 1: a device announces readiness for a population."""
+
+    device_id: int
+    population_name: str
+    runtime_version: int
+    attestation_token: Any
+    device_ref: "ActorRef"
+
+
+@dataclass(frozen=True)
+class CheckinRejected:
+    """'Come back later' plus the pace-steering window (Sec. 2.3)."""
+
+    window: ReconnectWindow
+    reason: str
+
+
+@dataclass(frozen=True)
+class DeviceDisconnect:
+    """Device closes its stream (lost eligibility while waiting)."""
+
+    device_id: int
+
+
+@dataclass(frozen=True)
+class ConnectionReset:
+    """Server end of the stream died (Selector crash): the device's open
+    connection breaks, and it should retry another selector later."""
+
+
+# -- selector <-> coordinator ---------------------------------------------------
+@dataclass(frozen=True)
+class SelectorStatusRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class SelectorStatus:
+    selector_name: str
+    connected_count: int
+
+
+@dataclass(frozen=True)
+class ForwardDevices:
+    """Coordinator tells a Selector to forward ``count`` connected devices
+    to the given Aggregators for a starting round."""
+
+    round_id: int
+    task_id: str
+    count: int
+    aggregators: tuple["ActorRef", ...]
+    master: "ActorRef"
+
+
+# -- configuration / reporting (device <-> aggregator) -------------------------
+@dataclass(frozen=True)
+class ConfigureDevice:
+    """Step 3 of Fig. 1: plan + checkpoint sent to a selected device."""
+
+    round_id: int
+    task_id: str
+    plan: FLPlan
+    checkpoint: FLCheckpoint
+    aggregator: "ActorRef"
+    report_deadline_s: float
+    participation_cap_s: float
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Step 4: the trained update (delta, weight) reported back."""
+
+    device_id: int
+    round_id: int
+    delta_vector: Any            # np.ndarray — flattened weighted delta
+    weight: float
+    num_examples: int
+    train_metrics: dict[str, float]
+    upload_nbytes: int
+
+
+@dataclass(frozen=True)
+class DeviceDropped:
+    """Device-side failure notification (or detected timeout)."""
+
+    device_id: int
+    round_id: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ReportAck:
+    """Server's response to an uploaded report.
+
+    ``accepted=False`` is the Table 1 ``#`` outcome: the device uploaded
+    after the reporting window closed (typically because the server already
+    had its target count — the "aborted" devices of Fig. 7)."""
+
+    round_id: int
+    accepted: bool
+
+
+# -- selector -> aggregator/master ------------------------------------------------
+@dataclass(frozen=True)
+class DeviceForwarded:
+    """Selector hands a connected device to an Aggregator (Sec. 4.2)."""
+
+    round_id: int
+    device_id: int
+    device_ref: "ActorRef"
+    runtime_version: int
+
+
+@dataclass(frozen=True)
+class PauseAccepting:
+    """Coordinator gates Selector check-in acceptance (pipelining ablation)."""
+
+    paused: bool
+
+
+@dataclass(frozen=True)
+class IntermediateAggregate:
+    """An Aggregator's (securely) summed contribution for the round."""
+
+    round_id: int
+    delta_sum: Any               # np.ndarray
+    weight_sum: float
+    device_count: int
+    secagg_metrics: Any = None
+
+
+# -- master aggregator <-> coordinator ---------------------------------------------
+@dataclass(frozen=True)
+class StartRound:
+    round_id: int
+    task_id: str
+
+
+@dataclass(frozen=True)
+class RoundFinished:
+    """Round outcome propagated to the Coordinator (step 6 commits)."""
+
+    result: RoundResult
+    committed: bool
+    round_id: int
+    task_id: str
+
+
+# -- internal timers ------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectionTimeout:
+    round_id: int
+
+
+@dataclass(frozen=True)
+class ReportingTimeout:
+    round_id: int
+
+
+@dataclass(frozen=True)
+class CoordinatorTick:
+    """Periodic heartbeat driving round scheduling."""
+
+
+@dataclass(frozen=True)
+class RegisterCoordinator:
+    """A (re)spawned Coordinator announces itself to its Selectors."""
+
+    coordinator: "ActorRef"
+    population_name: str
+
+
+@dataclass(frozen=True)
+class ClearForwarding:
+    """Coordinator cancels the Selectors' standing forwarding instruction."""
+
+    round_id: int

@@ -1,0 +1,247 @@
+"""Selector actor (Sec. 4.2): accepts and forwards device connections.
+
+Selectors are the globally distributed edge of the server: they hold the
+open device streams, make local accept/reject decisions from soft quotas,
+forward accepted devices to the round's Aggregators, and hand rejected
+devices a pace-steering window (Sec. 2.3).  Selection runs *continuously*,
+which is exactly what makes the pipelining of Sec. 4.3 free: while one
+round is reporting, newly checked-in devices are already pooling here for
+the next one.
+
+Selectors also watch the Coordinator and — arbitrated by the shared lock
+service — respawn it exactly once if it dies (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.actors.kernel import Actor, ActorRef, DeathNotice
+from repro.actors.locking import LockService
+from repro.actors import messages as msg
+from repro.core.pace import PaceSteering
+from repro.core.rounds import CheckinDecision
+
+
+@dataclass
+class SelectorStats:
+    """Counters for analytics dashboards (Sec. 5, server side)."""
+
+    checkins: int = 0
+    accepted: int = 0
+    rejected_quota: int = 0
+    rejected_attestation: int = 0
+    rejected_incompatible: int = 0
+    forwarded: int = 0
+    disconnects: int = 0
+
+
+@dataclass
+class _ConnectedDevice:
+    device_id: int
+    ref: ActorRef
+    runtime_version: int
+    connected_at_s: float
+
+
+class Selector(Actor):
+    """One selector; production runs many, spread geographically."""
+
+    def __init__(
+        self,
+        population_name: str,
+        pace: PaceSteering,
+        locks: LockService,
+        verify_attestation: Callable[[Any], bool],
+        plan_repository: Any,          # exposes plan_for_runtime(version)
+        checkpoint_store: Any,         # exposes latest(population)
+        population_size: int,
+        rng: np.random.Generator,
+        coordinator_factory: Callable[[], Actor] | None = None,
+        pool_cap: int = 1000,
+    ):
+        self.population_name = population_name
+        self.pace = pace
+        self.locks = locks
+        self.verify_attestation = verify_attestation
+        self.plans = plan_repository
+        self.store = checkpoint_store
+        self.population_size = population_size
+        self.rng = rng
+        self.coordinator_factory = coordinator_factory
+        self.pool_cap = pool_cap
+        self.coordinator: ActorRef | None = None
+        self.pool: dict[int, _ConnectedDevice] = {}
+        self.stats = SelectorStats()
+        self._forwarding: msg.ForwardDevices | None = None
+        self._paused = False
+
+    # -- lifecycle --------------------------------------------------------------
+    def on_stop(self, crashed: bool) -> None:
+        # A dying selector's open device streams break: notify the pooled
+        # devices so they retry elsewhere (Sec. 4.4: "only the devices
+        # connected to that actor will be lost" — lost from this round,
+        # not forever).
+        for device in self.pool.values():
+            self.system.tell(device.ref, msg.ConnectionReset())
+        self.pool.clear()
+
+    # -- helpers ----------------------------------------------------------------
+    @property
+    def connected_count(self) -> int:
+        return len(self.pool)
+
+    def _reject(self, device_ref: ActorRef, reason: str) -> None:
+        window = self.pace.suggest_reconnect(
+            now_s=self.now,
+            population_size=self.population_size,
+            needed_per_round=(
+                self._forwarding.count if self._forwarding is not None else 100
+            ),
+        )
+        self.tell(device_ref, msg.CheckinRejected(window=window, reason=reason))
+
+    # -- message handling ----------------------------------------------------------
+    def receive(self, sender: Optional[ActorRef], message: Any) -> None:
+        if isinstance(message, msg.DeviceCheckin):
+            self._on_checkin(message)
+        elif isinstance(message, msg.DeviceDisconnect):
+            if self.pool.pop(message.device_id, None) is not None:
+                self.stats.disconnects += 1
+        elif isinstance(message, msg.ForwardDevices):
+            self._forwarding = message
+            self._drain_pool()
+        elif isinstance(message, msg.ClearForwarding):
+            if (
+                self._forwarding is not None
+                and self._forwarding.round_id == message.round_id
+            ):
+                self._forwarding = None
+        elif isinstance(message, msg.PauseAccepting):
+            self._paused = message.paused
+            if self._paused:
+                self._flush_pool("paused")
+        elif isinstance(message, msg.RegisterCoordinator):
+            self.coordinator = message.coordinator
+            self.system.watch(self.ref, message.coordinator)
+        elif isinstance(message, msg.SelectorStatusRequest):
+            if sender is not None:
+                self.tell(
+                    sender,
+                    msg.SelectorStatus(
+                        selector_name=self.ref.name,
+                        connected_count=self.connected_count,
+                    ),
+                )
+        elif isinstance(message, DeathNotice):
+            self._on_coordinator_death(message)
+
+    # -- check-in path ---------------------------------------------------------
+    def _on_checkin(self, checkin: msg.DeviceCheckin) -> None:
+        self.stats.checkins += 1
+        if not self.verify_attestation(checkin.attestation_token):
+            self.stats.rejected_attestation += 1
+            self._reject(checkin.device_ref, "attestation_failed")
+            return
+        if self.plans.plan_for_runtime(checkin.runtime_version) is None:
+            self.stats.rejected_incompatible += 1
+            self._reject(checkin.device_ref, "no_compatible_plan")
+            return
+        if self._paused or len(self.pool) >= self.pool_cap:
+            self.stats.rejected_quota += 1
+            self._reject(checkin.device_ref, "over_quota")
+            return
+        device = _ConnectedDevice(
+            device_id=checkin.device_id,
+            ref=checkin.device_ref,
+            runtime_version=checkin.runtime_version,
+            connected_at_s=self.now,
+        )
+        self.pool[checkin.device_id] = device
+        self.stats.accepted += 1
+        if self._forwarding is not None:
+            self._try_forward(device)
+
+    # -- forwarding path -----------------------------------------------------------
+    def _drain_pool(self) -> None:
+        """Offer pooled devices to the newly started round, oldest first."""
+        for device in sorted(self.pool.values(), key=lambda d: d.connected_at_s):
+            if self._forwarding is None:
+                break
+            self._try_forward(device)
+
+    def _try_forward(self, device: _ConnectedDevice) -> None:
+        """Admission RPC to the Master Aggregator, then configure or reject."""
+        assert self._forwarding is not None
+        instruction = self._forwarding
+        master = self.system.actor_of(instruction.master)
+        if master is None:
+            # Master died (Sec. 4.4): the round is gone; keep the device
+            # pooled for the next round.
+            self._forwarding = None
+            return
+        plan = self.plans.plan_for_task(
+            instruction.task_id, device.runtime_version
+        )
+        if plan is None:
+            # This task cannot be served to this runtime; keep the device
+            # pooled for a differently versioned task.
+            return
+        decision, agg_ref = master.admit_device(  # type: ignore[attr-defined]
+            device.device_id, device.ref, device.runtime_version
+        )
+        self.pool.pop(device.device_id, None)
+        if decision is not CheckinDecision.ACCEPT or agg_ref is None:
+            self.stats.rejected_quota += 1
+            self._reject(device.ref, "round_full")
+            return
+        checkpoint = self.store.latest(self.population_name)
+        self.stats.forwarded += 1
+        self.tell(
+            device.ref,
+            msg.ConfigureDevice(
+                round_id=instruction.round_id,
+                task_id=instruction.task_id,
+                plan=plan,
+                checkpoint=checkpoint,
+                aggregator=agg_ref,
+                report_deadline_s=self.now
+                + self._report_window_s(),
+                participation_cap_s=self._participation_cap_s(),
+            ),
+        )
+
+    def _report_window_s(self) -> float:
+        # Deadline hint shipped to the device; authoritative enforcement is
+        # the master's reporting timeout.
+        return 600.0
+
+    def _participation_cap_s(self) -> float:
+        return 600.0
+
+    def _flush_pool(self, reason: str) -> None:
+        for device in list(self.pool.values()):
+            self._reject(device.ref, reason)
+        self.pool.clear()
+
+    # -- coordinator recovery (Sec. 4.4) ------------------------------------------
+    def _on_coordinator_death(self, notice: DeathNotice) -> None:
+        if self.coordinator is None or notice.ref != self.coordinator:
+            return
+        self.coordinator = None
+        self._forwarding = None
+        if not notice.crashed or self.coordinator_factory is None:
+            return
+        # "Because the Coordinators are registered in a shared locking
+        # service, this will happen exactly once": the respawn key embeds
+        # the dead incarnation's actor id, so exactly one selector wins.
+        key = f"respawn/{self.population_name}/{notice.ref.actor_id}"
+        if self.locks.acquire(key, self.ref):
+            replacement = self.coordinator_factory()
+            self.system.spawn(
+                replacement,
+                f"coordinator/{self.population_name}/r{notice.ref.actor_id}",
+            )

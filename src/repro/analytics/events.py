@@ -1,0 +1,100 @@
+"""Device training-state event log (Sec. 5).
+
+"We also log an event for every state in a training round, and use these
+logs to generate ASCII visualizations of the sequence of state transitions
+happening across all devices."  Events are PII-free: device id, round id,
+state, timestamp, plus optional non-identifying attributes (error kind,
+phone model class, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+class DeviceEvent(enum.Enum):
+    """Training-session states, with their Table 1 ASCII legend glyphs."""
+
+    CHECKIN = "-"            # FL server checkin
+    DOWNLOADED_PLAN = "v"    # downloaded plan (+ checkpoint)
+    TRAIN_STARTED = "["
+    TRAIN_COMPLETED = "]"
+    UPLOAD_STARTED = "+"
+    UPLOAD_COMPLETED = "^"
+    UPLOAD_REJECTED = "#"
+    INTERRUPTED = "!"
+    ERROR = "*"
+
+    @property
+    def glyph(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    time_s: float
+    device_id: int
+    round_id: int
+    event: DeviceEvent
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event store with per-session indexing.
+
+    A *session* is one device's participation in one round — the unit
+    whose glyph string Table 1 tabulates.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[EventRecord] = []
+        self._sessions: dict[tuple[int, int], list[EventRecord]] = defaultdict(list)
+
+    _EMPTY_ATTRS: Mapping[str, object] = {}
+
+    def log(
+        self,
+        time_s: float,
+        device_id: int,
+        round_id: int,
+        event: DeviceEvent,
+        **attrs: object,
+    ) -> None:
+        record = EventRecord(
+            time_s=time_s,
+            device_id=device_id,
+            round_id=round_id,
+            event=event,
+            # Share one empty mapping across the (very common) no-attr case:
+            # fleet simulations log millions of records.
+            attrs=attrs if attrs else self._EMPTY_ATTRS,
+        )
+        self._records.append(record)
+        self._sessions[(device_id, round_id)].append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[EventRecord]:
+        return list(self._records)
+
+    def session(self, device_id: int, round_id: int) -> list[EventRecord]:
+        return list(self._sessions.get((device_id, round_id), []))
+
+    def sessions(self) -> Iterator[tuple[tuple[int, int], list[EventRecord]]]:
+        """All (device, round) sessions in first-event order."""
+        for key in sorted(
+            self._sessions, key=lambda k: self._sessions[k][0].time_s
+        ):
+            yield key, list(self._sessions[key])
+
+    def events_in_window(
+        self, start_s: float, end_s: float
+    ) -> list[EventRecord]:
+        return [r for r in self._records if start_s <= r.time_s < end_s]
+
+    def count(self, event: DeviceEvent) -> int:
+        return sum(1 for r in self._records if r.event is event)

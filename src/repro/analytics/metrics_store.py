@@ -1,0 +1,81 @@
+"""Materialized model metrics (Sec. 7.4).
+
+"As soon as an FL round closes, that round's aggregated model parameters
+and metrics are written to the server storage location chosen by the model
+engineer.  Materialized model metrics are annotated with additional data,
+including metadata like the source FL task's name, FL round number within
+the FL task, and other basic operational data."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analytics.quantile import MetricSummary
+
+
+@dataclass
+class MaterializedMetrics:
+    """One round's metric summaries plus annotations."""
+
+    task_name: str
+    round_number: int
+    time_s: float
+    summaries: dict[str, MetricSummary] = field(default_factory=dict)
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def update(self, metric: str, value: float) -> None:
+        if metric not in self.summaries:
+            self.summaries[metric] = MetricSummary.empty()
+        self.summaries[metric].update(value)
+
+    def to_row(self) -> dict[str, object]:
+        """Flatten for loading into numerical data-science tooling."""
+        row: dict[str, object] = {
+            "task_name": self.task_name,
+            "round_number": self.round_number,
+            "time_s": self.time_s,
+            **dict(self.metadata),
+        }
+        for metric, summary in self.summaries.items():
+            for stat, value in summary.to_dict().items():
+                row[f"{metric}/{stat}"] = value
+        return row
+
+
+class ModelMetricsStore:
+    """Per-task history of materialized round metrics."""
+
+    def __init__(self) -> None:
+        self._by_task: dict[str, list[MaterializedMetrics]] = {}
+
+    def materialize(
+        self,
+        task_name: str,
+        round_number: int,
+        time_s: float,
+        device_metrics: list[Mapping[str, float]],
+        **metadata: object,
+    ) -> MaterializedMetrics:
+        """Summarize device reports for a closed round and persist them."""
+        record = MaterializedMetrics(
+            task_name=task_name,
+            round_number=round_number,
+            time_s=time_s,
+            metadata=metadata,
+        )
+        for report in device_metrics:
+            for metric, value in report.items():
+                record.update(metric, float(value))
+        self._by_task.setdefault(task_name, []).append(record)
+        return record
+
+    def history(self, task_name: str) -> list[MaterializedMetrics]:
+        return list(self._by_task.get(task_name, []))
+
+    def to_rows(self, task_name: str) -> list[dict[str, object]]:
+        return [m.to_row() for m in self.history(task_name)]
+
+    def tasks(self) -> list[str]:
+        return sorted(self._by_task)

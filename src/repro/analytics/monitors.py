@@ -1,0 +1,88 @@
+"""Automatic time-series monitors (Sec. 5).
+
+"... fed into automatic time-series monitors that trigger alerts on
+substantial deviations."  Two monitor types: fixed thresholds (device
+health floors/ceilings) and rolling z-score deviation (regressions against
+recent history).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dashboard import TimeSeries
+
+
+@dataclass(frozen=True)
+class Alert:
+    monitor: str
+    series: str
+    time_s: float
+    value: float
+    message: str
+
+
+class ThresholdMonitor:
+    """Fires when a series sample leaves ``[lower, upper]``."""
+
+    def __init__(
+        self,
+        name: str,
+        lower: float | None = None,
+        upper: float | None = None,
+    ):
+        if lower is None and upper is None:
+            raise ValueError("at least one bound required")
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+
+    def check(self, series: TimeSeries) -> list[Alert]:
+        alerts = []
+        for t, v in zip(series.times, series.values):
+            if self.lower is not None and v < self.lower:
+                alerts.append(
+                    Alert(self.name, series.name, t, v, f"{v:.4g} < {self.lower:.4g}")
+                )
+            elif self.upper is not None and v > self.upper:
+                alerts.append(
+                    Alert(self.name, series.name, t, v, f"{v:.4g} > {self.upper:.4g}")
+                )
+        return alerts
+
+
+class DeviationMonitor:
+    """Rolling z-score monitor: flags substantial deviations from recent
+    history (the paper's drop-out-rate regression example)."""
+
+    def __init__(self, name: str, window: int = 20, z_threshold: float = 4.0):
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        self.name = name
+        self.window = window
+        self.z_threshold = z_threshold
+
+    def check(self, series: TimeSeries) -> list[Alert]:
+        alerts: list[Alert] = []
+        history: deque[float] = deque(maxlen=self.window)
+        for t, v in zip(series.times, series.values):
+            if len(history) >= 3:
+                mean = float(np.mean(history))
+                std = float(np.std(history))
+                if std > 1e-12:
+                    z = (v - mean) / std
+                    if abs(z) > self.z_threshold:
+                        alerts.append(
+                            Alert(
+                                self.name,
+                                series.name,
+                                t,
+                                v,
+                                f"z={z:.1f} vs window mean {mean:.4g}",
+                            )
+                        )
+            history.append(v)
+        return alerts

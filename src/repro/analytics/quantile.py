@@ -1,0 +1,173 @@
+"""Approximate order statistics and moments (Sec. 7.4).
+
+"The metrics themselves are summaries of device reports within the round
+via approximate order statistics and moments like mean."  We implement the
+P² algorithm (Jain & Chlamtac, 1985): a constant-memory streaming quantile
+estimator with five markers, plus Welford moments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class P2Quantile:
+    """Single-quantile streaming estimator using the P² algorithm."""
+
+    def __init__(self, quantile: float):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0,1), got {quantile}")
+        self.quantile = quantile
+        self._initial: list[float] = []
+        # marker heights q, positions n, desired positions np, increments dn
+        self._q = np.zeros(5)
+        self._n = np.zeros(5)
+        self._np = np.zeros(5)
+        self._dn = np.zeros(5)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        if self._count <= 5:
+            self._initial.append(value)
+            if self._count == 5:
+                self._bootstrap()
+            return
+        self._insert(value)
+
+    def _bootstrap(self) -> None:
+        p = self.quantile
+        self._q = np.array(sorted(self._initial))
+        self._n = np.arange(1.0, 6.0)
+        self._np = np.array([1, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5])
+        self._dn = np.array([0, p / 2, p, (1 + p) / 2, 1])
+
+    def _insert(self, value: float) -> None:
+        q, n = self._q, self._n
+        if value < q[0]:
+            q[0] = value
+            k = 0
+        elif value >= q[4]:
+            q[4] = value
+            k = 3
+        else:
+            k = int(np.searchsorted(q, value, side="right")) - 1
+            k = min(max(k, 0), 3)
+        n[k + 1 :] += 1
+        self._np += self._dn
+        # Adjust interior markers with parabolic (or linear) interpolation.
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (d <= -1 and n[i - 1] - n[i] < -1):
+                sign = 1.0 if d >= 1 else -1.0
+                candidate = self._parabolic(i, sign)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, sign)
+                n[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(sign)
+        return q[i] + sign * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples observed")
+        if self._count <= 5:
+            data = sorted(self._initial)
+            idx = min(int(self.quantile * len(data)), len(data) - 1)
+            return data[idx]
+        return float(self._q[2])
+
+
+class StreamingMoments:
+    """Welford mean/variance plus min/max."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples observed")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+
+@dataclass
+class MetricSummary:
+    """The paper's per-round metric summary: moments + order statistics."""
+
+    moments: StreamingMoments
+    p25: P2Quantile
+    p50: P2Quantile
+    p75: P2Quantile
+    p95: P2Quantile
+
+    @classmethod
+    def empty(cls) -> "MetricSummary":
+        return cls(
+            moments=StreamingMoments(),
+            p25=P2Quantile(0.25),
+            p50=P2Quantile(0.50),
+            p75=P2Quantile(0.75),
+            p95=P2Quantile(0.95),
+        )
+
+    def update(self, value: float) -> None:
+        self.moments.update(value)
+        for sketch in (self.p25, self.p50, self.p75, self.p95):
+            sketch.update(value)
+
+    def to_dict(self) -> dict[str, float]:
+        if self.moments.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.moments.count,
+            "mean": self.moments.mean,
+            "std": self.moments.std,
+            "min": self.moments.min,
+            "max": self.moments.max,
+            "p25": self.p25.value(),
+            "p50": self.p50.value(),
+            "p75": self.p75.value(),
+            "p95": self.p95.value(),
+        }

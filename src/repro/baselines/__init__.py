@@ -1,0 +1,11 @@
+"""Baselines the paper's evaluation compares against.
+
+Sec. 8's next-word numbers compare the FL-trained RNN with (a) a baseline
+n-gram model (13.0% top-1 recall) and (b) a server-trained RNN on proxy
+data.  Both are implemented here.
+"""
+
+from repro.baselines.ngram import NGramLanguageModel
+from repro.baselines.central import CentralizedTrainer
+
+__all__ = ["NGramLanguageModel", "CentralizedTrainer"]

@@ -1,0 +1,62 @@
+"""Interpolated bigram/unigram baseline language model.
+
+The Gboard baseline of Sec. 8: a count-based n-gram model.  Top-1 recall
+= how often its argmax next-word prediction matches the typed word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datasets import ClientDataset
+
+
+class NGramLanguageModel:
+    """Bigram model with unigram back-off and add-k smoothing."""
+
+    def __init__(
+        self, vocab_size: int, interpolation: float = 0.75, add_k: float = 0.1
+    ):
+        if not 0.0 <= interpolation <= 1.0:
+            raise ValueError("interpolation must be in [0, 1]")
+        if add_k < 0:
+            raise ValueError("add_k must be >= 0")
+        self.vocab_size = vocab_size
+        self.interpolation = interpolation
+        self.add_k = add_k
+        self._bigram = np.zeros((vocab_size, vocab_size))
+        self._unigram = np.zeros(vocab_size)
+        self.total_tokens = 0
+
+    def fit(self, clients: list[ClientDataset]) -> "NGramLanguageModel":
+        """Count bigrams (context last token -> next) and unigrams.
+
+        Note: a count-based model needs centrally pooled counts; the paper
+        uses it as the pre-FL status quo baseline.
+        """
+        for client in clients:
+            prev = np.asarray(client.x)[:, -1]
+            nxt = np.asarray(client.y)
+            np.add.at(self._bigram, (prev, nxt), 1.0)
+            np.add.at(self._unigram, nxt, 1.0)
+            self.total_tokens += nxt.size
+        return self
+
+    def next_word_probs(self, prev_token: np.ndarray) -> np.ndarray:
+        """P(next | prev) for an array of previous tokens."""
+        prev_token = np.asarray(prev_token)
+        big = self._bigram[prev_token] + self.add_k
+        big /= big.sum(axis=-1, keepdims=True)
+        uni = self._unigram + self.add_k
+        uni = uni / uni.sum()
+        return self.interpolation * big + (1.0 - self.interpolation) * uni
+
+    def predict(self, contexts: np.ndarray) -> np.ndarray:
+        return self.next_word_probs(np.asarray(contexts)[:, -1]).argmax(axis=-1)
+
+    def top_k_recall(self, data: ClientDataset, k: int = 1) -> float:
+        probs = self.next_word_probs(np.asarray(data.x)[:, -1])
+        if k == 1:
+            return float(np.mean(probs.argmax(axis=-1) == data.y))
+        topk = np.argpartition(-probs, k - 1, axis=-1)[:, :k]
+        return float(np.mean((topk == data.y[:, None]).any(axis=1)))

@@ -1,0 +1,32 @@
+"""Update compression (Sec. 11 "Bandwidth").
+
+"To reduce the bandwidth necessary, we implement compression techniques
+such as those of Konečný et al. (2016b) and Caldas et al. (2018)."
+
+Three composable codecs on flat update vectors:
+
+* :class:`QuantizationCodec` — stochastic (unbiased) b-bit uniform
+  quantization;
+* :class:`RotationCodec` — randomized Hadamard rotation, flattening the
+  coordinate distribution so quantization error drops;
+* :class:`SubsamplingCodec` — random sparsification with unbiased
+  rescaling.
+
+Codecs report their wire size so the traffic benchmarks (Fig. 9 and the
+compression ablation) account bytes honestly.
+"""
+
+from repro.compression.codec import CodecPipeline, IdentityCodec, UpdateCodec
+from repro.compression.quantization import QuantizationCodec
+from repro.compression.rotation import RotationCodec, hadamard_transform
+from repro.compression.subsampling import SubsamplingCodec
+
+__all__ = [
+    "UpdateCodec",
+    "IdentityCodec",
+    "CodecPipeline",
+    "QuantizationCodec",
+    "RotationCodec",
+    "hadamard_transform",
+    "SubsamplingCodec",
+]

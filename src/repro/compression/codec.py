@@ -1,0 +1,104 @@
+"""Codec interface and composition."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+class UpdateCodec(abc.ABC):
+    """Lossy (or not) codec over flat float64 update vectors.
+
+    ``encode`` returns an opaque payload plus its wire size in bytes;
+    ``decode`` reconstructs a float vector.
+    """
+
+    @abc.abstractmethod
+    def encode(
+        self, vector: np.ndarray, rng: np.random.Generator
+    ) -> tuple[Any, int]:
+        ...
+
+    @abc.abstractmethod
+    def decode(self, payload: Any) -> np.ndarray:
+        ...
+
+    def roundtrip(
+        self, vector: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, int]:
+        payload, nbytes = self.encode(vector, rng)
+        return self.decode(payload), nbytes
+
+
+class VectorTransform(abc.ABC):
+    """An invertible change of basis applied before a final codec.
+
+    Transforms are parameterized by plan-level constants (seeds), so they
+    cost nothing on the wire.
+    """
+
+    @abc.abstractmethod
+    def transform(self, vector: np.ndarray) -> np.ndarray:
+        ...
+
+    @abc.abstractmethod
+    def inverse(self, transformed: np.ndarray, original_len: int) -> np.ndarray:
+        ...
+
+
+class IdentityCodec(UpdateCodec):
+    """No compression: 8 bytes per coordinate."""
+
+    def encode(self, vector: np.ndarray, rng: np.random.Generator):
+        vector = np.asarray(vector, dtype=np.float64)
+        return vector.copy(), vector.size * 8
+
+    def decode(self, payload: Any) -> np.ndarray:
+        return np.asarray(payload, dtype=np.float64)
+
+
+@dataclass
+class CodecPipeline(UpdateCodec):
+    """Zero or more :class:`VectorTransform` stages, then one final codec.
+
+    Encode: transform forward through every stage, then encode with the
+    final codec.  Decode: final-decode, then invert the transforms in
+    reverse order.  The wire size is the final codec's payload size.
+    """
+
+    transforms: list[VectorTransform]
+    final: UpdateCodec
+
+    def __init__(self, stages: list):
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        *head, tail = stages
+        for stage in head:
+            if not isinstance(stage, VectorTransform):
+                raise TypeError(
+                    f"intermediate stage {stage!r} must be a VectorTransform"
+                )
+        if not isinstance(tail, UpdateCodec):
+            raise TypeError(f"final stage {tail!r} must be an UpdateCodec")
+        self.transforms = list(head)
+        self.final = tail
+
+    def encode(self, vector: np.ndarray, rng: np.random.Generator):
+        current = np.asarray(vector, dtype=np.float64)
+        lengths = []
+        for transform in self.transforms:
+            lengths.append(current.size)
+            current = transform.transform(current)
+        payload, nbytes = self.final.encode(current, rng)
+        return {"payload": payload, "lengths": lengths}, nbytes
+
+    def decode(self, payload: Any) -> np.ndarray:
+        current = self.final.decode(payload["payload"])
+        for transform, length in zip(
+            reversed(self.transforms), reversed(payload["lengths"])
+        ):
+            current = transform.inverse(current, length)
+        return current

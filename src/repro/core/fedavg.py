@@ -1,0 +1,202 @@
+"""Federated Averaging (Algorithm 1, Appendix B).
+
+The server selects ``1.3K`` eligible clients, waits for updates from ``K``,
+and applies the weighted average of the deltas::
+
+    w̄_t = Σ_k Δ^k         (sum of weighted updates)
+    n̄_t = Σ_k n^k         (sum of weights)
+    w_{t+1} = w_t + w̄_t / n̄_t
+
+``ClientUpdate`` runs ``epochs`` of minibatch SGD from the global weights
+and returns ``Δ = n · (w - w_init)`` — the *weighted* delta, which the
+paper notes is more amenable to compression than raw weights, and whose
+sum-only structure is exactly what Secure Aggregation needs (Sec. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.datasets import ClientDataset
+from repro.nn.models import Model
+from repro.nn.optimizers import SGD, SGDConfig
+from repro.nn.parameters import Parameters
+
+
+@dataclass
+class ClientUpdateResult:
+    """What one client reports back (Sec. 2.2 "Reporting")."""
+
+    client_id: str
+    delta: Parameters            # n * (w_local - w_init)
+    weight: float                # n = number of local examples used
+    num_examples: int
+    mean_loss: float             # mean training loss over local steps
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(
+                f"client {self.client_id}: update weight must be positive"
+            )
+
+
+def client_update(
+    model: Model,
+    global_params: Parameters,
+    dataset: ClientDataset,
+    epochs: int,
+    batch_size: int,
+    learning_rate: float,
+    rng: np.random.Generator,
+    max_examples: int | None = None,
+    clip_update_norm: float | None = None,
+) -> ClientUpdateResult:
+    """``ClientUpdate(w)`` from Algorithm 1: local SGD, weighted delta out."""
+    data = dataset
+    if max_examples is not None and dataset.num_examples > max_examples:
+        idx = rng.choice(dataset.num_examples, size=max_examples, replace=False)
+        data = dataset.subset(idx)
+    n = data.num_examples
+    if n == 0:
+        raise ValueError(f"client {dataset.client_id} has no examples")
+    optimizer = SGD(SGDConfig(learning_rate=learning_rate))
+    w = global_params
+    losses = []
+    steps = 0
+    for xb, yb in data.batches(batch_size, epochs, rng):
+        loss, grads = model.loss_and_grad(w, xb, yb)
+        w = optimizer.step(w, grads)
+        losses.append(loss)
+        steps += 1
+    delta = (w - global_params).scale(float(n))
+    if clip_update_norm is not None:
+        delta = delta.clip_by_norm(clip_update_norm * n)
+    return ClientUpdateResult(
+        client_id=dataset.client_id,
+        delta=delta,
+        weight=float(n),
+        num_examples=n,
+        mean_loss=float(np.mean(losses)),
+        steps=steps,
+    )
+
+
+@dataclass(frozen=True)
+class FedAvgConfig:
+    """Hyperparameters of the server loop."""
+
+    clients_per_round: int = 10           # K
+    epochs: int = 1
+    batch_size: int = 16
+    learning_rate: float = 0.1
+    server_learning_rate: float = 1.0     # scales the averaged delta
+    max_examples_per_client: int | None = None
+    clip_update_norm: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.clients_per_round <= 0:
+            raise ValueError("clients_per_round must be positive")
+        if self.server_learning_rate <= 0:
+            raise ValueError("server_learning_rate must be positive")
+
+
+@dataclass
+class RoundStats:
+    """Per-round training telemetry."""
+
+    round_number: int
+    num_clients: int
+    total_examples: int
+    mean_client_loss: float
+    update_norm: float
+    eval_metrics: dict[str, float] = field(default_factory=dict)
+
+
+class FederatedAveraging:
+    """The FedAvg server loop over in-memory clients.
+
+    This is the algorithm layer: no networking, no failures — those live in
+    the protocol/actor layers, which call :meth:`aggregate` with whatever
+    updates survived the round.
+    """
+
+    def __init__(self, model: Model, config: FedAvgConfig | None = None):
+        self.model = model
+        self.config = config or FedAvgConfig()
+
+    def initialize(self, rng: np.random.Generator) -> Parameters:
+        return self.model.init(rng)
+
+    def aggregate(
+        self, global_params: Parameters, updates: Sequence[ClientUpdateResult]
+    ) -> Parameters:
+        """Apply Algorithm 1's combination rule to surviving updates."""
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        delta_sum = updates[0].delta.copy()
+        weight_sum = updates[0].weight
+        for u in updates[1:]:
+            delta_sum = delta_sum + u.delta
+            weight_sum += u.weight
+        avg_delta = delta_sum.scale(1.0 / weight_sum)
+        return global_params.axpy(self.config.server_learning_rate, avg_delta)
+
+    def run_round(
+        self,
+        round_number: int,
+        global_params: Parameters,
+        clients: Sequence[ClientDataset],
+        rng: np.random.Generator,
+    ) -> tuple[Parameters, RoundStats]:
+        """Select K clients uniformly, run ClientUpdate on each, aggregate."""
+        cfg = self.config
+        k = min(cfg.clients_per_round, len(clients))
+        if k == 0:
+            raise ValueError("no clients available")
+        chosen_idx = rng.choice(len(clients), size=k, replace=False)
+        updates = [
+            client_update(
+                self.model,
+                global_params,
+                clients[i],
+                epochs=cfg.epochs,
+                batch_size=cfg.batch_size,
+                learning_rate=cfg.learning_rate,
+                rng=rng,
+                max_examples=cfg.max_examples_per_client,
+                clip_update_norm=cfg.clip_update_norm,
+            )
+            for i in chosen_idx
+        ]
+        new_params = self.aggregate(global_params, updates)
+        stats = RoundStats(
+            round_number=round_number,
+            num_clients=k,
+            total_examples=sum(u.num_examples for u in updates),
+            mean_client_loss=float(np.mean([u.mean_loss for u in updates])),
+            update_norm=(new_params - global_params).l2_norm(),
+        )
+        return new_params, stats
+
+    def fit(
+        self,
+        clients: Sequence[ClientDataset],
+        num_rounds: int,
+        rng: np.random.Generator,
+        initial_params: Parameters | None = None,
+        eval_fn: Callable[[Parameters, int], dict[str, float]] | None = None,
+        eval_every: int = 10,
+    ) -> tuple[Parameters, list[RoundStats]]:
+        """Run ``num_rounds`` of FedAvg; optionally evaluate periodically."""
+        params = initial_params if initial_params is not None else self.initialize(rng)
+        history: list[RoundStats] = []
+        for t in range(1, num_rounds + 1):
+            params, stats = self.run_round(t, params, clients, rng)
+            if eval_fn is not None and (t % eval_every == 0 or t == num_rounds):
+                stats.eval_metrics = eval_fn(params, t)
+            history.append(stats)
+        return params, history

@@ -1,0 +1,59 @@
+"""Partitioners: pooled data -> federated clients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datasets import ClientDataset
+
+
+def iid_partition(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_clients: int,
+    rng: np.random.Generator,
+) -> list[ClientDataset]:
+    """Uniformly shuffle and split into equal-ish shards."""
+    n = x.shape[0]
+    if num_clients <= 0 or num_clients > n:
+        raise ValueError(f"num_clients must be in [1, {n}], got {num_clients}")
+    order = rng.permutation(n)
+    shards = np.array_split(order, num_clients)
+    return [
+        ClientDataset(f"client-{i}", x[idx], y[idx])
+        for i, idx in enumerate(shards)
+    ]
+
+
+def dirichlet_partition(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+    min_examples: int = 1,
+) -> list[ClientDataset]:
+    """Label-skew non-IID split: class c's examples are spread across
+    clients with Dirichlet(alpha) proportions.  Small alpha = heavy skew.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    y = np.asarray(y)
+    classes = np.unique(y)
+    assignments: list[list[int]] = [[] for _ in range(num_clients)]
+    for c in classes:
+        idx = np.flatnonzero(y == c)
+        idx = rng.permutation(idx)
+        proportions = rng.dirichlet(np.full(num_clients, alpha))
+        cuts = (np.cumsum(proportions) * len(idx)).astype(int)[:-1]
+        for client_id, shard in enumerate(np.split(idx, cuts)):
+            assignments[client_id].extend(shard.tolist())
+    clients = []
+    for i, idx_list in enumerate(assignments):
+        if len(idx_list) < min_examples:
+            continue
+        idx = np.asarray(sorted(idx_list))
+        clients.append(ClientDataset(f"client-{i}", x[idx], y[idx]))
+    if not clients:
+        raise ValueError("partition produced no clients with enough data")
+    return clients

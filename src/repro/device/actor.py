@@ -1,0 +1,403 @@
+"""The simulated device: an actor driving the full participation lifecycle.
+
+One :class:`DeviceActor` per phone.  It owns the eligibility process
+(idle/charging/unmetered, diurnally modulated), the periodic job schedule,
+check-in/pace-steering behaviour, plan download, local training, update
+upload, and every Table 1 event along the way.  Interruption semantics
+follow Sec. 3: "Once started, the FL runtime will abort, freeing the
+allocated resources, if these conditions are no longer met."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.actors.kernel import Actor, ActorRef
+from repro.actors import messages as msg
+from repro.analytics.events import DeviceEvent, EventLog
+from repro.device.attestation import AttestationService
+from repro.device.runtime import ComputeModel, LocalTrainer, TrainResult
+from repro.device.scheduler import JobSchedule, MultiTenantScheduler
+from repro.sim.diurnal import AvailabilityProcess
+from repro.sim.network import NetworkConditions, NetworkModel, TransferDirection
+from repro.sim.population import DeviceProfile
+
+
+class DeviceState(enum.Enum):
+    SLEEPING = "sleeping"          # ineligible
+    IDLE = "idle"                  # eligible, between check-ins
+    WAITING = "waiting"            # connected to a Selector, not selected
+    PARTICIPATING = "participating"  # configured; downloading/training/uploading
+
+
+@dataclass
+class DeviceHealthStats:
+    """PII-free health counters logged to the cloud (Sec. 5).
+
+    "the device state in which training was activated, how often and how
+    long it ran, how much memory it used, which errors where detected,
+    which phone model / OS / FL runtime version was used" — aggregated by
+    :meth:`repro.system.FLSystem.device_health_summary`.
+    """
+
+    checkins: int = 0
+    sessions_started: int = 0
+    train_seconds: float = 0.0
+    peak_memory_mb: float = 0.0
+    errors: dict[str, int] = field(default_factory=dict)
+
+    def record_error(self, reason: str) -> None:
+        self.errors[reason] = self.errors.get(reason, 0) + 1
+
+
+class DeviceActor(Actor):
+    """One phone in the fleet."""
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        availability: AvailabilityProcess,
+        network: NetworkModel,
+        conditions: NetworkConditions,
+        selectors: list[ActorRef],
+        population_name: str,
+        trainer: LocalTrainer,
+        compute: ComputeModel,
+        attestation: AttestationService,
+        event_log: EventLog,
+        rng: np.random.Generator,
+        job: JobSchedule | None = None,
+        compute_error_prob: float = 0.005,
+        ack_timeout_s: float = 60.0,
+    ):
+        self.profile = profile
+        self.availability = availability
+        self.network = network
+        self.conditions = conditions
+        self.selectors = selectors
+        self.population_name = population_name
+        self.trainer = trainer
+        self.compute = compute
+        self.attestation = attestation
+        self.event_log = event_log
+        self.rng = rng
+        self.job = job or JobSchedule()
+        self.compute_error_prob = compute_error_prob
+        self.ack_timeout_s = ack_timeout_s
+
+        self.state = DeviceState.SLEEPING
+        self.eligible = False
+        self.scheduler = MultiTenantScheduler()
+        self.health = DeviceHealthStats()
+        self.rounds_completed = 0
+        self.rounds_rejected_report = 0
+        self.rounds_interrupted = 0
+        self._selector: ActorRef | None = None
+        self._round_id: int | None = None
+        self._aggregator: ActorRef | None = None
+        self._generation = 0
+        self._checkin_event = None
+        self._pending_window_t: float | None = None
+        self._last_checkin_t: float | None = None
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def device_id(self) -> int:
+        return self.profile.device_id
+
+    def _log(self, event: DeviceEvent, **attrs: object) -> None:
+        self.event_log.log(
+            self.now, self.device_id, self._round_id or 0, event, **attrs
+        )
+
+    def _transfer(self, nbytes: int, direction: TransferDirection) -> tuple[float, bool]:
+        return self.network.transfer(self.conditions, nbytes, direction, self.rng)
+
+    # -- lifecycle ------------------------------------------------------------
+    def on_start(self) -> None:
+        self.eligible = self.availability.is_initially_eligible(self.now)
+        self._schedule_eligibility_flip()
+        if self.eligible:
+            self.state = DeviceState.IDLE
+            # Stagger the fleet's first check-ins across the job interval.
+            self._schedule_checkin(self.rng.uniform(1.0, self.job.base_interval_s))
+        else:
+            self.state = DeviceState.SLEEPING
+
+    def _schedule_eligibility_flip(self) -> None:
+        if self.eligible:
+            delay = self.availability.time_until_ineligible(self.now)
+        else:
+            delay = self.availability.time_until_eligible(self.now)
+        self.schedule(delay, self._flip_eligibility)
+
+    def _flip_eligibility(self) -> None:
+        self.eligible = not self.eligible
+        self._schedule_eligibility_flip()
+        if not self.eligible:
+            self._on_became_ineligible()
+        else:
+            self._on_became_eligible()
+
+    def _on_became_ineligible(self) -> None:
+        if self.state is DeviceState.WAITING and self._selector is not None:
+            self.tell(self._selector, msg.DeviceDisconnect(self.device_id))
+        elif self.state is DeviceState.PARTICIPATING:
+            # Sec. 3: the runtime aborts when conditions are no longer met.
+            self._log(DeviceEvent.INTERRUPTED, reason="eligibility_change")
+            self.rounds_interrupted += 1
+            if self._aggregator is not None and self._round_id is not None:
+                self.tell(
+                    self._aggregator,
+                    msg.DeviceDropped(
+                        device_id=self.device_id,
+                        round_id=self._round_id,
+                        reason="eligibility_change",
+                    ),
+                )
+            self._end_participation()
+        self.state = DeviceState.SLEEPING
+
+    def _on_became_eligible(self) -> None:
+        self.state = DeviceState.IDLE
+        if self._pending_window_t is not None and self._pending_window_t > self.now:
+            self._schedule_checkin(self._pending_window_t - self.now)
+        else:
+            self._schedule_checkin(self.rng.uniform(1.0, 120.0))
+
+    # -- check-in ------------------------------------------------------------
+    def _schedule_checkin(self, delay: float) -> None:
+        if self._checkin_event is not None:
+            self._checkin_event.cancel()
+        self._checkin_event = self.schedule(max(delay, 0.0), self._attempt_checkin)
+
+    def _attempt_checkin(self) -> None:
+        if not self.eligible or self.state is not DeviceState.IDLE:
+            return
+        self._pending_window_t = None
+        self.scheduler.enqueue(self.population_name)
+        if self.scheduler.try_start() != self.population_name:
+            # Another tenant is training; retry after its session.
+            self._schedule_checkin(self.job.next_delay(self.rng))
+            return
+        self._selector = self.selectors[int(self.rng.integers(len(self.selectors)))]
+        self.state = DeviceState.WAITING
+        self.health.checkins += 1
+        self._round_id = None
+        # The round id is unknown until selection; the check-in event is
+        # logged retroactively (at its true time) once configured, so
+        # Table 1 sessions are keyed by the round they belong to.
+        self._last_checkin_t = self.now
+        token = self.attestation.issue_token(self.device_id, self.profile.genuine)
+        self.tell(
+            self._selector,
+            msg.DeviceCheckin(
+                device_id=self.device_id,
+                population_name=self.population_name,
+                runtime_version=self.profile.runtime_version,
+                attestation_token=token,
+                device_ref=self.ref,
+            ),
+            delay=self.conditions.rtt_s,
+        )
+
+    # -- message handling ------------------------------------------------------
+    def receive(self, sender: Optional[ActorRef], message: Any) -> None:
+        if isinstance(message, msg.CheckinRejected):
+            self._on_rejected(message)
+        elif isinstance(message, msg.ConfigureDevice):
+            self._on_configure(message)
+        elif isinstance(message, msg.ReportAck):
+            self._on_report_ack(message)
+        elif isinstance(message, msg.ConnectionReset):
+            self._on_connection_reset()
+
+    def _on_connection_reset(self) -> None:
+        """The selector's end of the stream died; retry another one."""
+        if self.state is not DeviceState.WAITING:
+            return
+        self.scheduler.abort()
+        self._selector = None
+        self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        if self.eligible:
+            self._schedule_checkin(self.rng.uniform(30.0, 180.0))
+
+    def _on_rejected(self, rejected: msg.CheckinRejected) -> None:
+        if self.state is not DeviceState.WAITING:
+            return
+        self.scheduler.abort()
+        self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        self._selector = None
+        # Pace steering: "The device attempts to respect this, modulo its
+        # eligibility."
+        reconnect_at = rejected.window.sample(self.rng)
+        self._pending_window_t = reconnect_at
+        if self.eligible:
+            self._schedule_checkin(max(reconnect_at - self.now, 1.0))
+
+    # -- participation pipeline ----------------------------------------------------
+    def _on_configure(self, configure: msg.ConfigureDevice) -> None:
+        if self.state is not DeviceState.WAITING or not self.eligible:
+            self.tell(
+                configure.aggregator,
+                msg.DeviceDropped(
+                    device_id=self.device_id,
+                    round_id=configure.round_id,
+                    reason="gone_before_configuration",
+                ),
+            )
+            return
+        self.state = DeviceState.PARTICIPATING
+        self.health.sessions_started += 1
+        self.health.peak_memory_mb = max(
+            self.health.peak_memory_mb,
+            3 * configure.checkpoint.nbytes / 1e6,  # params+grads+activations
+        )
+        self._round_id = configure.round_id
+        self._aggregator = configure.aggregator
+        checkin_t = (
+            self._last_checkin_t if self._last_checkin_t is not None else self.now
+        )
+        self.event_log.log(
+            checkin_t, self.device_id, configure.round_id, DeviceEvent.CHECKIN
+        )
+        generation = self._generation
+        nbytes = configure.plan.nbytes + configure.checkpoint.nbytes
+        duration, ok = self._transfer(nbytes, TransferDirection.DOWNLOAD)
+        self.schedule(duration, self._on_downloaded, generation, ok, configure)
+
+    def _guard(self, generation: int) -> bool:
+        return (
+            generation == self._generation
+            and self.state is DeviceState.PARTICIPATING
+        )
+
+    def _on_downloaded(
+        self, generation: int, ok: bool, configure: msg.ConfigureDevice
+    ) -> None:
+        if not self._guard(generation):
+            return
+        if not ok:
+            self._log(DeviceEvent.ERROR, reason="download_failed")
+            self._drop("network_download")
+            return
+        self._log(DeviceEvent.DOWNLOADED_PLAN)
+        self._log(DeviceEvent.TRAIN_STARTED)
+        try:
+            result = self.trainer.train(
+                configure.plan, configure.checkpoint, self.now, self.rng
+            )
+        except Exception:
+            # Sec. 5's "model issue" shape: error right after load (-v[*).
+            self._log(DeviceEvent.ERROR, reason="plan_execution_failed")
+            self._drop("compute_error")
+            return
+        train_time = self.compute.train_time_s(
+            result.train_compute_units, self.profile.speed_factor
+        )
+        self.health.train_seconds += train_time
+        if self.rng.random() < self.compute_error_prob:
+            self.schedule(
+                float(self.rng.uniform(0.0, train_time)),
+                self._on_train_error,
+                generation,
+            )
+            return
+        self.schedule(train_time, self._on_trained, generation, result)
+
+    def _on_train_error(self, generation: int) -> None:
+        if not self._guard(generation):
+            return
+        self._log(DeviceEvent.ERROR, reason="compute_error")
+        self._drop("compute_error")
+
+    def _on_trained(self, generation: int, result: TrainResult) -> None:
+        if not self._guard(generation):
+            return
+        self._log(DeviceEvent.TRAIN_COMPLETED)
+        self._log(DeviceEvent.UPLOAD_STARTED)
+        duration, ok = self._transfer(result.upload_nbytes, TransferDirection.UPLOAD)
+        if not ok:
+            self.schedule(duration, self._on_upload_failed, generation)
+        else:
+            self.schedule(duration, self._on_uploaded, generation, result)
+
+    def _on_upload_failed(self, generation: int) -> None:
+        if not self._guard(generation):
+            return
+        self._log(DeviceEvent.ERROR, reason="upload_failed")
+        self._drop("network_upload")
+
+    def _on_uploaded(self, generation: int, result: TrainResult) -> None:
+        if not self._guard(generation) or self._aggregator is None:
+            return
+        assert self._round_id is not None
+        self.tell(
+            self._aggregator,
+            msg.DeviceReport(
+                device_id=self.device_id,
+                round_id=self._round_id,
+                delta_vector=result.delta_vector,
+                weight=result.weight,
+                num_examples=result.num_examples,
+                train_metrics=result.metrics,
+                upload_nbytes=result.upload_nbytes,
+            ),
+        )
+        # If the server never answers (round torn down), treat as rejected.
+        self.schedule(self.ack_timeout_s, self._on_ack_timeout, self._generation)
+
+    def _on_report_ack(self, ack: msg.ReportAck) -> None:
+        if self.state is not DeviceState.PARTICIPATING or ack.round_id != self._round_id:
+            return
+        if ack.accepted:
+            self._log(DeviceEvent.UPLOAD_COMPLETED)
+            self.rounds_completed += 1
+        else:
+            self._log(DeviceEvent.UPLOAD_REJECTED)
+            self.rounds_rejected_report += 1
+        self._finish_participation()
+
+    def _on_ack_timeout(self, generation: int) -> None:
+        if not self._guard(generation):
+            return
+        self._log(DeviceEvent.UPLOAD_REJECTED, reason="ack_timeout")
+        self.rounds_rejected_report += 1
+        self._finish_participation()
+
+    # -- participation teardown -----------------------------------------------------
+    def _drop(self, reason: str) -> None:
+        self.health.record_error(reason)
+        if self._aggregator is not None and self._round_id is not None:
+            self.tell(
+                self._aggregator,
+                msg.DeviceDropped(
+                    device_id=self.device_id,
+                    round_id=self._round_id,
+                    reason=reason,
+                ),
+            )
+        self._finish_participation()
+
+    def _end_participation(self) -> None:
+        """Invalidate in-flight work (interruption path)."""
+        self._generation += 1
+        if self.scheduler.running == self.population_name:
+            self.scheduler.abort()
+        self._selector = None
+        self._aggregator = None
+
+    def _finish_participation(self) -> None:
+        self._generation += 1
+        if self.scheduler.running == self.population_name:
+            self.scheduler.finish(self.population_name)
+        self._selector = None
+        self._aggregator = None
+        self._round_id = None
+        self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        if self.eligible:
+            self._schedule_checkin(self.job.next_delay(self.rng))

@@ -1,0 +1,79 @@
+"""Eligibility criteria (Secs. 2.2, 3).
+
+"The FL runtime requests that the job scheduler only invoke the job when
+the phone is idle, charging, and connected to an unmetered network such as
+WiFi.  Once started, the FL runtime will abort, freeing the allocated
+resources, if these conditions are no longer met."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceConditions:
+    """Instantaneous device state relevant to eligibility."""
+
+    idle: bool
+    charging: bool
+    unmetered_network: bool
+
+    @property
+    def summary(self) -> str:
+        flags = []
+        if self.idle:
+            flags.append("idle")
+        if self.charging:
+            flags.append("charging")
+        if self.unmetered_network:
+            flags.append("unmetered")
+        return "+".join(flags) if flags else "none"
+
+
+@dataclass(frozen=True)
+class EligibilityPolicy:
+    """Which conditions must hold for the runtime to (keep) running."""
+
+    require_idle: bool = True
+    require_charging: bool = True
+    require_unmetered: bool = True
+    min_memory_mb: int = 2048      # Sec. 11 "Bias": 2 GB deployment floor
+    min_os_version: int = 26
+
+    def is_eligible(self, conditions: DeviceConditions) -> bool:
+        if self.require_idle and not conditions.idle:
+            return False
+        if self.require_charging and not conditions.charging:
+            return False
+        if self.require_unmetered and not conditions.unmetered_network:
+            return False
+        return True
+
+    def device_supported(self, memory_mb: int, os_version: int) -> bool:
+        """Static deployment gate: the phone classes we ship code to."""
+        return memory_mb >= self.min_memory_mb and os_version >= self.min_os_version
+
+
+def sample_conditions(
+    eligible: bool, rng: np.random.Generator
+) -> DeviceConditions:
+    """Sample a concrete conditions triple consistent with the aggregate
+    eligibility bit from the availability process.
+
+    When ineligible, exactly which condition failed is sampled (users
+    interacting with the phone is the most common cause — it drives the
+    daytime drop-out correlation of Fig. 7).
+    """
+    if eligible:
+        return DeviceConditions(idle=True, charging=True, unmetered_network=True)
+    failure = rng.random()
+    if failure < 0.6:
+        return DeviceConditions(idle=False, charging=rng.random() < 0.5,
+                                unmetered_network=True)
+    if failure < 0.85:
+        return DeviceConditions(idle=True, charging=False,
+                                unmetered_network=True)
+    return DeviceConditions(idle=True, charging=True, unmetered_network=False)

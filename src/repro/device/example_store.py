@@ -1,0 +1,132 @@
+"""Example stores (Sec. 3).
+
+"The device's first responsibility in on-device learning is to maintain a
+repository of locally collected data for model training and evaluation.
+Applications are responsible for making their data available to the FL
+runtime as an example store ... We recommend that applications limit the
+total storage footprint of their example stores, and automatically remove
+old data after a pre-designated expiration time."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.plan import ExampleSelectionCriteria
+
+
+@dataclass(frozen=True)
+class Example:
+    """One labelled training example with its collection timestamp."""
+
+    features: Any
+    label: Any
+    timestamp_s: float
+
+
+class ExampleStore:
+    """A capacity-bounded, TTL-expiring store of labelled examples.
+
+    The production analogue is e.g. "an SQLite database recording action
+    suggestions shown to the user and whether or not those suggestions
+    were accepted".
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        capacity: int = 10_000,
+        ttl_s: float | None = 14 * 86400.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive when set")
+        self.name = name
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._examples: deque[Example] = deque()
+        self.total_added = 0
+        self.total_expired = 0
+        self.total_evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def add(self, features: Any, label: Any, timestamp_s: float) -> None:
+        """Append one example, evicting the oldest if at capacity."""
+        if self._examples and timestamp_s < self._examples[-1].timestamp_s:
+            raise ValueError("examples must be added in timestamp order")
+        self._examples.append(Example(features, label, timestamp_s))
+        self.total_added += 1
+        while len(self._examples) > self.capacity:
+            self._examples.popleft()
+            self.total_evicted += 1
+
+    def add_batch(self, x: np.ndarray, y: np.ndarray, timestamp_s: float) -> None:
+        for features, label in zip(np.asarray(x), np.asarray(y)):
+            self.add(features, label, timestamp_s)
+
+    def expire(self, now_s: float) -> int:
+        """Remove examples older than the TTL; returns how many."""
+        if self.ttl_s is None:
+            return 0
+        removed = 0
+        while self._examples and now_s - self._examples[0].timestamp_s > self.ttl_s:
+            self._examples.popleft()
+            removed += 1
+        self.total_expired += removed
+        return removed
+
+    def query(
+        self, criteria: ExampleSelectionCriteria, now_s: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Select examples per the plan's criteria (Sec. 7.2).
+
+        Applies TTL expiry, the criteria's own max-age filter, the holdout
+        split (last 20% of examples by recency are the held-out set used
+        by evaluation tasks), and the example-count cap (most recent wins).
+        """
+        self.expire(now_s)
+        rows = list(self._examples)
+        if criteria.max_age_s is not None:
+            rows = [e for e in rows if now_s - e.timestamp_s <= criteria.max_age_s]
+        if rows:
+            cut = max(1, int(len(rows) * 0.8)) if len(rows) > 1 else 1
+            rows = rows[cut:] if criteria.holdout else rows[:cut]
+        rows = rows[-criteria.max_examples :]
+        if not rows:
+            return np.zeros((0,)), np.zeros((0,))
+        x = np.stack([np.asarray(e.features) for e in rows])
+        y = np.asarray([e.label for e in rows])
+        return x, y
+
+
+@dataclass
+class ExampleStoreRegistry:
+    """Per-application store registration (the API apps implement).
+
+    "An application configures the FL runtime by providing an FL
+    population name and registering its example stores."
+    """
+
+    _stores: dict[tuple[str, str], ExampleStore] = field(default_factory=dict)
+
+    def register(self, app: str, store: ExampleStore) -> None:
+        key = (app, store.name)
+        if key in self._stores:
+            raise ValueError(f"store {store.name!r} already registered for {app!r}")
+        self._stores[key] = store
+
+    def get(self, app: str, store_name: str = "default") -> ExampleStore:
+        key = (app, store_name)
+        if key not in self._stores:
+            raise KeyError(f"no store {store_name!r} registered for app {app!r}")
+        return self._stores[key]
+
+    def stores_for(self, app: str) -> list[ExampleStore]:
+        return [s for (a, _), s in self._stores.items() if a == app]

@@ -1,0 +1,196 @@
+"""The on-device FL runtime (Sec. 3, "Task Execution").
+
+"If the device has been selected, the FL runtime receives the FL plan,
+queries the app's example store for data requested by the plan, and
+computes plan-determined model updates and metrics."
+
+Two trainer implementations share the :class:`LocalTrainer` interface:
+
+* :class:`RealTrainer` — executes the plan for real: queries an example
+  store, runs the plan's epochs of minibatch SGD via
+  :func:`repro.core.fedavg.client_update`, serializes the weighted delta.
+* :class:`SyntheticTrainer` — produces a structurally identical but
+  numerically trivial update at near-zero cost.  Used by fleet-scale
+  protocol benchmarks (Figs. 5–8) where per-device SGD cost is irrelevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.checkpoint import FLCheckpoint
+from repro.core.config import TaskKind
+from repro.core.datasets import ClientDataset
+from repro.core.fedavg import client_update
+from repro.core.plan import FLPlan
+from repro.device.example_store import ExampleStore
+from repro.nn.models import Model
+
+
+@dataclass
+class TrainResult:
+    """What one plan execution produces."""
+
+    delta_vector: np.ndarray       # flattened weighted delta, n*(w - w0)
+    weight: float                  # n
+    num_examples: int
+    metrics: dict[str, float]
+    upload_nbytes: int
+    train_compute_units: float     # example-epochs of work performed
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Maps training work to on-device wall time.
+
+    ``seconds = compute_units / (examples_per_second * speed_factor)``
+    where compute units are example-epochs.  The default corresponds to a
+    mid-range phone running a small model.
+    """
+
+    examples_per_second: float = 200.0
+    setup_overhead_s: float = 2.0
+
+    def train_time_s(self, compute_units: float, speed_factor: float) -> float:
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        return self.setup_overhead_s + compute_units / (
+            self.examples_per_second * speed_factor
+        )
+
+
+class LocalTrainer(Protocol):
+    """The FL runtime's pluggable plan executor."""
+
+    def train(
+        self, plan: FLPlan, checkpoint: FLCheckpoint, now_s: float,
+        rng: np.random.Generator,
+    ) -> TrainResult:
+        ...
+
+
+@dataclass
+class RealTrainer:
+    """Executes plans against a real model and example store.
+
+    Training plans run local SGD and report a weighted delta; evaluation
+    plans (Sec. 3: "FL plans ... can also encode evaluation tasks") run a
+    forward pass over held-out data and report only metrics — the delta is
+    zero and the upload is metrics-sized.
+    """
+
+    model: Model
+    store: ExampleStore
+    update_compression_ratio: float = 1.0   # >1 when a codec is configured
+
+    def train(
+        self,
+        plan: FLPlan,
+        checkpoint: FLCheckpoint,
+        now_s: float,
+        rng: np.random.Generator,
+    ) -> TrainResult:
+        x, y = self.store.query(plan.device.selection_criteria, now_s)
+        if x.shape[0] == 0:
+            raise RuntimeError("example store returned no data for the plan")
+        params = checkpoint.to_params()
+        cfg = plan.device.training
+        dataset = ClientDataset("local", x, y)
+        if plan.device.kind is not TaskKind.TRAINING:
+            return self._evaluate(params, dataset)
+        update = client_update(
+            self.model,
+            params,
+            dataset,
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            learning_rate=cfg.learning_rate,
+            rng=rng,
+            max_examples=cfg.max_examples,
+            clip_update_norm=cfg.clip_update_norm,
+        )
+        vector = update.delta.to_vector()
+        raw_nbytes = vector.size * 8
+        return TrainResult(
+            delta_vector=vector,
+            weight=update.weight,
+            num_examples=update.num_examples,
+            metrics={"loss": update.mean_loss, "num_examples": update.num_examples},
+            upload_nbytes=int(raw_nbytes / max(self.update_compression_ratio, 1.0)),
+            train_compute_units=float(update.num_examples * cfg.epochs),
+        )
+
+    def _evaluate(self, params, dataset: ClientDataset) -> TrainResult:
+        """Held-out metrics: "analogous to the validation step in data
+        center training" (Sec. 3)."""
+        n = dataset.num_examples
+        loss = self.model.loss(params, dataset.x, dataset.y)
+        logits = self.model.logits(params, dataset.x)
+        accuracy = float(
+            (np.asarray(logits).argmax(axis=-1) == dataset.y).mean()
+        )
+        return TrainResult(
+            delta_vector=np.zeros(params.num_parameters),
+            weight=float(n),
+            num_examples=n,
+            metrics={"eval_loss": loss, "eval_accuracy": accuracy,
+                     "num_examples": n},
+            upload_nbytes=256,  # metrics payload only
+            train_compute_units=0.3 * n,  # forward pass only
+        )
+
+
+@dataclass
+class SyntheticTrainer:
+    """Zero-cost stand-in producing protocol-identical updates.
+
+    The delta is a small random vector (so aggregation math stays
+    non-degenerate); example counts are sampled log-normally to model
+    heterogeneous on-device data volumes.
+    """
+
+    num_parameters: int
+    mean_examples: float = 100.0
+    examples_sigma: float = 0.8
+    update_compression_ratio: float = 3.0
+    delta_scale: float = 1e-3
+    metrics_template: dict[str, float] = field(default_factory=dict)
+
+    def train(
+        self,
+        plan: FLPlan,
+        checkpoint: FLCheckpoint,
+        now_s: float,
+        rng: np.random.Generator,
+    ) -> TrainResult:
+        n = max(
+            1, int(self.mean_examples * np.exp(rng.normal(0.0, self.examples_sigma)))
+        )
+        n = min(n, plan.device.training.max_examples)
+        if plan.device.kind is not TaskKind.TRAINING:
+            metrics = {"eval_loss": float(rng.uniform(0.5, 2.0)),
+                       "num_examples": n}
+            metrics.update(self.metrics_template)
+            return TrainResult(
+                delta_vector=np.zeros(self.num_parameters),
+                weight=float(n),
+                num_examples=n,
+                metrics=metrics,
+                upload_nbytes=256,
+                train_compute_units=0.3 * n,
+            )
+        delta = rng.normal(0.0, self.delta_scale, size=self.num_parameters) * n
+        raw_nbytes = self.num_parameters * 8
+        metrics = {"loss": float(rng.uniform(0.5, 2.0)), "num_examples": n}
+        metrics.update(self.metrics_template)
+        return TrainResult(
+            delta_vector=delta,
+            weight=float(n),
+            num_examples=n,
+            metrics=metrics,
+            upload_nbytes=int(raw_nbytes / max(self.update_compression_ratio, 1.0)),
+            train_compute_units=float(n * plan.device.training.epochs),
+        )

@@ -1,0 +1,90 @@
+"""On-device job scheduling and multi-tenancy (Secs. 3, 11).
+
+Two pieces:
+
+* :class:`JobSchedule` — the JobScheduler-analogue periodic invocation
+  policy (with jitter), which only fires when the device is eligible;
+* :class:`MultiTenantScheduler` — "a simple worker queue for determining
+  which training session to run next (we avoid running training sessions
+  on-device in parallel because of their high resource consumption)"
+  (Sec. 11 "Device Scheduling").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JobSchedule:
+    """Periodic FL-runtime job parameters."""
+
+    base_interval_s: float = 3600.0
+    jitter_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_interval_s <= 0:
+            raise ValueError("base_interval_s must be positive")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    def next_delay(self, rng: np.random.Generator) -> float:
+        """Time until the next job invocation, jittered."""
+        lo = self.base_interval_s * (1.0 - self.jitter_fraction)
+        hi = self.base_interval_s * (1.0 + self.jitter_fraction)
+        return float(rng.uniform(lo, hi))
+
+
+class MultiTenantScheduler:
+    """FIFO worker queue over FL populations sharing one device.
+
+    One session runs at a time; re-enqueueing an already-queued or running
+    population is a no-op (coalescing, like JobScheduler).
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque[str] = deque()
+        self._queued: set[str] = set()
+        self._running: str | None = None
+        self.sessions_completed = 0
+
+    @property
+    def running(self) -> str | None:
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, population_name: str) -> bool:
+        """Request a training session; returns False if coalesced."""
+        if population_name in self._queued or population_name == self._running:
+            return False
+        self._queue.append(population_name)
+        self._queued.add(population_name)
+        return True
+
+    def try_start(self) -> str | None:
+        """Pop the next session if nothing is running."""
+        if self._running is not None or not self._queue:
+            return None
+        population = self._queue.popleft()
+        self._queued.discard(population)
+        self._running = population
+        return population
+
+    def finish(self, population_name: str) -> None:
+        if self._running != population_name:
+            raise RuntimeError(
+                f"finish({population_name!r}) but running={self._running!r}"
+            )
+        self._running = None
+        self.sessions_completed += 1
+
+    def abort(self) -> str | None:
+        """Abandon the running session (eligibility lost)."""
+        running, self._running = self._running, None
+        return running

@@ -1,0 +1,140 @@
+"""Versioned computation-graph representation embedded in FL plans.
+
+Sec. 7.2–7.3: a plan's device portion contains "the TensorFlow graph
+itself, selection criteria for training data, instructions on how to batch
+data and how many epochs to run, labels for the nodes in the graph which
+represent certain computations like loading and saving weights".
+
+We model the graph as an ordered list of :class:`OpSpec`, each an op *name*
+at an op *version* with a minimum runtime version.  The version-transform
+machinery of :mod:`repro.tools.versioning` rewrites these ops for older
+runtimes — the repo's analogue of "generating versioned FL plans ... by
+transforming its computation graph" (Sec. 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One graph node: an operation at a specific op version."""
+
+    name: str
+    version: int
+    min_runtime_version: int
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_attrs(self, **attrs: Any) -> "OpSpec":
+        merged = dict(self.attrs)
+        merged.update(attrs)
+        return replace(self, attrs=merged)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.name, self.version)
+
+
+@dataclass(frozen=True)
+class GraphDef:
+    """An ordered op list plus named labels into it (load/save nodes)."""
+
+    ops: tuple[OpSpec, ...]
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+    def min_runtime_version(self) -> int:
+        """The newest runtime any op in the graph requires."""
+        if not self.ops:
+            return 0
+        return max(op.min_runtime_version for op in self.ops)
+
+    def op_names(self) -> list[str]:
+        return [op.name for op in self.ops]
+
+    def replace_ops(self, ops: list[OpSpec]) -> "GraphDef":
+        return GraphDef(ops=tuple(ops), labels=dict(self.labels))
+
+    def compatible_with(self, runtime_version: int) -> bool:
+        return self.min_runtime_version() <= runtime_version
+
+
+# Op catalogue.  Newer "fused" op versions require newer runtimes; the
+# versioning transforms in repro.tools.versioning can lower them.
+OP_LOAD_CHECKPOINT = "load_checkpoint"
+OP_SELECT_EXAMPLES = "select_examples"
+OP_BATCH = "batch_examples"
+OP_FUSED_TRAIN_STEP = "fused_train_step"       # v2 needs runtime >= 9
+OP_FORWARD = "forward"
+OP_BACKWARD = "backward"
+OP_APPLY_GRADIENTS = "apply_gradients"
+OP_COMPUTE_METRICS = "compute_metrics"
+OP_SAVE_UPDATE = "save_update"
+OP_SUM_UPDATES = "sum_updates"
+OP_APPLY_AGGREGATE = "apply_aggregate"
+
+
+def build_training_graph(
+    epochs: int, batch_size: int, learning_rate: float, runtime_version: int = 10
+) -> GraphDef:
+    """Device-side training graph as deployed on the newest runtime.
+
+    Runtimes >= 9 support the fused train step (forward+backward+apply in
+    one op, v2); the graph built here targets the newest runtime and is
+    *lowered* for older fleets by :mod:`repro.tools.versioning`.
+    """
+    ops = [
+        OpSpec(OP_LOAD_CHECKPOINT, version=1, min_runtime_version=1),
+        OpSpec(
+            OP_SELECT_EXAMPLES,
+            version=1,
+            min_runtime_version=1,
+        ),
+        OpSpec(
+            OP_BATCH,
+            version=1,
+            min_runtime_version=1,
+            attrs={"batch_size": batch_size, "epochs": epochs},
+        ),
+        OpSpec(
+            OP_FUSED_TRAIN_STEP,
+            version=2,
+            min_runtime_version=9,
+            attrs={"learning_rate": learning_rate},
+        ),
+        OpSpec(OP_COMPUTE_METRICS, version=1, min_runtime_version=1),
+        OpSpec(OP_SAVE_UPDATE, version=1, min_runtime_version=1),
+    ]
+    return GraphDef(
+        ops=tuple(ops),
+        labels={"load": OP_LOAD_CHECKPOINT, "save": OP_SAVE_UPDATE},
+    )
+
+
+def build_eval_graph(batch_size: int) -> GraphDef:
+    """Device-side evaluation graph (held-out metrics, no training)."""
+    ops = [
+        OpSpec(OP_LOAD_CHECKPOINT, version=1, min_runtime_version=1),
+        OpSpec(OP_SELECT_EXAMPLES, version=1, min_runtime_version=1,
+               attrs={"holdout": True}),
+        OpSpec(OP_BATCH, version=1, min_runtime_version=1,
+               attrs={"batch_size": batch_size, "epochs": 1}),
+        OpSpec(OP_FORWARD, version=1, min_runtime_version=1),
+        OpSpec(OP_COMPUTE_METRICS, version=1, min_runtime_version=1),
+        OpSpec(OP_SAVE_UPDATE, version=1, min_runtime_version=1,
+               attrs={"metrics_only": True}),
+    ]
+    return GraphDef(
+        ops=tuple(ops),
+        labels={"load": OP_LOAD_CHECKPOINT, "save": OP_SAVE_UPDATE},
+    )
+
+
+def build_server_aggregation_graph() -> GraphDef:
+    """Server-side portion of the plan: the aggregation logic (Sec. 7.2)."""
+    ops = [
+        OpSpec(OP_SUM_UPDATES, version=1, min_runtime_version=1),
+        OpSpec(OP_APPLY_AGGREGATE, version=1, min_runtime_version=1),
+    ]
+    return GraphDef(ops=tuple(ops), labels={})

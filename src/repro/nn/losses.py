@@ -1,0 +1,53 @@
+"""Losses and their exact gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over integer labels, and gradient wrt logits.
+
+    Parameters
+    ----------
+    logits: ``(N, C)`` float array.
+    labels: ``(N,)`` integer array in ``[0, C)``.
+
+    Returns
+    -------
+    ``(loss, dlogits)`` where ``dlogits`` has shape ``(N, C)`` and already
+    includes the ``1/N`` mean factor.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    n = logits.shape[0]
+    if labels.shape[0] != n:
+        raise ValueError(f"batch mismatch: {n} logits vs {labels.shape[0]} labels")
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = -float(np.mean(np.log(probs[np.arange(n), labels] + eps)))
+    dlogits = probs
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return loss, dlogits
+
+
+def l2_regularization(
+    weight_decay: float, arrays: list[np.ndarray]
+) -> tuple[float, list[np.ndarray]]:
+    """``(wd/2) * ||w||^2`` penalty and its gradients."""
+    loss = 0.0
+    grads = []
+    for a in arrays:
+        loss += 0.5 * weight_decay * float(np.sum(a * a))
+        grads.append(weight_decay * a)
+    return loss, grads

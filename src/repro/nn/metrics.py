@@ -1,0 +1,30 @@
+"""Evaluation metrics reported by FL tasks (Sec. 7.4, Sec. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy: fraction of rows whose argmax equals the label."""
+    preds = np.asarray(logits).argmax(axis=-1)
+    return float(np.mean(preds == np.asarray(labels)))
+
+
+def top_k_recall(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Top-k recall — for next-word prediction this is the paper's
+    headline metric (top-1 recall, Sec. 8)."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k == 1:
+        return accuracy(logits, labels)
+    topk = np.argpartition(-logits, k - 1, axis=-1)[..., :k]
+    hits = (topk == labels[..., None]).any(axis=-1)
+    return float(np.mean(hits))
+
+
+def perplexity(mean_cross_entropy: float) -> float:
+    """exp of the mean token cross-entropy."""
+    return float(np.exp(mean_cross_entropy))

@@ -1,0 +1,293 @@
+"""Models with exact manual gradients.
+
+Four models cover the paper's workloads:
+
+* :class:`LogisticRegression` — the simplest FL task, used in quickstarts
+  and protocol tests;
+* :class:`MLPClassifier` — on-device item ranking (Sec. 8);
+* :class:`RNNLanguageModel` — Elman RNN for next-word prediction, the
+  Gboard workload of Sec. 8 (the paper's model has ~1.4M parameters; ours
+  is configurable and defaults smaller so benchmarks run on a laptop);
+* :class:`BagOfWordsLanguageModel` — a cheap context-averaging LM used
+  where RNN cost is unnecessary.
+
+All models implement ``loss_and_grad`` returning exact analytic gradients,
+verified against finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.parameters import Parameters
+
+
+class Model(abc.ABC):
+    """A differentiable classifier mapping a batch ``(x, y)`` to a loss."""
+
+    @abc.abstractmethod
+    def init(self, rng: np.random.Generator) -> Parameters:
+        """Sample initial parameters."""
+
+    @abc.abstractmethod
+    def logits(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        """Forward pass returning ``(N, num_classes)`` scores."""
+
+    @abc.abstractmethod
+    def loss_and_grad(
+        self, params: Parameters, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, Parameters]:
+        """Mean loss over the batch and exact gradients."""
+
+    def loss(self, params: Parameters, x: np.ndarray, y: np.ndarray) -> float:
+        value, _ = self.loss_and_grad(params, x, y)
+        return value
+
+    @property
+    @abc.abstractmethod
+    def num_classes(self) -> int:
+        ...
+
+
+@dataclass
+class LogisticRegression(Model):
+    """Multinomial logistic regression: ``logits = x @ W + b``."""
+
+    input_dim: int
+    n_classes: int
+    init_scale: float = 0.01
+
+    @property
+    def num_classes(self) -> int:
+        return self.n_classes
+
+    def init(self, rng: np.random.Generator) -> Parameters:
+        return Parameters(
+            {
+                "W": rng.normal(0.0, self.init_scale, (self.input_dim, self.n_classes)),
+                "b": np.zeros(self.n_classes),
+            }
+        )
+
+    def logits(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64) @ params["W"] + params["b"]
+
+    def loss_and_grad(
+        self, params: Parameters, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, Parameters]:
+        x = np.asarray(x, dtype=np.float64)
+        loss, dlogits = softmax_cross_entropy(self.logits(params, x), y)
+        grads = Parameters({"W": x.T @ dlogits, "b": dlogits.sum(axis=0)})
+        return loss, grads
+
+
+@dataclass
+class MLPClassifier(Model):
+    """Two-weight-matrix MLP with ReLU hidden layer(s)."""
+
+    input_dim: int
+    hidden_dims: tuple[int, ...]
+    n_classes: int
+    init_scale: float = 0.05
+
+    @property
+    def num_classes(self) -> int:
+        return self.n_classes
+
+    def _layer_dims(self) -> list[tuple[int, int]]:
+        dims = [self.input_dim, *self.hidden_dims, self.n_classes]
+        return list(zip(dims[:-1], dims[1:]))
+
+    def init(self, rng: np.random.Generator) -> Parameters:
+        arrays: dict[str, np.ndarray] = {}
+        for i, (fan_in, fan_out) in enumerate(self._layer_dims()):
+            scale = self.init_scale * np.sqrt(2.0 / fan_in) / 0.05 * 0.05
+            arrays[f"W{i}"] = rng.normal(0.0, scale, (fan_in, fan_out))
+            arrays[f"b{i}"] = np.zeros(fan_out)
+        return Parameters(arrays)
+
+    def _forward(
+        self, params: Parameters, x: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Returns logits and the post-activation cache per layer."""
+        h = np.asarray(x, dtype=np.float64)
+        cache = [h]
+        n_layers = len(self._layer_dims())
+        for i in range(n_layers):
+            z = h @ params[f"W{i}"] + params[f"b{i}"]
+            if i < n_layers - 1:
+                h = np.maximum(z, 0.0)
+                cache.append(h)
+            else:
+                return z, cache
+        raise AssertionError("unreachable")
+
+    def logits(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        out, _ = self._forward(params, x)
+        return out
+
+    def loss_and_grad(
+        self, params: Parameters, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, Parameters]:
+        out, cache = self._forward(params, x)
+        loss, dlogits = softmax_cross_entropy(out, y)
+        grads: dict[str, np.ndarray] = {}
+        delta = dlogits
+        n_layers = len(self._layer_dims())
+        for i in reversed(range(n_layers)):
+            h_in = cache[i]
+            grads[f"W{i}"] = h_in.T @ delta
+            grads[f"b{i}"] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ params[f"W{i}"].T) * (h_in > 0)
+        return loss, Parameters(grads)
+
+
+@dataclass
+class RNNLanguageModel(Model):
+    """Elman RNN language model trained with full truncated BPTT.
+
+    Input ``x`` is an integer array ``(N, T)`` of token ids; the label for
+    position ``t`` is ``x[:, t+1]`` except the caller supplies ``y`` of
+    shape ``(N,)`` — the *next word after the context* — matching the
+    next-word-prediction task: read ``T`` tokens, predict token ``T+1``.
+    """
+
+    vocab_size: int
+    embed_dim: int = 32
+    hidden_dim: int = 64
+    init_scale: float = 0.1
+
+    @property
+    def num_classes(self) -> int:
+        return self.vocab_size
+
+    def init(self, rng: np.random.Generator) -> Parameters:
+        s = self.init_scale
+        v, d, h = self.vocab_size, self.embed_dim, self.hidden_dim
+        return Parameters(
+            {
+                "embed": rng.normal(0.0, s, (v, d)),
+                "W_xh": rng.normal(0.0, s / np.sqrt(d), (d, h)),
+                "W_hh": rng.normal(0.0, s / np.sqrt(h), (h, h)),
+                "b_h": np.zeros(h),
+                "W_hy": rng.normal(0.0, s / np.sqrt(h), (h, v)),
+                "b_y": np.zeros(v),
+            }
+        )
+
+    def _forward(
+        self, params: Parameters, x: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray]]:
+        """Run the recurrence; returns final logits, hidden states, embeddings."""
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"RNN input must be (N, T) token ids, got {x.shape}")
+        n, t_max = x.shape
+        h = np.zeros((n, self.hidden_dim))
+        hiddens = [h]
+        embeds = []
+        for t in range(t_max):
+            e = params["embed"][x[:, t]]
+            embeds.append(e)
+            h = np.tanh(e @ params["W_xh"] + h @ params["W_hh"] + params["b_h"])
+            hiddens.append(h)
+        logits = h @ params["W_hy"] + params["b_y"]
+        return logits, hiddens, embeds
+
+    def logits(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        out, _, _ = self._forward(params, x)
+        return out
+
+    def loss_and_grad(
+        self, params: Parameters, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, Parameters]:
+        x = np.asarray(x)
+        n, t_max = x.shape
+        logits, hiddens, embeds = self._forward(params, x)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+
+        g_embed = np.zeros_like(params["embed"])
+        g_wxh = np.zeros_like(params["W_xh"])
+        g_whh = np.zeros_like(params["W_hh"])
+        g_bh = np.zeros_like(params["b_h"])
+        g_why = hiddens[-1].T @ dlogits
+        g_by = dlogits.sum(axis=0)
+
+        dh = dlogits @ params["W_hy"].T
+        for t in reversed(range(t_max)):
+            h_t = hiddens[t + 1]
+            h_prev = hiddens[t]
+            dz = dh * (1.0 - h_t * h_t)          # tanh'
+            g_wxh += embeds[t].T @ dz
+            g_whh += h_prev.T @ dz
+            g_bh += dz.sum(axis=0)
+            de = dz @ params["W_xh"].T
+            np.add.at(g_embed, x[:, t], de)
+            dh = dz @ params["W_hh"].T
+        grads = Parameters(
+            {
+                "embed": g_embed,
+                "W_xh": g_wxh,
+                "W_hh": g_whh,
+                "b_h": g_bh,
+                "W_hy": g_why,
+                "b_y": g_by,
+            }
+        )
+        return loss, grads
+
+    def predict_proba(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        return softmax(self.logits(params, x))
+
+
+@dataclass
+class BagOfWordsLanguageModel(Model):
+    """Averaged-embedding next-word predictor (cheap RNN substitute).
+
+    ``logits = mean_t embed[x[:, t]] @ W + b``.  Used in protocol-level
+    benchmarks where per-round ML cost should stay negligible.
+    """
+
+    vocab_size: int
+    embed_dim: int = 32
+    init_scale: float = 0.1
+
+    @property
+    def num_classes(self) -> int:
+        return self.vocab_size
+
+    def init(self, rng: np.random.Generator) -> Parameters:
+        v, d = self.vocab_size, self.embed_dim
+        return Parameters(
+            {
+                "embed": rng.normal(0.0, self.init_scale, (v, d)),
+                "W": rng.normal(0.0, self.init_scale / np.sqrt(d), (d, v)),
+                "b": np.zeros(v),
+            }
+        )
+
+    def _context(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        return params["embed"][np.asarray(x)].mean(axis=1)
+
+    def logits(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        return self._context(params, x) @ params["W"] + params["b"]
+
+    def loss_and_grad(
+        self, params: Parameters, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, Parameters]:
+        x = np.asarray(x)
+        n, t_max = x.shape
+        ctx = self._context(params, x)
+        loss, dlogits = softmax_cross_entropy(ctx @ params["W"] + params["b"], y)
+        g_w = ctx.T @ dlogits
+        g_b = dlogits.sum(axis=0)
+        dctx = dlogits @ params["W"].T / t_max
+        g_embed = np.zeros_like(params["embed"])
+        for t in range(t_max):
+            np.add.at(g_embed, x[:, t], dctx)
+        return loss, Parameters({"embed": g_embed, "W": g_w, "b": g_b})

@@ -1,0 +1,65 @@
+"""Gradient-descent optimizers.
+
+Clients run plain SGD inside ``ClientUpdate`` (Algorithm 1); the server can
+apply the aggregated update with its own learning rate / momentum (the
+"server optimizer" generalisation of FedAvg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.parameters import Parameters
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """Hyperparameters for :class:`SGD`."""
+
+    learning_rate: float = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+
+    def validate(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {self.learning_rate}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+        if self.weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {self.weight_decay}")
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Stateful (keeps velocity) but functional in its API: ``step`` returns a
+    new :class:`Parameters` and never mutates its inputs.
+    """
+
+    def __init__(self, config: SGDConfig | None = None):
+        self.config = config or SGDConfig()
+        self.config.validate()
+        self._velocity: dict[str, np.ndarray] | None = None
+
+    def reset(self) -> None:
+        self._velocity = None
+
+    def step(self, params: Parameters, grads: Parameters) -> Parameters:
+        """One update: ``w <- w - lr * (v if momentum else g)``."""
+        cfg = self.config
+        updated: dict[str, np.ndarray] = {}
+        if cfg.momentum > 0 and self._velocity is None:
+            self._velocity = {k: np.zeros_like(v) for k, v in params.items()}
+        for name, w in params.items():
+            g = grads[name]
+            if cfg.weight_decay > 0:
+                g = g + cfg.weight_decay * w
+            if cfg.momentum > 0:
+                assert self._velocity is not None
+                v = cfg.momentum * self._velocity[name] + g
+                self._velocity[name] = v
+                g = v
+            updated[name] = w - cfg.learning_rate * g
+        return Parameters(updated)

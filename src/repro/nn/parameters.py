@@ -1,0 +1,150 @@
+"""Named parameter collections with functional vector arithmetic.
+
+``Parameters`` is the unit of state the whole system moves around: the
+global model in a checkpoint, a client's weighted update ``Δ``, and the
+aggregated sums of Secure Aggregation are all ``Parameters`` (or their
+flattened-vector image).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Callable
+
+import numpy as np
+
+
+class Parameters(Mapping[str, np.ndarray]):
+    """Immutable-by-convention ordered mapping ``name -> float64 array``.
+
+    All arithmetic is functional (returns new ``Parameters``) so that
+    concurrent actors can safely share references to a global model.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        self._arrays: dict[str, np.ndarray] = {
+            name: np.asarray(arr, dtype=np.float64) for name, arr in arrays.items()
+        }
+
+    # -- Mapping protocol ---------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __repr__(self) -> str:
+        shapes = ", ".join(f"{k}:{v.shape}" for k, v in self._arrays.items())
+        return f"Parameters({shapes})"
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar parameter count across all arrays."""
+        return sum(a.size for a in self._arrays.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def shapes(self) -> dict[str, tuple[int, ...]]:
+        return {k: v.shape for k, v in self._arrays.items()}
+
+    def same_structure(self, other: "Parameters") -> bool:
+        return self.shapes() == other.shapes()
+
+    def _require_same_structure(self, other: "Parameters") -> None:
+        if not self.same_structure(other):
+            raise ValueError(
+                f"parameter structure mismatch: {self.shapes()} vs {other.shapes()}"
+            )
+
+    # -- construction -------------------------------------------------------
+    def copy(self) -> "Parameters":
+        return Parameters({k: v.copy() for k, v in self._arrays.items()})
+
+    def zeros_like(self) -> "Parameters":
+        return Parameters({k: np.zeros_like(v) for k, v in self._arrays.items()})
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "Parameters":
+        return Parameters({k: fn(v) for k, v in self._arrays.items()})
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "Parameters") -> "Parameters":
+        self._require_same_structure(other)
+        return Parameters({k: v + other[k] for k, v in self._arrays.items()})
+
+    def __sub__(self, other: "Parameters") -> "Parameters":
+        self._require_same_structure(other)
+        return Parameters({k: v - other[k] for k, v in self._arrays.items()})
+
+    def scale(self, factor: float) -> "Parameters":
+        return Parameters({k: v * factor for k, v in self._arrays.items()})
+
+    def axpy(self, alpha: float, other: "Parameters") -> "Parameters":
+        """Return ``self + alpha * other``."""
+        self._require_same_structure(other)
+        return Parameters(
+            {k: v + alpha * other[k] for k, v in self._arrays.items()}
+        )
+
+    def l2_norm(self) -> float:
+        total = 0.0
+        for a in self._arrays.values():
+            total += float(np.sum(a * a))
+        return float(np.sqrt(total))
+
+    def clip_by_norm(self, max_norm: float) -> "Parameters":
+        norm = self.l2_norm()
+        if norm <= max_norm or norm == 0.0:
+            return self
+        return self.scale(max_norm / norm)
+
+    def allclose(self, other: "Parameters", atol: float = 1e-9) -> bool:
+        if not self.same_structure(other):
+            return False
+        return all(
+            np.allclose(v, other[k], atol=atol) for k, v in self._arrays.items()
+        )
+
+    # -- flattening (Secure Aggregation / compression operate on vectors) ---
+    def to_vector(self) -> np.ndarray:
+        """Concatenate all arrays into a single 1-D float64 vector."""
+        if not self._arrays:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([a.ravel() for a in self._arrays.values()])
+
+    def from_vector(self, vector: np.ndarray) -> "Parameters":
+        """Reshape a flat vector back into this collection's structure."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.size != self.num_parameters:
+            raise ValueError(
+                f"vector has {vector.size} entries, structure needs "
+                f"{self.num_parameters}"
+            )
+        out: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, arr in self._arrays.items():
+            out[name] = vector[offset : offset + arr.size].reshape(arr.shape)
+            offset += arr.size
+        return Parameters(out)
+
+
+def weighted_mean(
+    updates: list[tuple[Parameters, float]]
+) -> Parameters:
+    """``sum_k w_k * p_k / sum_k w_k`` — the FedAvg combination rule."""
+    if not updates:
+        raise ValueError("cannot average an empty update list")
+    total_weight = sum(w for _, w in updates)
+    if total_weight <= 0:
+        raise ValueError(f"total weight must be positive, got {total_weight}")
+    acc = updates[0][0].scale(updates[0][1])
+    for params, w in updates[1:]:
+        acc = acc.axpy(w, params)
+    return acc.scale(1.0 / total_weight)

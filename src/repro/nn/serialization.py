@@ -1,0 +1,71 @@
+"""Checkpoint (de)serialization.
+
+An *FL checkpoint* (Sec. 2.1) is "essentially the serialized state of a
+TensorFlow session".  Here it is the byte image of a
+:class:`~repro.nn.parameters.Parameters` collection; sizes derived from
+these bytes drive the network model and Fig. 9's traffic accounting.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+
+from repro.nn.parameters import Parameters
+
+_MAGIC = b"FLCK"
+_VERSION = 1
+
+
+def params_to_bytes(params: Parameters) -> bytes:
+    """Serialize to a compact self-describing binary blob."""
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    buf.write(struct.pack("<HI", _VERSION, len(params)))
+    for name, arr in params.items():
+        encoded_name = name.encode("utf-8")
+        arr64 = np.asarray(arr, dtype=np.float64)
+        # ascontiguousarray would promote 0-d arrays to 1-d; only call it
+        # when layout actually needs fixing.
+        if arr64.ndim and not arr64.flags["C_CONTIGUOUS"]:
+            arr64 = np.ascontiguousarray(arr64)
+        buf.write(struct.pack("<H", len(encoded_name)))
+        buf.write(encoded_name)
+        buf.write(struct.pack("<B", arr64.ndim))
+        for dim in arr64.shape:
+            buf.write(struct.pack("<Q", dim))
+        buf.write(arr64.tobytes())
+    return buf.getvalue()
+
+
+def params_from_bytes(blob: bytes) -> Parameters:
+    """Inverse of :func:`params_to_bytes`."""
+    buf = io.BytesIO(blob)
+    magic = buf.read(4)
+    if magic != _MAGIC:
+        raise ValueError(f"not an FL checkpoint (magic={magic!r})")
+    version, count = struct.unpack("<HI", buf.read(6))
+    if version != _VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    arrays: dict[str, np.ndarray] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack("<H", buf.read(2))
+        name = buf.read(name_len).decode("utf-8")
+        (ndim,) = struct.unpack("<B", buf.read(1))
+        shape = tuple(
+            struct.unpack("<Q", buf.read(8))[0] for _ in range(ndim)
+        )
+        size = int(np.prod(shape)) if shape else 1
+        data = np.frombuffer(buf.read(size * 8), dtype=np.float64)
+        arrays[name] = data.reshape(shape).copy()
+    return Parameters(arrays)
+
+
+def checkpoint_nbytes(params: Parameters) -> int:
+    """Size of the serialized checkpoint without materialising it."""
+    total = 4 + 6
+    for name, arr in params.items():
+        total += 2 + len(name.encode("utf-8")) + 1 + 8 * arr.ndim + arr.size * 8
+    return total

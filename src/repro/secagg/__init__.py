@@ -1,0 +1,53 @@
+"""Secure Aggregation (Sec. 6; Bonawitz et al., CCS 2017).
+
+A four-round interactive protocol making individual device updates
+uninspectable by the server: the server only learns the *sum* of the
+devices' (quantized) input vectors, provided at least a threshold ``t`` of
+devices survive to the Finalization phase.
+
+Structure is faithful to the paper — AdvertiseKeys / ShareKeys (the
+Prepare phase), MaskedInputCollection (Commit), Unmasking (Finalization) —
+with double masking (pairwise Diffie–Hellman masks + a self mask), Shamir
+secret sharing for dropout recovery, and the quadratic server unmasking
+cost that motivates running one SecAgg instance per Aggregator over groups
+of size at least ``k``.
+
+Cryptographic primitives are *simulation grade* (smaller DH group,
+Philox-based PRG); the protocol logic, message flow, threshold semantics
+and cost structure match the real system.
+"""
+
+from repro.secagg.field import SHAMIR_PRIME, centered_mod
+from repro.secagg.shamir import ShamirShare, share_secret, reconstruct_secret
+from repro.secagg.dh import DHKeyPair, generate_keypair, agree
+from repro.secagg.prg import prg_expand
+from repro.secagg.masking import VectorQuantizer
+from repro.secagg.protocol import (
+    DropoutSchedule,
+    SecAggError,
+    SecAggMetrics,
+    SecureAggregationClient,
+    SecureAggregationServer,
+    run_secure_aggregation,
+)
+from repro.secagg.grouped import grouped_secure_sum
+
+__all__ = [
+    "SHAMIR_PRIME",
+    "centered_mod",
+    "ShamirShare",
+    "share_secret",
+    "reconstruct_secret",
+    "DHKeyPair",
+    "generate_keypair",
+    "agree",
+    "prg_expand",
+    "VectorQuantizer",
+    "DropoutSchedule",
+    "SecAggError",
+    "SecAggMetrics",
+    "SecureAggregationClient",
+    "SecureAggregationServer",
+    "run_secure_aggregation",
+    "grouped_secure_sum",
+]

@@ -1,0 +1,56 @@
+"""Diffie–Hellman key agreement (simulation-grade parameters).
+
+Two independent keypairs per device, as in Bonawitz et al. (2017):
+
+* ``c`` keys — encrypt the Shamir shares in transit between devices;
+* ``s`` keys — pairwise-agreed PRG seeds for the masking vectors.
+
+The group is Z_p^* with the 255-bit prime ``2^255 - 19`` and generator 2.
+Exponents are 120 bits so they fit in the Shamir field — adequate for a
+systems reproduction, NOT for production cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.secagg.field import SECRET_BITS
+
+#: 2^255 - 19 (the curve25519 prime, used here as a plain DH modulus).
+DH_PRIME: int = (1 << 255) - 19
+DH_GENERATOR: int = 2
+
+
+@dataclass(frozen=True)
+class DHKeyPair:
+    secret: int
+    public: int
+
+
+def generate_keypair(rng: np.random.Generator) -> DHKeyPair:
+    """Sample a 120-bit exponent and compute ``g^secret mod p``."""
+    secret = int.from_bytes(rng.bytes(SECRET_BITS // 8), "little")
+    secret |= 1 << (SECRET_BITS - 8)  # keep full bit length, nonzero
+    public = pow(DH_GENERATOR, secret, DH_PRIME)
+    return DHKeyPair(secret=secret, public=public)
+
+
+def public_key_of(secret: int) -> int:
+    """Recompute the public key of a (reconstructed) secret exponent."""
+    return pow(DH_GENERATOR, secret, DH_PRIME)
+
+
+def agree(my_secret: int, their_public: int) -> int:
+    """Shared key = SHA-256(g^{ab} mod p) truncated to 120 bits.
+
+    Truncation keeps agreed seeds inside the Shamir field so they can be
+    re-derived after reconstructing a dropped device's secret key.
+    """
+    shared_group_element = pow(their_public, my_secret, DH_PRIME)
+    digest = hashlib.sha256(
+        shared_group_element.to_bytes(32, "little")
+    ).digest()
+    return int.from_bytes(digest[: SECRET_BITS // 8], "little")

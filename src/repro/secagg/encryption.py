@@ -1,0 +1,67 @@
+"""Authenticated encryption for Shamir shares in transit.
+
+Shares travel device→server→device, so they are encrypted under the
+pairwise key agreed from the ``c`` keypairs.  We use a SHA-256 counter
+keystream with an encrypt-then-MAC tag — structurally an AEAD, with
+simulation-grade primitives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    sender_id: int
+    recipient_id: int
+    body: bytes
+    tag: bytes
+
+
+class AuthenticationError(ValueError):
+    """MAC verification failed (tampered or misrouted share)."""
+
+
+def _keystream(key: int, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    key_bytes = key.to_bytes(16, "little")
+    while len(out) < length:
+        out.extend(
+            hashlib.sha256(key_bytes + counter.to_bytes(8, "little")).digest()
+        )
+        counter += 1
+    return bytes(out[:length])
+
+
+def _mac(key: int, data: bytes) -> bytes:
+    return hashlib.sha256(b"mac" + key.to_bytes(16, "little") + data).digest()
+
+
+def encrypt(
+    key: int, sender_id: int, recipient_id: int, plaintext: bytes
+) -> Ciphertext:
+    stream = _keystream(key, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    header = sender_id.to_bytes(8, "little") + recipient_id.to_bytes(8, "little")
+    return Ciphertext(
+        sender_id=sender_id,
+        recipient_id=recipient_id,
+        body=body,
+        tag=_mac(key, header + body),
+    )
+
+
+def decrypt(key: int, ciphertext: Ciphertext) -> bytes:
+    header = ciphertext.sender_id.to_bytes(8, "little") + ciphertext.recipient_id.to_bytes(
+        8, "little"
+    )
+    if _mac(key, header + ciphertext.body) != ciphertext.tag:
+        raise AuthenticationError(
+            f"share from {ciphertext.sender_id} to {ciphertext.recipient_id} "
+            "failed authentication"
+        )
+    stream = _keystream(key, len(ciphertext.body))
+    return bytes(c ^ s for c, s in zip(ciphertext.body, stream))

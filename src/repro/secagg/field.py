@@ -1,0 +1,68 @@
+"""Finite-field and modular-ring arithmetic for Secure Aggregation.
+
+Two algebraic structures are used:
+
+* **Shamir field** — secrets (DH exponents and PRG seeds, both < 2^120)
+  are shared over GF(p) with the Mersenne prime ``p = 2^127 - 1``.
+* **Masking ring** — masked input vectors live in ``Z_{2^b}`` per
+  coordinate (default b=32), implemented vectorized on ``uint64`` with a
+  bitmask since the modulus is a power of two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Mersenne prime 2^127 - 1: comfortably larger than the 120-bit secrets.
+SHAMIR_PRIME: int = (1 << 127) - 1
+
+#: Maximum bit length of secrets shared over the Shamir field.
+SECRET_BITS: int = 120
+
+
+def mod_inverse(a: int, p: int = SHAMIR_PRIME) -> int:
+    """Multiplicative inverse in GF(p) via Fermat's little theorem."""
+    a %= p
+    if a == 0:
+        raise ZeroDivisionError("no inverse of 0 in GF(p)")
+    return pow(a, p - 2, p)
+
+
+def eval_polynomial(coeffs: list[int], x: int, p: int = SHAMIR_PRIME) -> int:
+    """Horner evaluation of ``coeffs[0] + coeffs[1]x + ...`` in GF(p)."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % p
+    return acc
+
+
+def ring_mask(modulus_bits: int) -> np.uint64:
+    """Bitmask implementing reduction mod ``2^modulus_bits`` on uint64."""
+    if not 1 <= modulus_bits <= 63:
+        raise ValueError(f"modulus_bits must be in [1, 63], got {modulus_bits}")
+    return np.uint64((1 << modulus_bits) - 1)
+
+
+def ring_add(a: np.ndarray, b: np.ndarray, modulus_bits: int) -> np.ndarray:
+    """Elementwise addition in ``Z_{2^b}`` on uint64 arrays."""
+    mask = ring_mask(modulus_bits)
+    return (a.astype(np.uint64) + b.astype(np.uint64)) & mask
+
+
+def ring_sub(a: np.ndarray, b: np.ndarray, modulus_bits: int) -> np.ndarray:
+    """Elementwise subtraction in ``Z_{2^b}``."""
+    mask = ring_mask(modulus_bits)
+    # uint64 arithmetic wraps mod 2^64; masking afterwards gives mod 2^b.
+    return (a.astype(np.uint64) - b.astype(np.uint64)) & mask
+
+
+def centered_mod(values: np.ndarray, modulus_bits: int) -> np.ndarray:
+    """Map ring elements to signed representatives in ``[-2^{b-1}, 2^{b-1})``.
+
+    Used to decode a summed, masked vector back to signed integers before
+    dequantization.
+    """
+    modulus = np.int64(1) << np.int64(modulus_bits)
+    half = modulus >> np.int64(1)
+    signed = values.astype(np.int64)
+    return np.where(signed >= half, signed - modulus, signed)

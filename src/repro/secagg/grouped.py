@@ -1,0 +1,79 @@
+"""Per-Aggregator Secure Aggregation groups (Sec. 6, last paragraph).
+
+"Several costs for Secure Aggregation grow quadratically with the number
+of users ... In practice, this limits the maximum size of a Secure
+Aggregation to hundreds of users.  So as not to constrain the number of
+users ... we run an instance of Secure Aggregation on each Aggregator
+actor to aggregate inputs from that Aggregator's devices into an
+intermediate sum; FL tasks define a parameter k so that all updates are
+securely aggregated over groups of size at least k.  The Master Aggregator
+then further aggregates the intermediate aggregators' results into a final
+aggregate for the round, without Secure Aggregation."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.secagg.masking import VectorQuantizer
+from repro.secagg.protocol import (
+    DropoutSchedule,
+    SecAggError,
+    SecAggMetrics,
+    run_secure_aggregation,
+)
+
+
+def partition_into_groups(user_ids: list[int], min_group_size: int) -> list[list[int]]:
+    """Split users into contiguous groups, each of size >= ``min_group_size``.
+
+    With fewer than ``2k`` users a single group is returned (still >= k
+    required, else :class:`SecAggError`).
+    """
+    if min_group_size < 2:
+        raise ValueError("min_group_size must be >= 2")
+    ids = sorted(user_ids)
+    n = len(ids)
+    if n < min_group_size:
+        raise SecAggError(
+            f"{n} users cannot form a secure group of size >= {min_group_size}"
+        )
+    num_groups = max(1, n // min_group_size)
+    # Spread the remainder so every group keeps >= min_group_size members.
+    bounds = np.linspace(0, n, num_groups + 1).astype(int)
+    return [ids[bounds[i] : bounds[i + 1]] for i in range(num_groups)]
+
+
+def grouped_secure_sum(
+    inputs: dict[int, np.ndarray],
+    min_group_size: int,
+    threshold_fraction: float,
+    quantizer: VectorQuantizer,
+    rng: np.random.Generator,
+    dropouts: DropoutSchedule | None = None,
+) -> tuple[np.ndarray, list[SecAggMetrics]]:
+    """Secure-sum per group, then a plain (Master Aggregator) sum of sums."""
+    groups = partition_into_groups(list(inputs), min_group_size)
+    total: np.ndarray | None = None
+    all_metrics: list[SecAggMetrics] = []
+    for group in groups:
+        group_set = set(group)
+        group_dropouts = DropoutSchedule.none()
+        if dropouts is not None:
+            group_dropouts = DropoutSchedule(
+                after_advertise=frozenset(dropouts.after_advertise & group_set),
+                after_share=frozenset(dropouts.after_share & group_set),
+                after_mask=frozenset(dropouts.after_mask & group_set),
+            )
+        threshold = max(2, int(np.ceil(len(group) * threshold_fraction)))
+        group_sum, metrics = run_secure_aggregation(
+            {uid: inputs[uid] for uid in group},
+            threshold=threshold,
+            quantizer=quantizer,
+            rng=rng,
+            dropouts=group_dropouts,
+        )
+        all_metrics.append(metrics)
+        total = group_sum if total is None else total + group_sum
+    assert total is not None
+    return total, all_metrics

@@ -1,0 +1,25 @@
+"""Pseudo-random mask expansion.
+
+Both endpoints of a pairwise mask (and the server after seed
+reconstruction) must expand a 120-bit seed into an identical vector over
+``Z_{2^b}``.  We key a counter-based Philox generator with the low 128
+bits of the seed: deterministic, vectorized, and identical everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_KEY_MASK = (1 << 128) - 1
+
+
+def prg_expand(seed: int, length: int, modulus_bits: int) -> np.ndarray:
+    """Expand ``seed`` into ``length`` uint64 values in ``[0, 2^b)``."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    bitgen = np.random.Philox(key=seed & _KEY_MASK)
+    raw = np.random.Generator(bitgen).integers(
+        0, 1 << 63, size=length, dtype=np.uint64, endpoint=False
+    )
+    mask = np.uint64((1 << modulus_bits) - 1)
+    return raw & mask

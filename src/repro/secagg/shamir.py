@@ -1,0 +1,77 @@
+"""Shamir secret sharing over GF(2^127 - 1).
+
+Used in the ShareKeys round: each device shares its pairwise-mask DH
+secret key and its self-mask seed among the cohort with threshold ``t``,
+so the server can later recover *either* the pairwise key of a dropped
+device *or* the self mask of a surviving one — never both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.secagg.field import SHAMIR_PRIME, eval_polynomial, mod_inverse
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """One share ``(x, f(x))`` of a degree-(t-1) polynomial."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.x == 0:
+            raise ValueError("share index 0 would leak the secret")
+
+
+def share_secret(
+    secret: int,
+    num_shares: int,
+    threshold: int,
+    rng: np.random.Generator,
+    prime: int = SHAMIR_PRIME,
+) -> list[ShamirShare]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it."""
+    if not 0 <= secret < prime:
+        raise ValueError("secret out of field range")
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    if num_shares < threshold:
+        raise ValueError(
+            f"need at least threshold={threshold} shares, got {num_shares}"
+        )
+    # Random degree-(threshold-1) polynomial with constant term = secret.
+    coeffs = [secret] + [
+        int.from_bytes(rng.bytes(16), "little") % prime
+        for _ in range(threshold - 1)
+    ]
+    return [
+        ShamirShare(x=i, y=eval_polynomial(coeffs, i, prime))
+        for i in range(1, num_shares + 1)
+    ]
+
+
+def reconstruct_secret(
+    shares: list[ShamirShare], prime: int = SHAMIR_PRIME
+) -> int:
+    """Lagrange interpolation at x=0."""
+    if not shares:
+        raise ValueError("no shares provided")
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        num = 1
+        den = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            num = (num * (-share_j.x)) % prime
+            den = (den * (share_i.x - share_j.x)) % prime
+        secret = (secret + share_i.y * num * mod_inverse(den, prime)) % prime
+    return secret

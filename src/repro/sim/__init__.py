@@ -1,0 +1,30 @@
+"""Simulation substrate: deterministic discrete-event kernel and fleet models.
+
+This package replaces the physical substrate of the paper's deployment (tens
+of millions of Android phones, gRPC transport, wall-clock time) with a
+deterministic discrete-event simulation.  Everything above this layer — the
+protocol, the actor server, the device runtime — runs unmodified against
+either simulated or real time, because all scheduling goes through
+:class:`~repro.sim.event_loop.EventLoop`.
+"""
+
+from repro.sim.event_loop import Event, EventLoop, SimulationError
+from repro.sim.rng import RngRegistry
+from repro.sim.diurnal import DiurnalModel, AvailabilityProcess
+from repro.sim.network import NetworkModel, TrafficMeter, TransferDirection
+from repro.sim.population import DeviceProfile, PopulationConfig, build_population
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "SimulationError",
+    "RngRegistry",
+    "DiurnalModel",
+    "AvailabilityProcess",
+    "NetworkModel",
+    "TrafficMeter",
+    "TransferDirection",
+    "DeviceProfile",
+    "PopulationConfig",
+    "build_population",
+]

@@ -1,0 +1,118 @@
+"""Network model: transfer times, failures, and traffic accounting.
+
+Replaces the paper's gRPC-over-cellular/WiFi transport.  Devices have
+heterogeneous log-normal bandwidths and a small per-transfer failure
+probability; the server side records every byte moved so that Fig. 9
+(download-dominated traffic) can be regenerated from first principles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class TransferDirection(enum.Enum):
+    DOWNLOAD = "download"  # server -> device (plan + global model)
+    UPLOAD = "upload"      # device -> server (model update + metrics)
+
+
+@dataclass
+class NetworkConditions:
+    """Per-device link characteristics, sampled once per device."""
+
+    downlink_bytes_per_s: float
+    uplink_bytes_per_s: float
+    rtt_s: float
+
+    def transfer_time(self, num_bytes: int, direction: TransferDirection) -> float:
+        rate = (
+            self.downlink_bytes_per_s
+            if direction is TransferDirection.DOWNLOAD
+            else self.uplink_bytes_per_s
+        )
+        return self.rtt_s + num_bytes / rate
+
+
+@dataclass
+class TrafficMeter:
+    """Aggregates transferred bytes, bucketed by direction."""
+
+    downloaded_bytes: int = 0
+    uploaded_bytes: int = 0
+    download_count: int = 0
+    upload_count: int = 0
+    failed_transfers: int = 0
+
+    def record(self, num_bytes: int, direction: TransferDirection) -> None:
+        if direction is TransferDirection.DOWNLOAD:
+            self.downloaded_bytes += int(num_bytes)
+            self.download_count += 1
+        else:
+            self.uploaded_bytes += int(num_bytes)
+            self.upload_count += 1
+
+    def record_failure(self) -> None:
+        self.failed_transfers += 1
+
+    @property
+    def download_upload_ratio(self) -> float:
+        if self.uploaded_bytes == 0:
+            return float("inf") if self.downloaded_bytes else 0.0
+        return self.downloaded_bytes / self.uploaded_bytes
+
+
+@dataclass
+class NetworkModel:
+    """Fleet-level network parameters and samplers.
+
+    Bandwidths are log-normal: a long tail of slow links is what produces
+    stragglers, which the protocol must discard (Sec. 2.2).
+    """
+
+    median_downlink_bytes_per_s: float = 2.5e6   # ~20 Mbit/s WiFi
+    median_uplink_bytes_per_s: float = 6.0e5     # ~5 Mbit/s
+    bandwidth_sigma: float = 0.7                 # log-normal shape
+    median_rtt_s: float = 0.08
+    rtt_sigma: float = 0.4
+    transfer_failure_prob: float = 0.01
+    meter: TrafficMeter = field(default_factory=TrafficMeter)
+
+    def sample_conditions(self, rng: np.random.Generator) -> NetworkConditions:
+        down = self.median_downlink_bytes_per_s * np.exp(
+            rng.normal(0.0, self.bandwidth_sigma)
+        )
+        up = self.median_uplink_bytes_per_s * np.exp(
+            rng.normal(0.0, self.bandwidth_sigma)
+        )
+        rtt = self.median_rtt_s * np.exp(rng.normal(0.0, self.rtt_sigma))
+        return NetworkConditions(
+            downlink_bytes_per_s=float(down),
+            uplink_bytes_per_s=float(up),
+            rtt_s=float(rtt),
+        )
+
+    def transfer_fails(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.transfer_failure_prob)
+
+    def transfer(
+        self,
+        conditions: NetworkConditions,
+        num_bytes: int,
+        direction: TransferDirection,
+        rng: np.random.Generator,
+    ) -> tuple[float, bool]:
+        """Simulate one transfer: returns ``(duration_s, succeeded)``.
+
+        Failed transfers still burn time (half the nominal duration on
+        average) and are counted in the meter; successful ones are metered
+        in full.
+        """
+        duration = conditions.transfer_time(num_bytes, direction)
+        if self.transfer_fails(rng):
+            self.meter.record_failure()
+            return duration * float(rng.uniform(0.1, 0.9)), False
+        self.meter.record(num_bytes, direction)
+        return duration, True

@@ -1,0 +1,97 @@
+"""Device population generator.
+
+Produces the fleet of heterogeneous device profiles that the FL system
+operates over: time zones (drives diurnal availability), compute speed
+(drives stragglers), memory and runtime version (drive deployment gating,
+Sec. 7.3), and genuineness (drives attestation, Sec. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static characteristics of one simulated device."""
+
+    device_id: int
+    tz_offset_hours: float
+    speed_factor: float          # examples/second multiplier vs the median
+    memory_mb: int
+    os_version: int
+    runtime_version: int         # TensorFlow-equivalent runtime version
+    genuine: bool                # passes remote attestation
+
+    @property
+    def name(self) -> str:
+        return f"device-{self.device_id}"
+
+
+@dataclass
+class PopulationConfig:
+    """Knobs for sampling a device population.
+
+    Defaults follow the paper's deployment constraints: recent OS versions,
+    >= 2GB memory (Sec. 11 "Bias"), a spread of runtime versions many months
+    old (Sec. 7.3), and a single dominant time zone (Appendix A studies a
+    population "primarily from the same time zone").
+    """
+
+    num_devices: int = 1000
+    tz_offset_hours: float = -8.0           # US Pacific-centric population
+    tz_spread_hours: float = 1.5            # small spread around the center
+    speed_sigma: float = 0.4                # log-normal compute speed
+    memory_choices: tuple[int, ...] = (2048, 3072, 4096, 6144, 8192)
+    memory_weights: tuple[float, ...] = (0.30, 0.25, 0.25, 0.12, 0.08)
+    os_versions: tuple[int, ...] = (26, 27, 28, 29)
+    os_weights: tuple[float, ...] = (0.15, 0.25, 0.35, 0.25)
+    runtime_versions: tuple[int, ...] = (7, 8, 9, 10)
+    runtime_weights: tuple[float, ...] = (0.10, 0.20, 0.30, 0.40)
+    compromised_fraction: float = 0.002     # fail attestation
+
+    def validate(self) -> None:
+        if self.num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        for name, w in (
+            ("memory_weights", self.memory_weights),
+            ("os_weights", self.os_weights),
+            ("runtime_weights", self.runtime_weights),
+        ):
+            if abs(sum(w) - 1.0) > 1e-9:
+                raise ValueError(f"{name} must sum to 1, got {sum(w)}")
+        if not 0.0 <= self.compromised_fraction <= 1.0:
+            raise ValueError("compromised_fraction must be in [0, 1]")
+
+
+def build_population(
+    config: PopulationConfig, rngs: RngRegistry
+) -> list[DeviceProfile]:
+    """Sample ``config.num_devices`` device profiles deterministically."""
+    config.validate()
+    rng = rngs.stream("population")
+    n = config.num_devices
+    tz = rng.normal(config.tz_offset_hours, config.tz_spread_hours, size=n)
+    speed = np.exp(rng.normal(0.0, config.speed_sigma, size=n))
+    memory = rng.choice(config.memory_choices, size=n, p=config.memory_weights)
+    os_v = rng.choice(config.os_versions, size=n, p=config.os_weights)
+    rt_v = rng.choice(
+        config.runtime_versions, size=n, p=config.runtime_weights
+    )
+    genuine = rng.random(n) >= config.compromised_fraction
+    return [
+        DeviceProfile(
+            device_id=i,
+            tz_offset_hours=float(tz[i]),
+            speed_factor=float(speed[i]),
+            memory_mb=int(memory[i]),
+            os_version=int(os_v[i]),
+            runtime_version=int(rt_v[i]),
+            genuine=bool(genuine[i]),
+        )
+        for i in range(n)
+    ]

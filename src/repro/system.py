@@ -1,0 +1,293 @@
+"""FLSystem: the full system, assembled (the paper's Fig. 1 end to end).
+
+Wires the actor server (Coordinator / Selectors / Master Aggregators /
+Aggregators), a simulated device fleet with diurnal availability, pace
+steering, attestation, versioned plan serving, and the analytics layer —
+then runs it on the discrete-event loop and exposes the operational
+profile that Sec. 9 / Appendix A report (Figs. 5–9, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.actors.coordinator import Coordinator, CoordinatorConfig
+from repro.actors.kernel import ActorSystem
+from repro.actors.locking import LockService
+from repro.actors.selector import Selector
+from repro.analytics.dashboard import Dashboard
+from repro.analytics.events import EventLog
+from repro.analytics.metrics_store import ModelMetricsStore
+from repro.analytics.session_shapes import shape_distribution
+from repro.core.checkpoint import CheckpointStore
+from repro.core.config import TaskConfig
+from repro.core.pace import PaceConfig, PaceSteering
+from repro.core.plan import FLPlan, generate_plan
+from repro.core.rounds import RoundResult
+from repro.core.task import FLPopulation, FLTask, SchedulingStrategy, TaskScheduler
+from repro.device.actor import DeviceActor, DeviceState
+from repro.device.attestation import AttestationService
+from repro.device.runtime import ComputeModel, LocalTrainer, SyntheticTrainer
+from repro.device.scheduler import JobSchedule
+from repro.nn.parameters import Parameters
+from repro.nn.serialization import checkpoint_nbytes
+from repro.sim.diurnal import AvailabilityProcess, DiurnalModel
+from repro.sim.event_loop import SECONDS_PER_DAY, EventLoop
+from repro.sim.network import NetworkModel
+from repro.sim.population import DeviceProfile, PopulationConfig, build_population
+from repro.sim.rng import RngRegistry
+from repro.tools.versioning import PlanDirectory, PlanRepository, default_transforms
+
+
+@dataclass
+class FLSystemConfig:
+    """Everything needed to stand up one population's FL deployment."""
+
+    seed: int = 0
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    diurnal: DiurnalModel = field(default_factory=DiurnalModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    pace: PaceConfig = field(default_factory=PaceConfig)
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    job: JobSchedule = field(default_factory=lambda: JobSchedule(3600.0, 0.5))
+    compute: ComputeModel = field(default_factory=ComputeModel)
+    num_selectors: int = 2
+    sample_interval_s: float = 120.0
+    compute_error_prob: float = 0.005
+
+
+TrainerFactory = Callable[[DeviceProfile], LocalTrainer]
+
+
+class FLSystem:
+    """One FL population: server actors + device fleet + analytics."""
+
+    def __init__(self, config: FLSystemConfig | None = None):
+        self.config = config or FLSystemConfig()
+        self.loop = EventLoop()
+        self.rngs = RngRegistry(self.config.seed)
+        self.actors = ActorSystem(self.loop, self.rngs.stream("actors/latency"))
+        self.locks = LockService()
+        self.actors.on_actor_terminated(self.locks.release_all)
+        self.store = CheckpointStore()
+        self.event_log = EventLog()
+        self.dashboard = Dashboard()
+        self.metrics = ModelMetricsStore()
+        self.attestation = AttestationService()
+        self.round_results: list[RoundResult] = []
+        self.devices: list[DeviceActor] = []
+        self.profiles = build_population(self.config.population, self.rngs)
+        self.selectors: list = []
+        self.coordinator_ref = None
+        self.population_name: str | None = None
+        self._deployed = False
+
+    # -- deployment --------------------------------------------------------------
+    def deploy(
+        self,
+        tasks: list[TaskConfig],
+        initial_params: Parameters,
+        plan: FLPlan | None = None,
+        strategy: SchedulingStrategy = SchedulingStrategy.ROUND_ROBIN,
+        trainer_factory: TrainerFactory | None = None,
+    ) -> None:
+        """Install tasks, initialize the model, spawn server and fleet."""
+        if self._deployed:
+            raise RuntimeError("system already deployed")
+        if not tasks:
+            raise ValueError("need at least one task")
+        population_name = tasks[0].population_name
+        if any(t.population_name != population_name for t in tasks):
+            raise ValueError("all tasks must target the same population")
+        self.population_name = population_name
+
+        self.store.initialize(initial_params, population_name, tasks[0].task_id)
+        model_nbytes = checkpoint_nbytes(initial_params)
+        plan_directory = PlanDirectory()
+        fl_population = FLPopulation(name=population_name)
+        for i, task_config in enumerate(tasks):
+            # An explicitly supplied plan applies to the first task (the
+            # one the model engineer built it for); the rest are generated.
+            task_plan = (
+                plan
+                if plan is not None and i == 0
+                else generate_plan(
+                    task_id=task_config.task_id,
+                    kind=task_config.kind,
+                    client_config=task_config.client_config,
+                    secagg=task_config.secagg,
+                    model_nbytes=model_nbytes,
+                )
+            )
+            plan_directory.add(
+                task_config.task_id,
+                PlanRepository.build(
+                    task_plan,
+                    list(self.config.population.runtime_versions),
+                    default_transforms(),
+                ),
+            )
+            fl_population.add_task(FLTask(config=task_config, plan=task_plan))
+
+        pace = PaceSteering(self.config.pace, self.config.diurnal)
+        pool_cap = max(
+            2 * tasks[0].round_config.selection_goal, 50
+        )
+
+        def make_coordinator() -> Coordinator:
+            return Coordinator(
+                population_name=population_name,
+                scheduler=TaskScheduler(
+                    fl_population, strategy, self.rngs.stream("scheduler")
+                ),
+                selectors=list(self.selectors),
+                locks=self.locks,
+                store=self.store,
+                rng=self.rngs.stream("coordinator"),
+                config=self.config.coordinator,
+                round_listener=self._on_round_result,
+                metrics_store=self.metrics,
+            )
+
+        for i in range(self.config.num_selectors):
+            selector = Selector(
+                population_name=population_name,
+                pace=pace,
+                locks=self.locks,
+                verify_attestation=self.attestation.verify,
+                plan_repository=plan_directory,
+                checkpoint_store=self.store,
+                population_size=len(self.profiles),
+                rng=self.rngs.stream(f"selector/{i}"),
+                coordinator_factory=make_coordinator,
+                pool_cap=pool_cap,
+            )
+            self.selectors.append(self.actors.spawn(selector, f"selector/{i}"))
+
+        self.coordinator_ref = self.actors.spawn(
+            make_coordinator(), f"coordinator/{population_name}/0"
+        )
+
+        if trainer_factory is None:
+            num_params = initial_params.num_parameters
+
+            def trainer_factory(profile: DeviceProfile) -> LocalTrainer:
+                return SyntheticTrainer(num_parameters=num_params)
+
+        for profile in self.profiles:
+            device_rng = self.rngs.stream(f"device/{profile.device_id}")
+            device = DeviceActor(
+                profile=profile,
+                availability=AvailabilityProcess(
+                    self.config.diurnal, profile.tz_offset_hours, device_rng
+                ),
+                network=self.config.network,
+                conditions=self.config.network.sample_conditions(device_rng),
+                selectors=list(self.selectors),
+                population_name=population_name,
+                trainer=trainer_factory(profile),
+                compute=self.config.compute,
+                attestation=self.attestation,
+                event_log=self.event_log,
+                rng=device_rng,
+                job=self.config.job,
+                compute_error_prob=self.config.compute_error_prob,
+            )
+            self.devices.append(device)
+            self.actors.spawn(device, profile.name)
+
+        self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
+        self._deployed = True
+
+    # -- telemetry ------------------------------------------------------------
+    def _on_round_result(self, result: RoundResult) -> None:
+        self.round_results.append(result)
+        t = result.ended_at_s
+        self.dashboard.record("rounds/outcome", t, 1.0 if result.committed else 0.0)
+        self.dashboard.record("rounds/completed_devices", t, result.completed_count)
+        self.dashboard.record("rounds/aborted_devices", t, result.aborted_count)
+        self.dashboard.record("rounds/dropped_devices", t, result.dropped_count)
+        self.dashboard.record("rounds/drop_rate", t, result.drop_rate)
+        self.dashboard.record("rounds/run_time_s", t, result.round_run_time_s)
+        self.dashboard.increment("rounds/total")
+        if result.committed:
+            self.dashboard.increment("rounds/committed")
+
+    def _sample_fleet(self) -> None:
+        now = self.loop.now
+        counts = {state: 0 for state in DeviceState}
+        for device in self.devices:
+            counts[device.state] += 1
+        for state, count in counts.items():
+            self.dashboard.record(f"devices/{state.value}", now, count)
+        self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
+
+    # -- running ------------------------------------------------------------
+    def run_for(self, duration_s: float) -> None:
+        if not self._deployed:
+            raise RuntimeError("deploy() before running")
+        self.loop.run_for(duration_s)
+
+    def run_days(self, days: float) -> None:
+        self.run_for(days * SECONDS_PER_DAY)
+
+    # -- results ------------------------------------------------------------
+    @property
+    def committed_rounds(self) -> list[RoundResult]:
+        return [r for r in self.round_results if r.committed]
+
+    def session_shapes(self):
+        return shape_distribution(self.event_log)
+
+    def global_model(self) -> Parameters:
+        assert self.population_name is not None
+        return self.store.latest(self.population_name).to_params()
+
+    def device_health_summary(self) -> dict[str, object]:
+        """Fleet-wide health telemetry (Sec. 5): training time, session
+        counts, errors by kind, and an OS-version breakdown — all PII-free
+        aggregates of per-device counters."""
+        from repro.analytics.quantile import MetricSummary
+
+        train_seconds = MetricSummary.empty()
+        sessions = MetricSummary.empty()
+        errors: dict[str, int] = {}
+        by_os: dict[int, int] = {}
+        for device in self.devices:
+            train_seconds.update(device.health.train_seconds)
+            sessions.update(device.health.sessions_started)
+            for reason, count in device.health.errors.items():
+                errors[reason] = errors.get(reason, 0) + count
+            os_v = device.profile.os_version
+            by_os[os_v] = by_os.get(os_v, 0) + device.health.sessions_started
+        return {
+            "train_seconds": train_seconds.to_dict(),
+            "sessions": sessions.to_dict(),
+            "errors_by_reason": errors,
+            "sessions_by_os_version": by_os,
+        }
+
+    def operational_summary(self) -> dict[str, float]:
+        """Headline Sec. 9 numbers from this run."""
+        committed = self.committed_rounds
+        drop_rates = [r.drop_rate for r in self.round_results if r.selected_count]
+        return {
+            "rounds_total": len(self.round_results),
+            "rounds_committed": len(committed),
+            "mean_drop_rate": float(np.mean(drop_rates)) if drop_rates else 0.0,
+            "mean_completed_per_round": (
+                float(np.mean([r.completed_count for r in committed]))
+                if committed
+                else 0.0
+            ),
+            "mean_round_time_s": (
+                float(np.mean([r.round_run_time_s for r in committed]))
+                if committed
+                else 0.0
+            ),
+            "download_bytes": self.config.network.meter.downloaded_bytes,
+            "upload_bytes": self.config.network.meter.uploaded_bytes,
+        }

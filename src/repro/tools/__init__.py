@@ -1,0 +1,44 @@
+"""Model engineer tools and workflow (Sec. 7).
+
+The developer surface: define and validate FL tasks in Python against
+proxy data (7.1), generate plans splitting device from server computation
+(7.2), produce *versioned* plans via graph transformations so months-old
+fleet runtimes stay servable (7.3), and pass the deployment gates —
+reviewed code, passing task tests, resources within a safe range, and the
+plan verified on every claimed runtime version in an emulator.
+"""
+
+from repro.tools.modeling import FLTaskBuilder, TestPredicate, ValidationError
+from repro.tools.versioning import (
+    IncompatiblePlanError,
+    PlanRepository,
+    TransformRegistry,
+    default_transforms,
+    transform_graph_for_runtime,
+)
+from repro.tools.deployment import (
+    DeploymentGate,
+    DeploymentReport,
+    PlanEmulator,
+    ResourceEstimate,
+    measure_resources,
+)
+from repro.tools.simulation import pretrain_on_proxy, run_simulated_task
+
+__all__ = [
+    "FLTaskBuilder",
+    "TestPredicate",
+    "ValidationError",
+    "IncompatiblePlanError",
+    "PlanRepository",
+    "TransformRegistry",
+    "default_transforms",
+    "transform_graph_for_runtime",
+    "DeploymentGate",
+    "DeploymentReport",
+    "PlanEmulator",
+    "ResourceEstimate",
+    "measure_resources",
+    "pretrain_on_proxy",
+    "run_simulated_task",
+]

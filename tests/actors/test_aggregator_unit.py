@@ -1,0 +1,171 @@
+"""Aggregator unit tests: pending-until-ack accounting and SecAgg flush."""
+
+import numpy as np
+import pytest
+
+from repro.actors.aggregator import Aggregator
+from repro.actors.kernel import Actor, ActorSystem
+from repro.actors import messages as msg
+from repro.core.config import SecAggConfig
+from repro.sim.event_loop import EventLoop
+
+
+class Sink(Actor):
+    def __init__(self):
+        self.messages = []
+
+    def receive(self, sender, message):
+        self.messages.append(message)
+
+
+def make_harness(secagg=None):
+    loop = EventLoop()
+    system = ActorSystem(loop, np.random.default_rng(0), mean_latency_s=0.0)
+    master = Sink()
+    master_ref = system.spawn(master, "master")
+    agg = Aggregator(
+        round_id=1,
+        task_id="t",
+        master=master_ref,
+        secagg=secagg or SecAggConfig(enabled=False),
+        rng=np.random.default_rng(1),
+    )
+    agg_ref = system.spawn(agg, "agg")
+    return loop, system, master, agg, agg_ref
+
+
+def report(device_id, vec, weight=10.0):
+    return msg.DeviceReport(
+        device_id=device_id,
+        round_id=1,
+        delta_vector=np.asarray(vec, dtype=float),
+        weight=weight,
+        num_examples=int(weight),
+        train_metrics={},
+        upload_nbytes=80,
+    )
+
+
+def test_report_held_pending_until_ack():
+    loop, system, master, agg, agg_ref = make_harness()
+    device = Sink()
+    device_ref = system.spawn(device, "device-7")
+    agg.register_device(7, device_ref)
+    system.tell(agg_ref, report(7, [1.0, 2.0]))
+    loop.run()
+    # Forwarded to the master, but not yet folded into the sum.
+    assert len(master.messages) == 1
+    partial = agg.flush(accepted_ids=set())
+    assert partial.device_count == 0  # never accepted
+    assert partial.delta_sum is None
+
+
+def test_ack_accept_folds_into_sum():
+    loop, system, master, agg, agg_ref = make_harness()
+    device = Sink()
+    device_ref = system.spawn(device, "device-7")
+    agg.register_device(7, device_ref)
+    system.tell(agg_ref, report(7, [1.0, 2.0], weight=5.0))
+    loop.run()
+    agg.ack_device(7, accepted=True)
+    loop.run()
+    # Device got the ack message.
+    assert any(
+        isinstance(m, msg.ReportAck) and m.accepted for m in device.messages
+    )
+    partial = agg.flush(accepted_ids=set())
+    assert partial.device_count == 1
+    np.testing.assert_array_equal(partial.delta_sum, [1.0, 2.0])
+    assert partial.weight_sum == 5.0
+
+
+def test_ack_reject_discards():
+    loop, system, master, agg, agg_ref = make_harness()
+    device = Sink()
+    device_ref = system.spawn(device, "device-7")
+    agg.register_device(7, device_ref)
+    system.tell(agg_ref, report(7, [1.0, 2.0]))
+    loop.run()
+    agg.ack_device(7, accepted=False)
+    partial = agg.flush(accepted_ids=set())
+    assert partial.device_count == 0
+
+
+def test_flush_resolves_in_flight_pending_with_accepted_set():
+    loop, system, master, agg, agg_ref = make_harness()
+    for d in (1, 2, 3):
+        agg.register_device(d, system.spawn(Sink(), f"device-{d}"))
+    system.tell(agg_ref, report(1, [1.0], weight=1.0))
+    system.tell(agg_ref, report(2, [2.0], weight=1.0))
+    system.tell(agg_ref, report(3, [4.0], weight=1.0))
+    loop.run()
+    # Master accepted 1 and 3 but the acks never reached the aggregator.
+    partial = agg.flush(accepted_ids={1, 3})
+    assert partial.device_count == 2
+    np.testing.assert_array_equal(partial.delta_sum, [5.0])
+
+
+def test_duplicate_and_post_drop_reports_ignored():
+    loop, system, master, agg, agg_ref = make_harness()
+    agg._devices = {4: None}
+    system.tell(
+        agg_ref,
+        msg.DeviceDropped(device_id=4, round_id=1, reason="eligibility"),
+    )
+    loop.run()
+    system.tell(agg_ref, report(4, [9.0]))
+    loop.run()
+    partial = agg.flush(accepted_ids={4})
+    assert partial.device_count == 0  # dropped devices cannot report
+    # The drop was forwarded to the master exactly once.
+    drops = [m for m in master.messages if isinstance(m, msg.DeviceDropped)]
+    assert len(drops) == 1
+
+
+def test_wrong_round_ignored():
+    loop, system, master, agg, agg_ref = make_harness()
+    agg._devices = {5: None}
+    bad = msg.DeviceReport(
+        device_id=5, round_id=99, delta_vector=np.ones(2), weight=1.0,
+        num_examples=1, train_metrics={}, upload_nbytes=8,
+    )
+    system.tell(agg_ref, bad)
+    loop.run()
+    assert master.messages == []
+
+
+def test_secagg_flush_recovers_exact_sum():
+    config = SecAggConfig(enabled=True, group_size=4, threshold_fraction=0.6)
+    loop, system, master, agg, agg_ref = make_harness(secagg=config)
+    rng = np.random.default_rng(3)
+    vectors = {d: rng.normal(size=6) for d in range(6)}
+    agg._devices = {d: None for d in range(6)}
+    for d, vec in vectors.items():
+        system.tell(agg_ref, report(d, vec, weight=float(d + 1)))
+    loop.run()
+    for d in vectors:
+        agg.ack_device(d, accepted=True)
+    partial = agg.flush(accepted_ids=set(vectors))
+    assert partial.device_count == 6
+    assert partial.secagg_metrics is not None
+    expected = sum(vectors.values())
+    np.testing.assert_allclose(partial.delta_sum, expected, atol=1e-3)
+    assert partial.weight_sum == pytest.approx(sum(range(1, 7)), abs=1e-3)
+
+
+def test_secagg_flush_with_non_reporting_devices():
+    """Forwarded-but-silent devices enter the protocol as dropouts."""
+    config = SecAggConfig(enabled=True, group_size=4, threshold_fraction=0.6)
+    loop, system, master, agg, agg_ref = make_harness(secagg=config)
+    rng = np.random.default_rng(4)
+    agg._devices = {d: None for d in range(8)}
+    vectors = {d: rng.normal(size=5) for d in range(6)}  # 2 never report
+    for d, vec in vectors.items():
+        system.tell(agg_ref, report(d, vec))
+        loop.run()
+        agg.ack_device(d, accepted=True)
+    partial = agg.flush(accepted_ids=set(vectors))
+    assert partial.device_count == 6
+    np.testing.assert_allclose(
+        partial.delta_sum, sum(vectors.values()), atol=1e-3
+    )

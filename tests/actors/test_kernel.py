@@ -1,0 +1,145 @@
+"""Actor kernel: delivery, lifecycle, supervision, failure injection."""
+
+import numpy as np
+
+from repro.actors.kernel import Actor, ActorSystem, DeathNotice
+from repro.sim.event_loop import EventLoop
+
+
+class Recorder(Actor):
+    def __init__(self):
+        self.received = []
+        self.started = False
+        self.stopped_crashed = None
+
+    def on_start(self):
+        self.started = True
+
+    def on_stop(self, crashed):
+        self.stopped_crashed = crashed
+
+    def receive(self, sender, message):
+        self.received.append((sender, message))
+
+
+def make_system():
+    loop = EventLoop()
+    system = ActorSystem(loop, np.random.default_rng(0), mean_latency_s=0.001)
+    return loop, system
+
+
+def test_spawn_runs_on_start():
+    loop, system = make_system()
+    actor = Recorder()
+    ref = system.spawn(actor, "r")
+    assert actor.started
+    assert ref.alive
+
+
+def test_message_delivery_with_latency():
+    loop, system = make_system()
+    actor = Recorder()
+    ref = system.spawn(actor, "r")
+    system.tell(ref, "hello")
+    assert actor.received == []  # not yet delivered
+    loop.run()
+    assert actor.received == [(None, "hello")]
+    assert loop.now > 0
+
+
+def test_messages_to_same_actor_preserve_order_with_equal_latency():
+    loop = EventLoop()
+    system = ActorSystem(loop, np.random.default_rng(0), mean_latency_s=0.0)
+    actor = Recorder()
+    ref = system.spawn(actor, "r")
+    for i in range(10):
+        system.tell(ref, i)
+    loop.run()
+    assert [m for _, m in actor.received] == list(range(10))
+
+
+def test_messages_to_dead_actor_dropped():
+    loop, system = make_system()
+    actor = Recorder()
+    ref = system.spawn(actor, "r")
+    system.tell(ref, "x")
+    system.stop(ref)
+    loop.run()
+    assert actor.received == []
+    assert system.messages_dropped == 1
+    assert not ref.alive
+
+
+def test_crash_notifies_watchers():
+    loop, system = make_system()
+    watcher, watched = Recorder(), Recorder()
+    watcher_ref = system.spawn(watcher, "watcher")
+    watched_ref = system.spawn(watched, "watched")
+    system.watch(watcher_ref, watched_ref)
+    system.crash(watched_ref)
+    loop.run()
+    (sender, notice), = watcher.received
+    assert isinstance(notice, DeathNotice)
+    assert notice.crashed
+    assert notice.ref == watched_ref
+    assert watched.stopped_crashed is True
+    assert system.crashes_injected == 1
+
+
+def test_graceful_stop_notice_not_crashed():
+    loop, system = make_system()
+    watcher, watched = Recorder(), Recorder()
+    watcher_ref = system.spawn(watcher, "w")
+    watched_ref = system.spawn(watched, "x")
+    system.watch(watcher_ref, watched_ref)
+    system.stop(watched_ref)
+    loop.run()
+    (_, notice), = watcher.received
+    assert not notice.crashed
+    assert watched.stopped_crashed is False
+
+
+def test_watching_already_dead_actor_fires_immediately():
+    loop, system = make_system()
+    watcher = Recorder()
+    watcher_ref = system.spawn(watcher, "w")
+    doomed_ref = system.spawn(Recorder(), "d")
+    system.crash(doomed_ref)
+    system.watch(watcher_ref, doomed_ref)
+    loop.run()
+    assert len(watcher.received) == 1
+
+
+def test_scheduled_work_skipped_after_death():
+    loop, system = make_system()
+
+    class Ticker(Actor):
+        def __init__(self):
+            self.ticks = 0
+
+        def on_start(self):
+            self.schedule(1.0, self.tick)
+
+        def tick(self):
+            self.ticks += 1
+            self.schedule(1.0, self.tick)
+
+        def receive(self, sender, message):
+            pass
+
+    ticker = Ticker()
+    ref = system.spawn(ticker, "t")
+    loop.run(until=3.5)
+    assert ticker.ticks == 3
+    system.crash(ref)
+    loop.run(until=10.0)
+    assert ticker.ticks == 3  # guarded schedule stops after death
+
+
+def test_termination_hook_runs():
+    loop, system = make_system()
+    released = []
+    system.on_actor_terminated(released.append)
+    ref = system.spawn(Recorder(), "r")
+    system.stop(ref)
+    assert released == [ref]

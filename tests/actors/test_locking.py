@@ -1,0 +1,74 @@
+"""Shared locking service: single ownership and auto-release."""
+
+import numpy as np
+
+from repro.actors.kernel import Actor, ActorSystem
+from repro.actors.locking import LockService
+from repro.sim.event_loop import EventLoop
+
+
+class Noop(Actor):
+    def receive(self, sender, message):
+        pass
+
+
+def refs(n=3):
+    loop = EventLoop()
+    system = ActorSystem(loop, np.random.default_rng(0))
+    return system, [system.spawn(Noop(), f"a{i}") for i in range(n)]
+
+
+def test_first_acquirer_wins():
+    _, (a, b, _) = refs()
+    locks = LockService()
+    assert locks.acquire("k", a)
+    assert not locks.acquire("k", b)
+    assert locks.owner_of("k") == a
+
+
+def test_acquire_is_idempotent_for_owner():
+    _, (a, *_) = refs()
+    locks = LockService()
+    assert locks.acquire("k", a)
+    assert locks.acquire("k", a)
+    assert locks.acquire_successes == 2
+
+
+def test_release_only_by_owner():
+    _, (a, b, _) = refs()
+    locks = LockService()
+    locks.acquire("k", a)
+    assert not locks.release("k", b)
+    assert locks.release("k", a)
+    assert locks.owner_of("k") is None
+    assert locks.acquire("k", b)
+
+
+def test_release_all_frees_everything():
+    _, (a, b, _) = refs()
+    locks = LockService()
+    locks.acquire("k1", a)
+    locks.acquire("k2", a)
+    locks.acquire("k3", b)
+    locks.release_all(a)
+    assert locks.owner_of("k1") is None
+    assert locks.owner_of("k2") is None
+    assert locks.owner_of("k3") == b
+
+
+def test_auto_release_on_actor_termination():
+    system, (a, b, _) = refs()
+    locks = LockService()
+    system.on_actor_terminated(locks.release_all)
+    locks.acquire("coordinator/pop", a)
+    system.crash(a)
+    assert locks.owner_of("coordinator/pop") is None
+    assert locks.acquire("coordinator/pop", b)
+
+
+def test_exactly_once_respawn_semantics():
+    """Multiple selectors racing to respawn: only one acquire succeeds."""
+    _, (s1, s2, s3) = refs()
+    locks = LockService()
+    winners = [locks.acquire("respawn/pop/42", s) for s in (s1, s2, s3)]
+    assert winners == [True, False, False]

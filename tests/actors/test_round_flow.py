@@ -1,0 +1,132 @@
+"""Integration: full rounds through the actor stack with a real fleet."""
+
+import numpy as np
+import pytest
+
+from repro import FLSystem, FLSystemConfig, TaskConfig, RoundConfig
+from repro.actors.coordinator import CoordinatorConfig
+from repro.analytics.session_shapes import classify_shape
+from repro.device.scheduler import JobSchedule
+from repro.nn.models import LogisticRegression
+from repro.sim.population import PopulationConfig
+
+
+def build_system(
+    seed=3, devices=250, target=15, job_interval=1200.0, **coordinator_kwargs
+):
+    config = FLSystemConfig(
+        seed=seed,
+        population=PopulationConfig(num_devices=devices),
+        num_selectors=2,
+        job=JobSchedule(job_interval, 0.5),
+        coordinator=CoordinatorConfig(**coordinator_kwargs)
+        if coordinator_kwargs
+        else CoordinatorConfig(),
+    )
+    system = FLSystem(config)
+    task = TaskConfig(
+        task_id="itest/train",
+        population_name="itest",
+        round_config=RoundConfig(
+            target_participants=target,
+            selection_timeout_s=60,
+            reporting_timeout_s=120,
+        ),
+    )
+    model = LogisticRegression(input_dim=6, n_classes=3)
+    params = model.init(np.random.default_rng(0))
+    system.deploy([task], params)
+    return system, params
+
+
+def test_rounds_commit_and_model_advances():
+    system, initial = build_system()
+    system.run_for(2 * 3600)
+    committed = system.committed_rounds
+    assert len(committed) >= 5
+    assert not system.global_model().allclose(initial)
+    # Exactly one persistent write per committed round, plus the init.
+    assert system.store.write_count == len(committed) + 1
+
+
+def test_completed_counts_hit_target():
+    system, _ = build_system(target=10)
+    system.run_for(2 * 3600)
+    for result in system.committed_rounds:
+        assert result.completed_count >= 10 * 0.8
+        assert result.selected_count <= int(np.ceil(10 * 1.3))
+
+
+def test_session_shapes_match_table_one_structure():
+    system, _ = build_system()
+    system.run_for(3 * 3600)
+    shapes = system.session_shapes()
+    total = sum(shapes.values())
+    assert total > 50
+    success = shapes.get("-v[]+^", 0) / total
+    rejected = shapes.get("-v[]+#", 0) / total
+    # Paper: 75% success, 22% rejected.  Generous bands for a small sim.
+    assert success > 0.5
+    assert 0.05 < rejected < 0.45
+    assert success > rejected
+
+
+def test_every_shape_classifiable():
+    system, _ = build_system()
+    system.run_for(3600)
+    for shape in system.session_shapes():
+        assert classify_shape(shape) in {
+            "success",
+            "upload_rejected",
+            "interrupted",
+            "network_issue",
+            "model_issue",
+            "error",
+            "incomplete",
+        }
+
+
+def test_download_traffic_dominates_upload():
+    """Fig. 9: plan+model down vs compressed update up."""
+    system, _ = build_system()
+    system.run_for(2 * 3600)
+    meter = system.config.network.meter
+    assert meter.downloaded_bytes > meter.uploaded_bytes
+
+
+def test_drop_rate_in_plausible_band():
+    system, _ = build_system()
+    system.run_for(3 * 3600)
+    summary = system.operational_summary()
+    assert 0.0 <= summary["mean_drop_rate"] < 0.3
+
+
+def test_non_pipelined_round_rate_is_lower():
+    """Sec. 4.3: overlapping selection with configuration/reporting raises
+    round frequency.  Needs abundant device supply so the pool refills
+    faster than rounds complete."""
+    kwargs = dict(seed=11, devices=500, target=10, job_interval=400.0)
+    pipelined, _ = build_system(pipelining=True, **kwargs)
+    gapped, _ = build_system(
+        pipelining=False, inter_round_gap_s=300.0, **kwargs
+    )
+    pipelined.run_for(2 * 3600)
+    gapped.run_for(2 * 3600)
+    assert len(pipelined.committed_rounds) > 1.3 * len(gapped.committed_rounds)
+
+
+def test_deploy_twice_rejected():
+    system, params = build_system()
+    with pytest.raises(RuntimeError, match="already deployed"):
+        system.deploy(
+            [TaskConfig(task_id="x", population_name="itest")], params
+        )
+
+
+def test_fleet_sampler_records_device_states():
+    system, _ = build_system()
+    system.run_for(3600)
+    participating = system.dashboard.series("devices/participating")
+    waiting = system.dashboard.series("devices/waiting")
+    assert len(participating) > 10
+    assert max(waiting.values) > 0

@@ -1,0 +1,64 @@
+"""Dashboard series and bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.dashboard import Dashboard, TimeSeries
+
+
+def test_record_and_read():
+    series = TimeSeries("x")
+    series.record(1.0, 10.0)
+    series.record(2.0, 20.0)
+    t, v = series.as_arrays()
+    np.testing.assert_array_equal(t, [1.0, 2.0])
+    np.testing.assert_array_equal(v, [10.0, 20.0])
+
+
+def test_non_monotonic_rejected():
+    series = TimeSeries("x")
+    series.record(5.0, 1.0)
+    with pytest.raises(ValueError, match="non-monotonic"):
+        series.record(4.0, 1.0)
+
+
+@pytest.mark.parametrize(
+    "reducer,expected",
+    [("mean", [15.0, 40.0]), ("sum", [30.0, 40.0]), ("max", [20.0, 40.0]),
+     ("count", [2.0, 1.0])],
+)
+def test_bucketed_reducers(reducer, expected):
+    series = TimeSeries("x")
+    series.record(10.0, 10.0)
+    series.record(50.0, 20.0)
+    series.record(70.0, 40.0)
+    _, values = series.bucketed(60.0, reducer=reducer)
+    np.testing.assert_array_equal(values, expected)
+
+
+def test_bucketed_empty():
+    t, v = TimeSeries("x").bucketed(60.0)
+    assert t.size == 0
+
+
+def test_unknown_reducer():
+    series = TimeSeries("x")
+    series.record(1.0, 1.0)
+    with pytest.raises(ValueError):
+        series.bucketed(60.0, reducer="median")
+
+
+def test_dashboard_series_are_singletons():
+    dash = Dashboard()
+    dash.record("a", 1.0, 5.0)
+    assert dash.series("a") is dash.series("a")
+    assert len(dash.series("a")) == 1
+    assert dash.series_names() == ["a"]
+
+
+def test_dashboard_counters():
+    dash = Dashboard()
+    dash.increment("rounds")
+    dash.increment("rounds", 2.0)
+    assert dash.counter("rounds") == 3.0
+    assert dash.counters() == {"rounds": 3.0}

@@ -1,0 +1,52 @@
+"""Event log basics."""
+
+from repro.analytics.events import DeviceEvent, EventLog
+
+
+def test_glyphs_match_table_one_legend():
+    assert DeviceEvent.CHECKIN.glyph == "-"
+    assert DeviceEvent.DOWNLOADED_PLAN.glyph == "v"
+    assert DeviceEvent.TRAIN_STARTED.glyph == "["
+    assert DeviceEvent.TRAIN_COMPLETED.glyph == "]"
+    assert DeviceEvent.UPLOAD_STARTED.glyph == "+"
+    assert DeviceEvent.UPLOAD_COMPLETED.glyph == "^"
+    assert DeviceEvent.UPLOAD_REJECTED.glyph == "#"
+    assert DeviceEvent.INTERRUPTED.glyph == "!"
+    assert DeviceEvent.ERROR.glyph == "*"
+
+
+def test_log_and_session_lookup():
+    log = EventLog()
+    log.log(1.0, device_id=5, round_id=2, event=DeviceEvent.CHECKIN)
+    log.log(2.0, device_id=5, round_id=2, event=DeviceEvent.DOWNLOADED_PLAN)
+    log.log(1.5, device_id=6, round_id=2, event=DeviceEvent.CHECKIN)
+    assert len(log) == 3
+    session = log.session(5, 2)
+    assert [r.event for r in session] == [
+        DeviceEvent.CHECKIN,
+        DeviceEvent.DOWNLOADED_PLAN,
+    ]
+    assert log.session(99, 1) == []
+
+
+def test_sessions_ordered_by_first_event():
+    log = EventLog()
+    log.log(5.0, 1, 1, DeviceEvent.CHECKIN)
+    log.log(2.0, 2, 1, DeviceEvent.CHECKIN)
+    keys = [key for key, _ in log.sessions()]
+    assert keys == [(2, 1), (1, 1)]
+
+
+def test_window_query_and_count():
+    log = EventLog()
+    for t in (1.0, 5.0, 9.0):
+        log.log(t, 1, 1, DeviceEvent.ERROR)
+    assert len(log.events_in_window(0.0, 6.0)) == 2
+    assert log.count(DeviceEvent.ERROR) == 3
+    assert log.count(DeviceEvent.CHECKIN) == 0
+
+
+def test_attrs_preserved():
+    log = EventLog()
+    log.log(1.0, 1, 1, DeviceEvent.ERROR, reason="oom")
+    assert log.records()[0].attrs["reason"] == "oom"

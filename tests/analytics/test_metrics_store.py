@@ -1,0 +1,36 @@
+"""Materialized model metrics (Sec. 7.4)."""
+
+from repro.analytics.metrics_store import ModelMetricsStore
+
+
+def test_materialize_summarizes_device_reports():
+    store = ModelMetricsStore()
+    reports = [{"loss": 1.0, "n": 10}, {"loss": 3.0, "n": 30}, {"loss": 2.0, "n": 20}]
+    record = store.materialize(
+        "task", round_number=5, time_s=100.0, device_metrics=reports,
+        fl_runtime="sim",
+    )
+    assert record.summaries["loss"].moments.mean == 2.0
+    assert record.summaries["n"].moments.count == 3
+    assert record.metadata["fl_runtime"] == "sim"
+
+
+def test_rows_are_flat_and_annotated():
+    store = ModelMetricsStore()
+    store.materialize("task", 1, 10.0, [{"loss": 2.0}])
+    store.materialize("task", 2, 20.0, [{"loss": 1.0}])
+    rows = store.to_rows("task")
+    assert len(rows) == 2
+    assert rows[0]["task_name"] == "task"
+    assert rows[0]["round_number"] == 1
+    assert rows[1]["loss/mean"] == 1.0
+    assert "loss/p50" in rows[0]
+
+
+def test_histories_per_task():
+    store = ModelMetricsStore()
+    store.materialize("a", 1, 0.0, [])
+    store.materialize("b", 1, 0.0, [])
+    assert store.tasks() == ["a", "b"]
+    assert len(store.history("a")) == 1
+    assert store.history("zzz") == []

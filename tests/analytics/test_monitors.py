@@ -1,0 +1,54 @@
+"""Time-series monitors fire on substantial deviations (Sec. 5)."""
+
+import pytest
+
+from repro.analytics.dashboard import TimeSeries
+from repro.analytics.monitors import DeviationMonitor, ThresholdMonitor
+
+
+def series_of(values, name="drop_rate"):
+    series = TimeSeries(name)
+    for i, v in enumerate(values):
+        series.record(float(i), v)
+    return series
+
+
+def test_threshold_upper_bound():
+    monitor = ThresholdMonitor("dropout", upper=0.15)
+    alerts = monitor.check(series_of([0.05, 0.08, 0.30, 0.07]))
+    assert len(alerts) == 1
+    assert alerts[0].time_s == 2.0
+    assert "0.3" in alerts[0].message
+
+
+def test_threshold_lower_bound():
+    monitor = ThresholdMonitor("completion", lower=0.5)
+    alerts = monitor.check(series_of([0.9, 0.4, 0.95]))
+    assert len(alerts) == 1
+    assert alerts[0].value == 0.4
+
+
+def test_threshold_requires_a_bound():
+    with pytest.raises(ValueError):
+        ThresholdMonitor("x")
+
+
+def test_deviation_monitor_flags_regression():
+    """The paper's example: drop-out rates much higher than expected."""
+    steady = [0.07, 0.08, 0.07, 0.09, 0.08, 0.07, 0.08, 0.09, 0.08, 0.07]
+    spiked = steady + [0.40]
+    monitor = DeviationMonitor("dropout-regression", window=10, z_threshold=4.0)
+    assert monitor.check(series_of(steady)) == []
+    alerts = monitor.check(series_of(spiked))
+    assert len(alerts) == 1
+    assert alerts[0].value == 0.40
+
+
+def test_deviation_monitor_ignores_constant_series():
+    monitor = DeviationMonitor("m", window=5)
+    assert monitor.check(series_of([1.0] * 20)) == []
+
+
+def test_deviation_window_validation():
+    with pytest.raises(ValueError):
+        DeviationMonitor("m", window=2)

@@ -1,0 +1,80 @@
+"""P² sketch accuracy and streaming moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.quantile import MetricSummary, P2Quantile, StreamingMoments
+
+
+def test_p2_median_of_uniform(rng):
+    sketch = P2Quantile(0.5)
+    data = rng.uniform(0, 100, size=5000)
+    for v in data:
+        sketch.update(v)
+    assert sketch.value() == pytest.approx(np.quantile(data, 0.5), abs=3.0)
+
+
+@pytest.mark.parametrize("q", [0.25, 0.5, 0.75, 0.95])
+def test_p2_tracks_normal_quantiles(q, rng):
+    sketch = P2Quantile(q)
+    data = rng.normal(50, 10, size=8000)
+    for v in data:
+        sketch.update(v)
+    true = np.quantile(data, q)
+    assert abs(sketch.value() - true) < 1.0
+
+
+def test_p2_small_sample_exactish():
+    sketch = P2Quantile(0.5)
+    for v in [5.0, 1.0, 3.0]:
+        sketch.update(v)
+    assert sketch.value() == 3.0
+
+
+def test_p2_empty_raises():
+    with pytest.raises(ValueError):
+        P2Quantile(0.5).value()
+
+
+def test_p2_invalid_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+@given(st.lists(st.floats(-1e4, 1e4), min_size=6, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_p2_value_within_observed_range(values):
+    sketch = P2Quantile(0.5)
+    for v in values:
+        sketch.update(v)
+    assert min(values) <= sketch.value() <= max(values)
+
+
+def test_moments_match_numpy(rng):
+    data = rng.normal(10, 3, size=1000)
+    moments = StreamingMoments()
+    for v in data:
+        moments.update(v)
+    assert moments.mean == pytest.approx(np.mean(data))
+    assert moments.std == pytest.approx(np.std(data, ddof=1), rel=1e-9)
+    assert moments.min == data.min()
+    assert moments.max == data.max()
+
+
+def test_moments_empty_raises():
+    with pytest.raises(ValueError):
+        StreamingMoments().mean
+
+
+def test_metric_summary_to_dict(rng):
+    summary = MetricSummary.empty()
+    for v in rng.uniform(0, 1, size=500):
+        summary.update(v)
+    d = summary.to_dict()
+    assert d["count"] == 500
+    assert 0 <= d["p25"] <= d["p50"] <= d["p75"] <= d["p95"] <= 1
+    assert MetricSummary.empty().to_dict() == {"count": 0}

@@ -1,0 +1,74 @@
+"""Session shape strings and the Table 1 rendering."""
+
+from collections import Counter
+
+from repro.analytics.events import DeviceEvent, EventLog
+from repro.analytics.session_shapes import (
+    SESSION_LEGEND,
+    classify_shape,
+    format_table,
+    session_shape,
+    shape_distribution,
+)
+
+
+def make_session(log, device, round_id, events, t0=0.0):
+    for i, event in enumerate(events):
+        log.log(t0 + i, device, round_id, event)
+
+
+def test_shape_string_ordering():
+    log = EventLog()
+    # Log out of order; shape must respect timestamps.
+    log.log(3.0, 1, 1, DeviceEvent.TRAIN_STARTED)
+    log.log(1.0, 1, 1, DeviceEvent.CHECKIN)
+    log.log(2.0, 1, 1, DeviceEvent.DOWNLOADED_PLAN)
+    assert session_shape(log.session(1, 1)) == "-v["
+
+
+def test_distribution_counts():
+    log = EventLog()
+    success = [
+        DeviceEvent.CHECKIN,
+        DeviceEvent.DOWNLOADED_PLAN,
+        DeviceEvent.TRAIN_STARTED,
+        DeviceEvent.TRAIN_COMPLETED,
+        DeviceEvent.UPLOAD_STARTED,
+        DeviceEvent.UPLOAD_COMPLETED,
+    ]
+    interrupted = [
+        DeviceEvent.CHECKIN,
+        DeviceEvent.DOWNLOADED_PLAN,
+        DeviceEvent.TRAIN_STARTED,
+        DeviceEvent.INTERRUPTED,
+    ]
+    make_session(log, 1, 1, success)
+    make_session(log, 2, 1, success)
+    make_session(log, 3, 1, interrupted)
+    counts = shape_distribution(log)
+    assert counts["-v[]+^"] == 2
+    assert counts["-v[!"] == 1
+
+
+def test_format_table_layout():
+    table = format_table(Counter({"-v[]+^": 750, "-v[]+#": 220, "-v[!": 30}))
+    lines = table.splitlines()
+    assert "Session Shape" in lines[0]
+    assert "-v[]+^" in lines[1]
+    assert "75%" in lines[1]
+    assert "22%" in lines[2]
+
+
+def test_legend_covers_all_glyphs():
+    for event in DeviceEvent:
+        assert event.glyph in SESSION_LEGEND
+
+
+def test_classification_examples_from_paper():
+    """Sec. 5: '-v[]+*' is a network issue, '-v[*' is a model issue."""
+    assert classify_shape("-v[]+*") == "network_issue"
+    assert classify_shape("-v[*") == "model_issue"
+    assert classify_shape("-v[]+^") == "success"
+    assert classify_shape("-v[]+#") == "upload_rejected"
+    assert classify_shape("-v[!") == "interrupted"
+    assert classify_shape("-v") == "incomplete"

@@ -1,0 +1,36 @@
+"""Centralized baseline trainer."""
+
+import numpy as np
+
+from repro.baselines.central import CentralizedTrainer
+from repro.core.datasets import ClientDataset
+from repro.nn.models import LogisticRegression
+
+
+def test_training_reduces_loss_and_counts_steps(rng):
+    w = rng.normal(size=(4, 3))
+    x = rng.normal(size=(300, 4))
+    data = ClientDataset("pool", x, (x @ w).argmax(axis=1))
+    trainer = CentralizedTrainer(
+        LogisticRegression(input_dim=4, n_classes=3),
+        learning_rate=0.3,
+        batch_size=30,
+    )
+    params = trainer.fit(data, epochs=5, rng=rng)
+    assert trainer.sgd_steps == 5 * 10
+    assert trainer.history[-1] < trainer.history[0]
+    acc = (
+        trainer.model.logits(params, x).argmax(axis=1) == data.y
+    ).mean()
+    assert acc > 0.8
+
+
+def test_accepts_client_list(rng):
+    w = rng.normal(size=(3, 2))
+    clients = []
+    for i in range(3):
+        x = rng.normal(size=(40, 3))
+        clients.append(ClientDataset(f"c{i}", x, (x @ w).argmax(axis=1)))
+    trainer = CentralizedTrainer(LogisticRegression(3, 2))
+    trainer.fit(clients, epochs=1, rng=rng)
+    assert trainer.sgd_steps == int(np.ceil(120 / trainer.batch_size))

@@ -1,0 +1,59 @@
+"""N-gram baseline: learns bigram structure, beats chance."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ngram import NGramLanguageModel
+from repro.core.datasets import ClientDataset
+from repro.data.keyboard import KeyboardCorpusConfig, build_keyboard_clients
+
+
+def test_learns_deterministic_bigrams():
+    # Token stream alternates 0 -> 1 -> 0 ...; contexts end at prev token.
+    x = np.array([[0], [1], [0], [1]])
+    y = np.array([1, 0, 1, 0])
+    model = NGramLanguageModel(vocab_size=3, interpolation=1.0, add_k=0.01)
+    model.fit([ClientDataset("c", x, y)])
+    preds = model.predict(np.array([[0], [1]]))
+    np.testing.assert_array_equal(preds, [1, 0])
+
+
+def test_beats_chance_on_keyboard_corpus(rng):
+    config = KeyboardCorpusConfig(
+        vocab_size=60, num_users=30, sentences_per_user_mean=60.0
+    )
+    clients = build_keyboard_clients(config, rng)
+    model = NGramLanguageModel(vocab_size=60).fit(clients)
+    pooled = ClientDataset(
+        "all",
+        np.concatenate([c.x for c in clients]),
+        np.concatenate([c.y for c in clients]),
+    )
+    recall = model.top_k_recall(pooled, k=1)
+    assert recall > 3.0 / 60  # well above the 1.7% chance level
+
+
+def test_top_k_recall_monotone_in_k(rng):
+    config = KeyboardCorpusConfig(vocab_size=40, num_users=10)
+    clients = build_keyboard_clients(config, rng)
+    model = NGramLanguageModel(vocab_size=40).fit(clients)
+    data = clients[0]
+    r1 = model.top_k_recall(data, k=1)
+    r3 = model.top_k_recall(data, k=3)
+    r10 = model.top_k_recall(data, k=10)
+    assert r1 <= r3 <= r10
+
+
+def test_probs_normalized(rng):
+    config = KeyboardCorpusConfig(vocab_size=30, num_users=5)
+    clients = build_keyboard_clients(config, rng)
+    model = NGramLanguageModel(vocab_size=30).fit(clients)
+    probs = model.next_word_probs(np.arange(30))
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NGramLanguageModel(10, interpolation=1.5)
+    with pytest.raises(ValueError):
+        NGramLanguageModel(10, add_k=-1)

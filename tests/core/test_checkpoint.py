@@ -1,0 +1,62 @@
+"""Checkpoint store: the 'commit only after full aggregation' contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointStore, FLCheckpoint
+from repro.nn.parameters import Parameters
+
+
+def params(val=1.0):
+    return Parameters({"w": np.full(4, val)})
+
+
+def test_checkpoint_roundtrip():
+    ckpt = FLCheckpoint.from_params(params(3.0), "pop", "task", 5, note="x")
+    recovered = ckpt.to_params()
+    assert recovered.allclose(params(3.0))
+    assert ckpt.round_number == 5
+    assert ckpt.metadata["note"] == "x"
+    assert ckpt.nbytes == len(ckpt.payload)
+
+
+def test_initialize_then_commit():
+    store = CheckpointStore()
+    store.initialize(params(0.0), "pop", "task")
+    assert store.latest("pop").round_number == 0
+    store.commit(FLCheckpoint.from_params(params(1.0), "pop", "task", 1))
+    assert store.latest("pop").round_number == 1
+    assert store.write_count == 2
+    assert len(store.history("pop")) == 2
+
+
+def test_commit_must_be_monotonic():
+    store = CheckpointStore()
+    store.initialize(params(), "pop", "task")
+    store.commit(FLCheckpoint.from_params(params(), "pop", "task", 3))
+    with pytest.raises(ValueError, match="non-monotonic"):
+        store.commit(FLCheckpoint.from_params(params(), "pop", "task", 3))
+    with pytest.raises(ValueError, match="non-monotonic"):
+        store.commit(FLCheckpoint.from_params(params(), "pop", "task", 2))
+
+
+def test_gaps_in_round_numbers_allowed():
+    store = CheckpointStore()
+    store.initialize(params(), "pop", "task")
+    store.commit(FLCheckpoint.from_params(params(), "pop", "task", 7))
+    assert store.latest("pop").round_number == 7
+
+
+def test_unknown_population():
+    store = CheckpointStore()
+    assert not store.has_checkpoint("nope")
+    with pytest.raises(KeyError):
+        store.latest("nope")
+
+
+def test_populations_are_isolated():
+    store = CheckpointStore()
+    store.initialize(params(1.0), "a", "t")
+    store.initialize(params(2.0), "b", "t")
+    assert store.latest("a").to_params()["w"][0] == 1.0
+    assert store.latest("b").to_params()["w"][0] == 2.0

@@ -1,0 +1,69 @@
+"""ClientDataset batching and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import ClientDataset, pool_datasets, train_holdout_split
+
+
+def make_dataset(n=10, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return ClientDataset("c", rng.normal(size=(n, d)), rng.integers(0, 2, size=n))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="examples"):
+        ClientDataset("c", np.zeros((3, 2)), np.zeros(4))
+
+
+def test_batches_cover_every_example_each_epoch(rng):
+    ds = make_dataset(n=10)
+    seen = []
+    for xb, yb in ds.batches(batch_size=3, epochs=2, rng=rng):
+        assert xb.shape[0] == yb.shape[0]
+        seen.append(xb.shape[0])
+    assert sum(seen) == 20  # 2 epochs x 10 examples
+    # 10/3 -> batches of 3,3,3,1 per epoch
+    assert seen == [3, 3, 3, 1, 3, 3, 3, 1]
+
+
+def test_batches_shuffle_differs_across_epochs(rng):
+    ds = ClientDataset("c", np.arange(8)[:, None], np.arange(8))
+    epochs = list(ds.batches(batch_size=8, epochs=2, rng=rng))
+    assert not np.array_equal(epochs[0][1], epochs[1][1])
+    assert sorted(epochs[0][1]) == sorted(epochs[1][1]) == list(range(8))
+
+
+def test_batches_without_rng_preserve_order():
+    ds = ClientDataset("c", np.arange(5)[:, None], np.arange(5))
+    (xb, yb), = list(ds.batches(batch_size=5, epochs=1))
+    np.testing.assert_array_equal(yb, np.arange(5))
+
+
+@pytest.mark.parametrize("batch_size,epochs", [(0, 1), (2, 0), (-1, 1)])
+def test_invalid_batching(batch_size, epochs):
+    with pytest.raises(ValueError):
+        list(make_dataset().batches(batch_size, epochs))
+
+
+def test_holdout_split_partitions(rng):
+    ds = make_dataset(n=20)
+    train, holdout = train_holdout_split(ds, 0.25, rng)
+    assert train.num_examples == 15
+    assert holdout.num_examples == 5
+
+
+def test_holdout_fraction_bounds(rng):
+    with pytest.raises(ValueError):
+        train_holdout_split(make_dataset(), 0.0, rng)
+    with pytest.raises(ValueError):
+        train_holdout_split(make_dataset(), 1.0, rng)
+
+
+def test_pool_concatenates():
+    a = make_dataset(n=4, seed=1)
+    b = make_dataset(n=6, seed=2)
+    pooled = pool_datasets([a, b])
+    assert pooled.num_examples == 10
+    with pytest.raises(ValueError):
+        pool_datasets([])

@@ -1,0 +1,144 @@
+"""Federated Averaging: Algorithm 1 semantics, exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import ClientDataset
+from repro.core.fedavg import (
+    ClientUpdateResult,
+    FedAvgConfig,
+    FederatedAveraging,
+    client_update,
+)
+from repro.nn.models import LogisticRegression
+from repro.nn.parameters import Parameters
+
+
+def make_clients(rng, n_clients=8, n=40, d=4, c=3):
+    w_true = rng.normal(size=(d, c))
+    clients = []
+    for i in range(n_clients):
+        x = rng.normal(size=(n, d))
+        y = (x @ w_true + 0.1 * rng.normal(size=(n, c))).argmax(axis=1)
+        clients.append(ClientDataset(f"c{i}", x, y))
+    return clients
+
+
+def test_client_update_delta_is_weighted(rng):
+    """ClientUpdate returns Δ = n * (w_local - w_init)."""
+    model = LogisticRegression(input_dim=4, n_classes=3)
+    params = model.init(rng)
+    ds = make_clients(rng, n_clients=1, n=20)[0]
+    update = client_update(
+        model, params, ds, epochs=1, batch_size=20, learning_rate=0.5,
+        rng=np.random.default_rng(0),
+    )
+    # One full-batch step: w_local = w - 0.5 * grad, so delta = -n*0.5*grad.
+    _, grads = model.loss_and_grad(params, ds.x, ds.y)
+    expected = grads.scale(-0.5 * 20)
+    assert update.delta.allclose(expected, atol=1e-10)
+    assert update.weight == 20
+    assert update.steps == 1
+
+
+def test_aggregate_matches_algorithm_one(rng):
+    """w_{t+1} = w_t + (Σ Δ_k) / (Σ n_k)."""
+    model = LogisticRegression(input_dim=2, n_classes=2)
+    algo = FederatedAveraging(model)
+    w = Parameters({"W": np.zeros((2, 2)), "b": np.zeros(2)})
+    u1 = ClientUpdateResult(
+        "a", Parameters({"W": np.full((2, 2), 2.0), "b": np.full(2, 2.0)}),
+        weight=2.0, num_examples=2, mean_loss=0.0, steps=1,
+    )
+    u2 = ClientUpdateResult(
+        "b", Parameters({"W": np.full((2, 2), 6.0), "b": np.full(2, 6.0)}),
+        weight=2.0, num_examples=2, mean_loss=0.0, steps=1,
+    )
+    out = algo.aggregate(w, [u1, u2])
+    # (2 + 6) / 4 = 2.0 everywhere
+    assert out["W"][0, 0] == pytest.approx(2.0)
+    assert out["b"][1] == pytest.approx(2.0)
+
+
+def test_aggregate_weighting_prefers_larger_clients():
+    model = LogisticRegression(input_dim=1, n_classes=2)
+    algo = FederatedAveraging(model)
+    w = Parameters({"v": np.zeros(1)})
+    small = ClientUpdateResult(
+        "s", Parameters({"v": np.array([1.0 * 1])}), 1.0, 1, 0.0, 1
+    )
+    big = ClientUpdateResult(
+        "b", Parameters({"v": np.array([-1.0 * 9])}), 9.0, 9, 0.0, 1
+    )
+    out = algo.aggregate(w, [small, big])
+    assert out["v"][0] == pytest.approx((1.0 - 9.0) / 10.0)
+
+
+def test_aggregate_rejects_empty(rng):
+    algo = FederatedAveraging(LogisticRegression(1, 2))
+    with pytest.raises(ValueError):
+        algo.aggregate(Parameters({"v": np.zeros(1)}), [])
+
+
+def test_update_weight_must_be_positive():
+    with pytest.raises(ValueError):
+        ClientUpdateResult("x", Parameters({"v": np.zeros(1)}), 0.0, 0, 0.0, 0)
+
+
+def test_fit_converges_on_shared_task(rng):
+    model = LogisticRegression(input_dim=4, n_classes=3)
+    clients = make_clients(rng)
+    algo = FederatedAveraging(
+        model, FedAvgConfig(clients_per_round=4, learning_rate=0.5, epochs=2)
+    )
+    params, history = algo.fit(clients, num_rounds=40, rng=rng)
+    assert history[-1].mean_client_loss < 0.5 * history[0].mean_client_loss
+
+
+def test_max_examples_caps_client_contribution(rng):
+    model = LogisticRegression(input_dim=4, n_classes=3)
+    params = model.init(rng)
+    ds = make_clients(rng, n_clients=1, n=100)[0]
+    update = client_update(
+        model, params, ds, epochs=1, batch_size=10, learning_rate=0.1,
+        rng=rng, max_examples=30,
+    )
+    assert update.num_examples == 30
+    assert update.weight == 30
+
+
+def test_clip_update_norm_bounds_delta(rng):
+    model = LogisticRegression(input_dim=4, n_classes=3)
+    params = model.init(rng)
+    ds = make_clients(rng, n_clients=1)[0]
+    update = client_update(
+        model, params, ds, epochs=5, batch_size=8, learning_rate=2.0,
+        rng=rng, clip_update_norm=0.01,
+    )
+    # Clip bound is per-example: ||delta|| <= clip * n.
+    assert update.delta.l2_norm() <= 0.01 * update.weight + 1e-9
+
+
+def test_eval_fn_called_on_schedule(rng):
+    model = LogisticRegression(input_dim=4, n_classes=3)
+    clients = make_clients(rng, n_clients=4)
+    calls = []
+
+    def eval_fn(params, round_number):
+        calls.append(round_number)
+        return {"acc": 1.0}
+
+    algo = FederatedAveraging(model, FedAvgConfig(clients_per_round=2))
+    _, history = algo.fit(clients, 7, rng, eval_fn=eval_fn, eval_every=3)
+    assert calls == [3, 6, 7]
+    assert history[2].eval_metrics == {"acc": 1.0}
+
+
+def test_server_learning_rate_scales_delta(rng):
+    model = LogisticRegression(input_dim=1, n_classes=2)
+    w = Parameters({"v": np.zeros(1)})
+    update = ClientUpdateResult(
+        "a", Parameters({"v": np.array([4.0])}), 2.0, 2, 0.0, 1
+    )
+    half = FederatedAveraging(model, FedAvgConfig(server_learning_rate=0.5))
+    assert half.aggregate(w, [update])["v"][0] == pytest.approx(1.0)

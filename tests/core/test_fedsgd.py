@@ -1,0 +1,64 @@
+"""FedSGD: one synchronous gradient step, example-weighted."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import ClientDataset, pool_datasets
+from repro.core.fedsgd import FedSGD, FedSGDConfig
+from repro.nn.models import LogisticRegression
+
+
+def make_clients(rng, sizes=(10, 30)):
+    w_true = rng.normal(size=(3, 2))
+    clients = []
+    for i, n in enumerate(sizes):
+        x = rng.normal(size=(n, 3))
+        y = (x @ w_true).argmax(axis=1)
+        clients.append(ClientDataset(f"c{i}", x, y))
+    return clients
+
+
+def test_round_equals_pooled_gradient_step(rng):
+    """With all clients selected, FedSGD == one SGD step on pooled data."""
+    model = LogisticRegression(input_dim=3, n_classes=2)
+    clients = make_clients(rng)
+    params = model.init(rng)
+    algo = FedSGD(model, FedSGDConfig(clients_per_round=2, learning_rate=0.7))
+    new_params, _ = algo.run_round(1, params, clients, np.random.default_rng(0))
+
+    pooled = pool_datasets(clients)
+    _, grads = model.loss_and_grad(params, pooled.x, pooled.y)
+    expected = params.axpy(-0.7, grads)
+    assert new_params.allclose(expected, atol=1e-10)
+
+
+def test_fit_reduces_loss(rng):
+    model = LogisticRegression(input_dim=3, n_classes=2)
+    clients = make_clients(rng, sizes=(50, 50, 50))
+    algo = FedSGD(model, FedSGDConfig(clients_per_round=3, learning_rate=0.5))
+    _, history = algo.fit(clients, 30, rng)
+    assert history[-1].mean_client_loss < history[0].mean_client_loss
+
+
+def test_max_examples_cap(rng):
+    model = LogisticRegression(input_dim=3, n_classes=2)
+    clients = make_clients(rng, sizes=(100,))
+    algo = FedSGD(
+        model, FedSGDConfig(clients_per_round=1, max_examples_per_client=25)
+    )
+    update = algo.client_gradient(model.init(rng), clients[0], rng)
+    assert update.num_examples == 25
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"clients_per_round": 0}, {"learning_rate": 0.0}]
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        FedSGDConfig(**kwargs)
+
+
+def test_no_clients_raises(rng):
+    algo = FedSGD(LogisticRegression(2, 2))
+    with pytest.raises(ValueError):
+        algo.run_round(1, algo.initialize(rng), [], rng)

@@ -1,0 +1,99 @@
+"""Pace steering: sync windows, spread windows, diurnal damping."""
+
+import numpy as np
+import pytest
+
+from repro.core.pace import PaceConfig, PaceSteering, ReconnectWindow, checkin_dispersion
+from repro.sim.diurnal import DiurnalModel
+
+
+def steering(**kwargs):
+    return PaceSteering(PaceConfig(**kwargs), DiurnalModel())
+
+
+def test_small_population_windows_align_to_round_boundary():
+    """Rejected devices of a small population should return together."""
+    pace = steering(round_period_s=300.0, sync_window_width_s=30.0)
+    w1 = pace.suggest_reconnect(now_s=100.0, population_size=50, needed_per_round=20)
+    w2 = pace.suggest_reconnect(now_s=240.0, population_size=50, needed_per_round=20)
+    assert w1.earliest_s % 300.0 == 0.0
+    assert w2.earliest_s % 300.0 == 0.0
+    assert w1.width_s == 30.0
+
+
+def test_sync_window_respects_min_delay():
+    pace = steering(round_period_s=300.0, min_reconnect_delay_s=60.0)
+    window = pace.suggest_reconnect(now_s=290.0, population_size=10, needed_per_round=5)
+    assert window.earliest_s >= 290.0 + 60.0
+
+
+def test_large_population_window_scales_with_population():
+    pace = steering(small_population_threshold=1000)
+    small_horizon = pace.suggest_reconnect(2_000.0, 10_000, 100).width_s
+    big_horizon = pace.suggest_reconnect(2_000.0, 1_000_000, 100).width_s
+    assert big_horizon > small_horizon
+
+
+def test_large_population_window_capped():
+    pace = steering(max_reconnect_delay_s=7200.0, small_population_threshold=100)
+    window = pace.suggest_reconnect(0.0, 10_000_000, 10)
+    assert window.width_s <= 7200.0
+
+
+def test_diurnal_damping_stretches_peak_windows():
+    model = DiurnalModel(peak_hour=2.0)
+    pace = PaceSteering(
+        PaceConfig(small_population_threshold=100, diurnal_damping=True), model
+    )
+    # Population small enough that the horizon stays under the cap, so the
+    # damping factor is visible.
+    peak = pace.suggest_reconnect(2 * 3600.0, 10_000, 100).width_s
+    trough = pace.suggest_reconnect(14 * 3600.0, 10_000, 100).width_s
+    assert peak > trough
+
+
+def test_damping_disabled_gives_equal_windows():
+    pace = PaceSteering(
+        PaceConfig(small_population_threshold=100, diurnal_damping=False),
+        DiurnalModel(),
+    )
+    peak = pace.suggest_reconnect(2 * 3600.0, 10_000, 100).width_s
+    trough = pace.suggest_reconnect(14 * 3600.0, 10_000, 100).width_s
+    assert peak == trough
+
+
+def test_window_sampling_within_bounds(rng):
+    window = ReconnectWindow(100.0, 200.0)
+    samples = [window.sample(rng) for _ in range(100)]
+    assert all(100.0 <= s <= 200.0 for s in samples)
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        ReconnectWindow(10.0, 5.0)
+
+
+def test_dispersion_sync_vs_spread(rng):
+    """Synchronized check-ins have low dispersion; uniform ones high."""
+    period = 300.0
+    synced = 300.0 * np.arange(100) + rng.uniform(0, 15, size=100)
+    spread = rng.uniform(0, 30_000, size=100)
+    assert checkin_dispersion(synced, period) < 0.2
+    assert checkin_dispersion(spread, period) > 0.7
+
+
+def test_dispersion_empty():
+    assert checkin_dispersion(np.array([]), 300.0) == 1.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"round_period_s": 0},
+        {"min_reconnect_delay_s": 0},
+        {"max_reconnect_delay_s": 30.0, "min_reconnect_delay_s": 60.0},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        PaceConfig(**kwargs)

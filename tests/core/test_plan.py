@@ -1,0 +1,76 @@
+"""Plan generation: device/server split, sizing, compatibility."""
+
+import pytest
+
+from repro.core.config import ClientTrainingConfig, SecAggConfig, TaskKind
+from repro.core.plan import ExampleSelectionCriteria, generate_plan
+
+
+def test_training_plan_structure():
+    plan = generate_plan(
+        task_id="t",
+        kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(epochs=2, batch_size=8),
+        secagg=SecAggConfig(),
+        model_nbytes=1000,
+    )
+    assert plan.device.kind is TaskKind.TRAINING
+    assert "fused_train_step" in plan.device.graph.op_names()
+    assert plan.server.graph.op_names() == ["sum_updates", "apply_aggregate"]
+    assert not plan.device.selection_criteria.holdout
+
+
+def test_eval_plan_uses_holdout():
+    plan = generate_plan(
+        task_id="t",
+        kind=TaskKind.EVALUATION,
+        client_config=ClientTrainingConfig(),
+        secagg=SecAggConfig(),
+        model_nbytes=1000,
+    )
+    assert plan.device.selection_criteria.holdout
+    assert "forward" in plan.device.graph.op_names()
+    assert "fused_train_step" not in plan.device.graph.op_names()
+
+
+def test_plan_size_comparable_with_model():
+    """Appendix A: 'plan size is comparable with the global model'."""
+    model_nbytes = 50_000
+    plan = generate_plan(
+        task_id="t",
+        kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(),
+        secagg=SecAggConfig(),
+        model_nbytes=model_nbytes,
+    )
+    assert 0.9 * model_nbytes < plan.device.nbytes < 1.2 * model_nbytes
+
+
+def test_compatibility_check():
+    plan = generate_plan(
+        task_id="t",
+        kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(),
+        secagg=SecAggConfig(),
+        model_nbytes=100,
+    )
+    assert plan.compatible_with_runtime(10)
+    assert not plan.compatible_with_runtime(8)  # fused op needs 9
+
+
+def test_selection_criteria_validation():
+    with pytest.raises(ValueError):
+        ExampleSelectionCriteria(max_examples=0)
+    with pytest.raises(ValueError):
+        ExampleSelectionCriteria(max_age_s=-1.0)
+
+
+def test_criteria_carries_client_cap():
+    plan = generate_plan(
+        task_id="t",
+        kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(max_examples=123),
+        secagg=SecAggConfig(),
+        model_nbytes=10,
+    )
+    assert plan.device.selection_criteria.max_examples == 123

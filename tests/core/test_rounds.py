@@ -1,0 +1,183 @@
+"""Round state machine: every transition of Sec. 2.2."""
+
+import pytest
+
+from repro.core.config import RoundConfig
+from repro.core.rounds import (
+    CheckinDecision,
+    DeviceOutcome,
+    RoundPhase,
+    RoundStateMachine,
+)
+
+
+def machine(target=4, factor=1.5, min_frac=0.5):
+    return RoundStateMachine(
+        round_id=1,
+        task_id="t",
+        config=RoundConfig(
+            target_participants=target,
+            overselection_factor=factor,
+            min_participant_fraction=min_frac,
+            selection_timeout_s=60,
+            reporting_timeout_s=120,
+        ),
+        started_at_s=0.0,
+    )
+
+
+def test_selection_accepts_until_goal_then_rejects():
+    sm = machine(target=4, factor=1.5)  # goal = 6
+    decisions = [sm.on_checkin(d, 1.0) for d in range(10)]
+    assert decisions[:6] == [CheckinDecision.ACCEPT] * 6
+    assert decisions[6:] == [CheckinDecision.REJECT] * 4
+    assert sm.phase is RoundPhase.REPORTING
+    assert sm.rejected_checkin_count == 4
+
+
+def test_duplicate_checkin_is_idempotent():
+    sm = machine()
+    assert sm.on_checkin(7, 1.0) is CheckinDecision.ACCEPT
+    assert sm.on_checkin(7, 2.0) is CheckinDecision.ACCEPT
+    assert sm.selected_count == 1
+
+
+def test_selection_timeout_with_enough_starts_round():
+    sm = machine(target=4, factor=1.5, min_frac=0.5)  # goal 6, min-to-start 3
+    for d in range(3):
+        sm.on_checkin(d, 1.0)
+    assert sm.on_selection_timeout(60.0) is RoundPhase.REPORTING
+    assert sm.selection_ended_at_s == 60.0
+
+
+def test_selection_timeout_below_minimum_abandons():
+    sm = machine(target=4, factor=1.5, min_frac=0.5)
+    sm.on_checkin(0, 1.0)
+    sm.on_checkin(1, 1.0)
+    assert sm.on_selection_timeout(60.0) is RoundPhase.ABANDONED
+    result = sm.result()
+    assert not result.committed
+    assert result.aborted_count == 2  # in-flight devices terminated
+
+
+def test_round_completes_at_target_and_aborts_stragglers():
+    sm = machine(target=4, factor=1.5)
+    for d in range(6):
+        sm.on_checkin(d, 1.0)
+    for d in range(4):
+        assert sm.on_report(d, 10.0 + d) is DeviceOutcome.COMPLETED
+    assert sm.phase is RoundPhase.COMPLETED
+    result = sm.result()
+    assert result.committed
+    assert result.completed_count == 4
+    assert result.aborted_count == 2
+    assert result.ended_at_s == 13.0
+
+
+def test_report_after_completion_returns_aborted():
+    """The Table 1 '#' path: the device was aborted when the round hit its
+    target; its late report is answered with the terminal (non-completed)
+    outcome, which the server NACKs."""
+    sm = machine(target=2, factor=2.0)
+    for d in range(4):
+        sm.on_checkin(d, 1.0)
+    sm.on_report(0, 5.0)
+    sm.on_report(1, 6.0)
+    assert sm.phase is RoundPhase.COMPLETED
+    outcome = sm.on_report(2, 7.0)
+    assert outcome is DeviceOutcome.ABORTED_BY_SERVER
+    assert outcome is not DeviceOutcome.COMPLETED  # -> NACK -> '#'
+    assert sm.completed_count == 2  # late report did not sneak in
+
+
+def test_dropped_devices_counted():
+    sm = machine(target=4, factor=1.5)
+    for d in range(6):
+        sm.on_checkin(d, 1.0)
+    sm.on_device_dropped(0, 5.0, reason="eligibility_change")
+    sm.on_device_dropped(1, 6.0, reason="network")
+    for d in range(2, 6):
+        sm.on_report(d, 10.0)
+    result = sm.result()
+    assert result.dropped_count == 2
+    assert result.completed_count == 4
+    assert result.committed
+    records = {r.device_id: r for r in result.participant_records}
+    assert records[0].drop_reason == "eligibility_change"
+
+
+def test_drop_after_report_is_ignored():
+    sm = machine(target=2, factor=1.0)
+    sm.on_checkin(0, 1.0)
+    sm.on_checkin(1, 1.0)
+    sm.on_report(0, 5.0)
+    sm.on_device_dropped(0, 6.0)
+    assert sm.completed_count == 1
+
+
+def test_reporting_timeout_commits_with_min():
+    sm = machine(target=4, factor=1.5, min_frac=0.5)  # min_participants = 2
+    for d in range(6):
+        sm.on_checkin(d, 1.0)
+    sm.on_report(0, 10.0)
+    sm.on_report(1, 11.0)
+    assert sm.on_reporting_timeout(120.0) is RoundPhase.COMPLETED
+    result = sm.result()
+    assert result.committed
+    assert result.completed_count == 2
+    assert result.aborted_count == 4
+
+
+def test_reporting_timeout_below_min_abandons():
+    sm = machine(target=4, factor=1.5, min_frac=0.9)  # min_participants = 4
+    for d in range(6):
+        sm.on_checkin(d, 1.0)
+    sm.on_report(0, 10.0)
+    assert sm.on_reporting_timeout(120.0) is RoundPhase.ABANDONED
+    assert not sm.result().committed
+
+
+def test_report_from_unselected_device_raises():
+    sm = machine()
+    with pytest.raises(KeyError):
+        sm.on_report(42, 1.0)
+
+
+def test_result_before_terminal_raises():
+    sm = machine()
+    sm.on_checkin(0, 1.0)
+    with pytest.raises(RuntimeError, match="still running"):
+        sm.result()
+
+
+def test_checkin_after_selection_closed_rejected():
+    sm = machine(target=2, factor=1.0)
+    sm.on_checkin(0, 1.0)
+    sm.on_checkin(1, 1.0)
+    assert sm.phase is RoundPhase.REPORTING
+    assert sm.on_checkin(2, 2.0) is CheckinDecision.REJECT
+
+
+def test_external_abandon():
+    sm = machine()
+    sm.on_checkin(0, 1.0)
+    sm.abandon(5.0, reason="master_crash")
+    assert sm.phase is RoundPhase.ABANDONED
+    assert sm.result().aborted_count == 1
+
+
+def test_participation_time_recorded():
+    sm = machine(target=1, factor=1.0)
+    sm.on_checkin(0, 2.0)
+    sm.on_report(0, 9.0)
+    record = sm.result().participant_records[0]
+    assert record.participation_time_s == pytest.approx(7.0)
+
+
+def test_round_run_time_measured_from_selection_end():
+    sm = machine(target=2, factor=1.0)
+    sm.on_checkin(0, 1.0)
+    sm.on_checkin(1, 3.0)  # goal reached -> reporting begins at t=3
+    sm.on_report(0, 10.0)
+    sm.on_report(1, 13.0)
+    assert sm.result().round_run_time_s == pytest.approx(10.0)

@@ -1,0 +1,132 @@
+"""Property-based tests: the round state machine under arbitrary event
+sequences never violates its accounting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RoundConfig
+from repro.core.rounds import (
+    DeviceOutcome,
+    RoundPhase,
+    RoundStateMachine,
+)
+
+# An event is (kind, device_id) applied at increasing times.
+EVENT = st.tuples(
+    st.sampled_from(
+        ["checkin", "report", "drop", "selection_timeout", "reporting_timeout"]
+    ),
+    st.integers(min_value=0, max_value=30),
+)
+
+
+@given(
+    events=st.lists(EVENT, min_size=1, max_size=80),
+    target=st.integers(min_value=1, max_value=10),
+    factor=st.floats(min_value=1.0, max_value=2.0),
+    min_frac=st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_invariants_under_arbitrary_event_sequences(
+    events, target, factor, min_frac
+):
+    sm = RoundStateMachine(
+        round_id=1,
+        task_id="prop",
+        config=RoundConfig(
+            target_participants=target,
+            overselection_factor=factor,
+            min_participant_fraction=min_frac,
+            selection_timeout_s=100.0,
+            reporting_timeout_s=200.0,
+        ),
+        started_at_s=0.0,
+    )
+    t = 0.0
+    for kind, device in events:
+        t += 1.0
+        was_terminal = sm.is_terminal
+        if kind == "checkin":
+            sm.on_checkin(device, t)
+        elif kind == "report":
+            if device in sm.participants:
+                sm.on_report(device, t)
+        elif kind == "drop":
+            sm.on_device_dropped(device, t)
+        elif kind == "selection_timeout":
+            sm.on_selection_timeout(t)
+        elif kind == "reporting_timeout":
+            sm.on_reporting_timeout(t)
+
+        # -- invariants, checked after every event --------------------------
+        # Selection never exceeds the goal.
+        assert sm.selected_count <= sm.config.selection_goal
+        # Completions never exceed the target.
+        assert sm.completed_count <= sm.config.target_participants
+        # Terminal states are absorbing.
+        if was_terminal:
+            assert sm.is_terminal
+        # Outcome counts partition the selected set.
+        outcome_total = sum(
+            1
+            for p in sm.participants.values()
+            if p.outcome is not DeviceOutcome.IN_FLIGHT
+        )
+        assert outcome_total + sm.in_flight_count == sm.selected_count
+        # No in-flight devices may remain after the round ends.
+        if sm.is_terminal:
+            assert sm.in_flight_count == 0
+
+    if sm.is_terminal:
+        result = sm.result()
+        parts = (
+            result.completed_count
+            + result.rejected_report_count
+            + result.dropped_count
+            + result.aborted_count
+        )
+        assert parts == result.selected_count
+        assert result.ended_at_s >= result.started_at_s
+        if result.committed:
+            assert result.completed_count >= sm.config.min_participants
+
+
+@given(data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_committed_rounds_always_reached_min_participants(data):
+    """Fuzz the happy path: whatever mix of reports/drops arrives, a
+    committed round carries at least min_participants updates."""
+    target = data.draw(st.integers(min_value=2, max_value=8))
+    sm = RoundStateMachine(
+        1,
+        "t",
+        RoundConfig(
+            target_participants=target,
+            overselection_factor=1.5,
+            min_participant_fraction=0.6,
+            selection_timeout_s=10.0,
+            reporting_timeout_s=50.0,
+        ),
+        0.0,
+    )
+    n = sm.config.selection_goal
+    for d in range(n):
+        sm.on_checkin(d, 1.0)
+    drops = data.draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    for d in range(n):
+        if sm.is_terminal:
+            break
+        if d in drops:
+            sm.on_device_dropped(d, 5.0)
+        else:
+            sm.on_report(d, 5.0)
+    if not sm.is_terminal:
+        sm.on_reporting_timeout(50.0)
+    result = sm.result()
+    if result.committed:
+        assert result.completed_count >= sm.config.min_participants
+    else:
+        assert result.completed_count < sm.config.min_participants

@@ -1,0 +1,98 @@
+"""Task scheduling strategies (Sec. 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RoundConfig, TaskConfig, TaskKind
+from repro.core.task import (
+    FLPopulation,
+    FLTask,
+    SchedulingStrategy,
+    TaskScheduler,
+)
+
+
+def task(task_id, kind=TaskKind.TRAINING, priority=1.0):
+    return FLTask(
+        config=TaskConfig(
+            task_id=task_id,
+            population_name="pop",
+            kind=kind,
+            priority=priority,
+            round_config=RoundConfig(target_participants=5),
+        )
+    )
+
+
+def population(*tasks):
+    pop = FLPopulation(name="pop")
+    for t in tasks:
+        pop.add_task(t)
+    return pop
+
+
+def test_population_rejects_wrong_population_and_duplicates():
+    pop = FLPopulation(name="pop")
+    wrong = FLTask(config=TaskConfig(task_id="x", population_name="other"))
+    with pytest.raises(ValueError, match="targets population"):
+        pop.add_task(wrong)
+    pop.add_task(task("a"))
+    with pytest.raises(ValueError, match="duplicate"):
+        pop.add_task(task("a"))
+
+
+def test_task_lookup():
+    pop = population(task("a"), task("b"))
+    assert pop.task("b").task_id == "b"
+    with pytest.raises(KeyError):
+        pop.task("zzz")
+
+
+def test_round_robin_cycles():
+    scheduler = TaskScheduler(
+        population(task("a"), task("b"), task("c")),
+        SchedulingStrategy.ROUND_ROBIN,
+    )
+    picks = [scheduler.next_task().task_id for _ in range(6)]
+    assert picks == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_single_task_always_chosen():
+    scheduler = TaskScheduler(population(task("only")), SchedulingStrategy.AB_WEIGHTED)
+    assert {scheduler.next_task().task_id for _ in range(5)} == {"only"}
+
+
+def test_alternate_train_eval_interleaves():
+    scheduler = TaskScheduler(
+        population(task("train", TaskKind.TRAINING), task("eval", TaskKind.EVALUATION)),
+        SchedulingStrategy.ALTERNATE_TRAIN_EVAL,
+    )
+    picks = [scheduler.next_task().task_id for _ in range(6)]
+    assert picks == ["train", "eval", "train", "eval", "train", "eval"]
+
+
+def test_alternate_without_eval_tasks():
+    scheduler = TaskScheduler(
+        population(task("t1"), task("t2")),
+        SchedulingStrategy.ALTERNATE_TRAIN_EVAL,
+    )
+    picks = [scheduler.next_task().task_id for _ in range(4)]
+    assert picks == ["t1", "t2", "t1", "t2"]
+
+
+def test_ab_weighted_respects_priority():
+    """A/B comparison: high-priority arm runs ~3x more rounds."""
+    scheduler = TaskScheduler(
+        population(task("a", priority=3.0), task("b", priority=1.0)),
+        SchedulingStrategy.AB_WEIGHTED,
+        rng=np.random.default_rng(0),
+    )
+    picks = [scheduler.next_task().task_id for _ in range(2000)]
+    ratio = picks.count("a") / picks.count("b")
+    assert 2.4 < ratio < 3.7
+
+
+def test_empty_population_raises():
+    scheduler = TaskScheduler(FLPopulation(name="pop"))
+    with pytest.raises(RuntimeError, match="no deployed tasks"):
+        scheduler.next_task()

@@ -1,0 +1,104 @@
+"""Synthetic keyboard corpus: shapes, non-IID structure, proxy drift."""
+
+import numpy as np
+import pytest
+
+from repro.data.keyboard import (
+    KeyboardCorpusConfig,
+    build_keyboard_clients,
+    build_proxy_corpus,
+    evaluation_split,
+)
+
+
+def small_config(**kwargs):
+    defaults = dict(vocab_size=50, num_users=20, context_length=4,
+                    sentences_per_user_mean=20.0)
+    defaults.update(kwargs)
+    return KeyboardCorpusConfig(**defaults)
+
+
+def test_client_shapes(rng):
+    clients = build_keyboard_clients(small_config(), rng)
+    assert len(clients) == 20
+    for c in clients:
+        assert c.x.ndim == 2
+        assert c.x.shape[1] == 4
+        assert c.x.max() < 50
+        assert c.y.max() < 50
+        assert c.num_examples > 0
+
+
+def test_heterogeneous_client_sizes(rng):
+    clients = build_keyboard_clients(small_config(), rng)
+    sizes = [c.num_examples for c in clients]
+    assert len(set(sizes)) > 1
+
+
+def test_non_iid_user_distributions(rng):
+    """Personalization + topic preferences should make users' token
+    histograms diverge more than sampling noise alone."""
+    personalized = build_keyboard_clients(
+        small_config(personalization=0.4, topic_strength=0.4,
+                     topic_concentration=0.3, num_users=10,
+                     sentences_per_user_mean=100.0), rng
+    )
+    uniform = build_keyboard_clients(
+        small_config(personalization=0.0, topic_strength=0.0,
+                     topic_concentration=50.0, num_users=10,
+                     sentences_per_user_mean=100.0), np.random.default_rng(0)
+    )
+
+    def mean_pairwise_tv(clients):
+        hists = []
+        for c in clients:
+            h = np.bincount(c.y, minlength=50).astype(float)
+            hists.append(h / h.sum())
+        tvs = []
+        for i in range(len(hists)):
+            for j in range(i + 1, len(hists)):
+                tvs.append(0.5 * np.abs(hists[i] - hists[j]).sum())
+        return np.mean(tvs)
+
+    assert mean_pairwise_tv(personalized) > 1.5 * mean_pairwise_tv(uniform)
+
+
+def test_proxy_corpus_differs_from_field_distribution(rng):
+    """Sec. 7.1: proxy data is 'drawn from a different distribution'."""
+    config = small_config(num_users=10, sentences_per_user_mean=200.0)
+    clients = build_keyboard_clients(config, rng)
+    proxy = build_proxy_corpus(config, np.random.default_rng(1), num_tokens=20_000)
+    field_hist = np.bincount(
+        np.concatenate([c.y for c in clients]), minlength=50
+    ).astype(float)
+    proxy_hist = np.bincount(proxy.y, minlength=50).astype(float)
+    field_hist /= field_hist.sum()
+    proxy_hist /= proxy_hist.sum()
+    tv = 0.5 * np.abs(field_hist - proxy_hist).sum()
+    assert tv > 0.02
+
+
+def test_contexts_predict_next_token(rng):
+    """Windows must be consistent: x[i, 1:] == x[i+1, :-1] within a stream."""
+    clients = build_keyboard_clients(small_config(num_users=1), rng)
+    c = clients[0]
+    np.testing.assert_array_equal(c.x[1, :-1], c.x[0, 1:])
+    assert c.y[0] == c.x[1, -1]
+
+
+def test_evaluation_split_disjoint_and_complete(rng):
+    clients = build_keyboard_clients(small_config(), rng)
+    total = sum(c.num_examples for c in clients)
+    train, pooled_eval = evaluation_split(clients, 0.2, rng)
+    remaining = sum(c.num_examples for c in train)
+    assert remaining + pooled_eval.num_examples == total
+    assert pooled_eval.num_examples >= len(clients)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        KeyboardCorpusConfig(vocab_size=5)
+    with pytest.raises(ValueError):
+        KeyboardCorpusConfig(personalization=1.0)
+    with pytest.raises(ValueError):
+        KeyboardCorpusConfig(context_length=0)

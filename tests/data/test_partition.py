@@ -1,0 +1,54 @@
+"""Federated partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import dirichlet_partition, iid_partition
+
+
+def pooled(rng, n=600, d=4, c=5):
+    return rng.normal(size=(n, d)), rng.integers(0, c, size=n)
+
+
+def test_iid_covers_everything(rng):
+    x, y = pooled(rng)
+    clients = iid_partition(x, y, 10, rng)
+    assert len(clients) == 10
+    assert sum(c.num_examples for c in clients) == 600
+
+
+def test_iid_validation(rng):
+    x, y = pooled(rng, n=10)
+    with pytest.raises(ValueError):
+        iid_partition(x, y, 0, rng)
+    with pytest.raises(ValueError):
+        iid_partition(x, y, 11, rng)
+
+
+def test_dirichlet_small_alpha_skews_labels(rng):
+    x, y = pooled(rng, n=2000)
+    skewed = dirichlet_partition(x, y, 10, alpha=0.1, rng=rng)
+    balanced = dirichlet_partition(x, y, 10, alpha=100.0, rng=np.random.default_rng(0))
+
+    def mean_label_entropy(clients):
+        entropies = []
+        for c in clients:
+            h = np.bincount(c.y, minlength=5).astype(float)
+            p = h / h.sum()
+            p = p[p > 0]
+            entropies.append(-(p * np.log(p)).sum())
+        return np.mean(entropies)
+
+    assert mean_label_entropy(skewed) < mean_label_entropy(balanced) - 0.3
+
+
+def test_dirichlet_partition_is_complete(rng):
+    x, y = pooled(rng, n=500)
+    clients = dirichlet_partition(x, y, 8, alpha=1.0, rng=rng, min_examples=0)
+    assert sum(c.num_examples for c in clients) == 500
+
+
+def test_dirichlet_validation(rng):
+    x, y = pooled(rng)
+    with pytest.raises(ValueError):
+        dirichlet_partition(x, y, 5, alpha=0.0, rng=rng)

@@ -1,0 +1,253 @@
+"""DeviceActor unit tests: the participation pipeline against stub actors."""
+
+import numpy as np
+import pytest
+
+from repro.actors.kernel import Actor, ActorSystem
+from repro.actors import messages as msg
+from repro.analytics.events import EventLog
+from repro.analytics.session_shapes import session_shape
+from repro.core.checkpoint import FLCheckpoint
+from repro.core.config import ClientTrainingConfig, SecAggConfig, TaskKind
+from repro.core.pace import ReconnectWindow
+from repro.core.plan import generate_plan
+from repro.device.actor import DeviceActor, DeviceState
+from repro.device.attestation import AttestationService
+from repro.device.runtime import ComputeModel, SyntheticTrainer
+from repro.device.scheduler import JobSchedule
+from repro.nn.models import LogisticRegression
+from repro.sim.diurnal import AvailabilityProcess, DiurnalModel
+from repro.sim.event_loop import EventLoop
+from repro.sim.network import NetworkModel
+from repro.sim.population import DeviceProfile
+from repro.sim.rng import RngRegistry
+
+
+class StubServer(Actor):
+    """Collects whatever devices send; scripted responses."""
+
+    def __init__(self):
+        self.checkins: list[msg.DeviceCheckin] = []
+        self.reports: list[msg.DeviceReport] = []
+        self.drops: list[msg.DeviceDropped] = []
+        self.disconnects: list[msg.DeviceDisconnect] = []
+
+    def receive(self, sender, message):
+        if isinstance(message, msg.DeviceCheckin):
+            self.checkins.append(message)
+        elif isinstance(message, msg.DeviceReport):
+            self.reports.append(message)
+        elif isinstance(message, msg.DeviceDropped):
+            self.drops.append(message)
+        elif isinstance(message, msg.DeviceDisconnect):
+            self.disconnects.append(message)
+
+
+class AlwaysEligible(AvailabilityProcess):
+    """Deterministic availability: eligible forever (or never)."""
+
+    def __init__(self, eligible=True, until=None):
+        self._eligible = eligible
+        self._until = until
+
+    def is_initially_eligible(self, wall_time_s):
+        return self._eligible
+
+    def time_until_ineligible(self, wall_time_s):
+        if self._until is not None:
+            return max(self._until - wall_time_s, 0.001)
+        return 1e9
+
+    def time_until_eligible(self, wall_time_s):
+        return 1e9
+
+
+@pytest.fixture
+def harness():
+    loop = EventLoop()
+    rngs = RngRegistry(0)
+    system = ActorSystem(loop, rngs.stream("lat"), mean_latency_s=0.001)
+    server = StubServer()
+    server_ref = system.spawn(server, "stub")
+    return loop, system, server, server_ref, rngs
+
+
+def make_device(system, server_ref, availability, rngs, event_log=None, **kwargs):
+    profile = DeviceProfile(
+        device_id=1, tz_offset_hours=0.0, speed_factor=1.0, memory_mb=4096,
+        os_version=28, runtime_version=10, genuine=True,
+    )
+    network = NetworkModel(transfer_failure_prob=0.0)
+    rng = rngs.stream("dev")
+    device = DeviceActor(
+        profile=profile,
+        availability=availability,
+        network=network,
+        conditions=network.sample_conditions(rng),
+        selectors=[server_ref],
+        population_name="pop",
+        trainer=SyntheticTrainer(num_parameters=10),
+        compute=ComputeModel(examples_per_second=100.0, setup_overhead_s=1.0),
+        attestation=AttestationService(),
+        event_log=event_log if event_log is not None else EventLog(),
+        rng=rng,
+        job=JobSchedule(600.0, 0.1),
+        compute_error_prob=0.0,
+        **kwargs,
+    )
+    ref = system.spawn(device, "device-1")
+    return device, ref
+
+
+def make_configure(round_id, agg_ref):
+    plan = generate_plan(
+        task_id="t", kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(), secagg=SecAggConfig(),
+        model_nbytes=100,
+    )
+    model = LogisticRegression(input_dim=2, n_classes=2)
+    ckpt = FLCheckpoint.from_params(
+        model.init(np.random.default_rng(0)), "pop", "t", 0
+    )
+    return msg.ConfigureDevice(
+        round_id=round_id, task_id="t", plan=plan, checkpoint=ckpt,
+        aggregator=agg_ref, report_deadline_s=1e9, participation_cap_s=600.0,
+    )
+
+
+def test_eligible_device_checks_in(harness):
+    loop, system, server, server_ref, rngs = harness
+    device, _ = make_device(system, server_ref, AlwaysEligible(), rngs)
+    loop.run(until=700.0)
+    assert len(server.checkins) == 1
+    assert device.state is DeviceState.WAITING
+    checkin = server.checkins[0]
+    assert checkin.population_name == "pop"
+    assert checkin.runtime_version == 10
+
+
+def test_ineligible_device_sleeps(harness):
+    loop, system, server, server_ref, rngs = harness
+    device, _ = make_device(
+        system, server_ref, AlwaysEligible(eligible=False), rngs
+    )
+    loop.run(until=5000.0)
+    assert server.checkins == []
+    assert device.state is DeviceState.SLEEPING
+
+
+def run_until_report(loop, server, deadline=5000.0):
+    """Advance in small steps so the ack can be sent before any timeout."""
+    while not server.reports and loop.now < deadline:
+        loop.run(until=loop.now + 5.0)
+
+
+def test_full_participation_pipeline(harness):
+    loop, system, server, server_ref, rngs = harness
+    log = EventLog()
+    device, device_ref = make_device(
+        system, server_ref, AlwaysEligible(), rngs, event_log=log
+    )
+    loop.run(until=700.0)
+    # Server configures the device for round 5.
+    system.tell(device_ref, make_configure(5, server_ref))
+    run_until_report(loop, server)
+    assert len(server.reports) == 1
+    report = server.reports[0]
+    assert report.round_id == 5
+    assert report.weight > 0
+    # Ack the report: session completes with the Table 1 success shape.
+    system.tell(device_ref, msg.ReportAck(round_id=5, accepted=True))
+    loop.run(until=loop.now + 10.0)
+    assert session_shape(log.session(1, 5)) == "-v[]+^"
+    assert device.rounds_completed == 1
+    assert device.state is DeviceState.IDLE
+
+
+def test_rejected_report_logs_hash_shape(harness):
+    loop, system, server, server_ref, rngs = harness
+    log = EventLog()
+    device, device_ref = make_device(
+        system, server_ref, AlwaysEligible(), rngs, event_log=log
+    )
+    loop.run(until=700.0)
+    system.tell(device_ref, make_configure(3, server_ref))
+    run_until_report(loop, server)
+    system.tell(device_ref, msg.ReportAck(round_id=3, accepted=False))
+    loop.run(until=loop.now + 10.0)
+    assert session_shape(log.session(1, 3)) == "-v[]+#"
+    assert device.rounds_rejected_report == 1
+
+
+def test_ack_timeout_treated_as_rejection(harness):
+    loop, system, server, server_ref, rngs = harness
+    log = EventLog()
+    device, device_ref = make_device(
+        system, server_ref, AlwaysEligible(), rngs, event_log=log,
+        ack_timeout_s=30.0,
+    )
+    loop.run(until=700.0)
+    system.tell(device_ref, make_configure(2, server_ref))
+    loop.run(until=2000.0)  # no ack ever arrives
+    assert session_shape(log.session(1, 2)) == "-v[]+#"
+    # Finished (possibly already re-checked-in for the next round).
+    assert device.state in (DeviceState.IDLE, DeviceState.WAITING)
+
+
+def test_interruption_mid_training(harness):
+    loop, system, server, server_ref, rngs = harness
+    log = EventLog()
+    # Eligibility vanishes shortly after training starts.
+    device, device_ref = make_device(
+        system, server_ref, AlwaysEligible(until=710.0), rngs, event_log=log
+    )
+    loop.run(until=700.0)
+    assert device.state is DeviceState.WAITING
+    # Slow the trainer down so the interruption lands mid-round.
+    device.trainer = SyntheticTrainer(num_parameters=10, mean_examples=5000.0)
+    system.tell(device_ref, make_configure(4, server_ref))
+    loop.run(until=5000.0)
+    shape = session_shape(log.session(1, 4))
+    assert shape == "-v[!"
+    assert server.drops and server.drops[0].reason == "eligibility_change"
+    assert device.state is DeviceState.SLEEPING
+    assert device.rounds_interrupted == 1
+
+
+def test_checkin_rejection_respects_pace_window(harness):
+    loop, system, server, server_ref, rngs = harness
+    device, device_ref = make_device(system, server_ref, AlwaysEligible(), rngs)
+    loop.run(until=700.0)
+    first_checkins = len(server.checkins)
+    window = ReconnectWindow(loop.now + 500.0, loop.now + 510.0)
+    system.tell(device_ref, msg.CheckinRejected(window=window, reason="full"))
+    loop.run(until=loop.now + 400.0)
+    assert len(server.checkins) == first_checkins  # still waiting
+    loop.run(until=loop.now + 200.0)
+    assert len(server.checkins) == first_checkins + 1  # retried in window
+
+
+def test_waiting_device_disconnects_when_ineligible(harness):
+    loop, system, server, server_ref, rngs = harness
+    device, _ = make_device(
+        system, server_ref, AlwaysEligible(until=800.0), rngs
+    )
+    loop.run(until=700.0)
+    assert device.state is DeviceState.WAITING
+    loop.run(until=900.0)
+    assert device.state is DeviceState.SLEEPING
+    assert len(server.disconnects) == 1
+
+
+def test_download_failure_logs_error(harness):
+    loop, system, server, server_ref, rngs = harness
+    log = EventLog()
+    device, device_ref = make_device(
+        system, server_ref, AlwaysEligible(), rngs, event_log=log
+    )
+    device.network = NetworkModel(transfer_failure_prob=1.0)
+    loop.run(until=700.0)
+    system.tell(device_ref, make_configure(6, server_ref))
+    loop.run(until=1500.0)
+    assert session_shape(log.session(1, 6)) == "-*"
+    assert server.drops and server.drops[0].reason == "network_download"

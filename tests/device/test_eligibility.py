@@ -1,0 +1,44 @@
+"""Eligibility policy semantics."""
+
+import numpy as np
+
+from repro.device.eligibility import (
+    DeviceConditions,
+    EligibilityPolicy,
+    sample_conditions,
+)
+
+
+def test_all_conditions_required_by_default():
+    policy = EligibilityPolicy()
+    assert policy.is_eligible(DeviceConditions(True, True, True))
+    assert not policy.is_eligible(DeviceConditions(False, True, True))
+    assert not policy.is_eligible(DeviceConditions(True, False, True))
+    assert not policy.is_eligible(DeviceConditions(True, True, False))
+
+
+def test_requirements_can_be_relaxed():
+    policy = EligibilityPolicy(require_unmetered=False)
+    assert policy.is_eligible(DeviceConditions(True, True, False))
+
+
+def test_device_support_gate():
+    """Sec. 11: 'currently with recent Android versions and at least 2 GB'."""
+    policy = EligibilityPolicy()
+    assert policy.device_supported(memory_mb=2048, os_version=26)
+    assert not policy.device_supported(memory_mb=1024, os_version=28)
+    assert not policy.device_supported(memory_mb=4096, os_version=23)
+
+
+def test_sampled_conditions_consistent_with_eligibility(rng):
+    policy = EligibilityPolicy()
+    for _ in range(50):
+        eligible = sample_conditions(True, rng)
+        assert policy.is_eligible(eligible)
+        ineligible = sample_conditions(False, rng)
+        assert not policy.is_eligible(ineligible)
+
+
+def test_summary_string():
+    assert DeviceConditions(True, True, True).summary == "idle+charging+unmetered"
+    assert DeviceConditions(False, False, False).summary == "none"

@@ -1,0 +1,103 @@
+"""Example store: TTL expiry, capacity, plan-criteria queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ExampleSelectionCriteria
+from repro.device.example_store import ExampleStore, ExampleStoreRegistry
+
+
+def filled_store(n=10, ttl=100.0, capacity=100):
+    store = ExampleStore("s", capacity=capacity, ttl_s=ttl)
+    for i in range(n):
+        store.add(np.array([float(i)]), i % 2, timestamp_s=float(i))
+    return store
+
+
+def test_add_and_len():
+    assert len(filled_store(5)) == 5
+
+
+def test_timestamps_must_be_ordered():
+    store = ExampleStore()
+    store.add([1.0], 0, timestamp_s=10.0)
+    with pytest.raises(ValueError, match="timestamp order"):
+        store.add([2.0], 1, timestamp_s=5.0)
+
+
+def test_capacity_evicts_oldest():
+    store = ExampleStore("s", capacity=3, ttl_s=None)
+    for i in range(5):
+        store.add([float(i)], 0, timestamp_s=float(i))
+    assert len(store) == 3
+    assert store.total_evicted == 2
+    x, _ = store.query(ExampleSelectionCriteria(max_examples=10), now_s=10.0)
+    assert x.ravel().tolist() == [2.0, 3.0]  # holdout split removed last 20%
+
+
+def test_ttl_expiry():
+    store = filled_store(n=10, ttl=5.0)
+    removed = store.expire(now_s=7.0)
+    assert removed == 2  # timestamps 0 and 1 are older than 5s at t=7
+    assert store.total_expired == 2
+
+
+def test_query_applies_ttl():
+    store = filled_store(n=10, ttl=4.0)
+    x, y = store.query(ExampleSelectionCriteria(max_examples=100), now_s=9.0)
+    # Only timestamps 5..9 survive; holdout split removes the last 20%.
+    assert x.shape[0] == 4
+
+
+def test_query_max_age_filter():
+    store = filled_store(n=10, ttl=None)
+    criteria = ExampleSelectionCriteria(max_examples=100, max_age_s=3.0)
+    x, _ = store.query(criteria, now_s=9.0)
+    # Ages 0..3 -> timestamps 6..9 -> 4 rows -> minus 20% holdout = 3.
+    assert x.shape[0] == 3
+
+
+def test_holdout_and_train_are_disjoint():
+    store = filled_store(n=10, ttl=None)
+    train_x, _ = store.query(
+        ExampleSelectionCriteria(max_examples=100, holdout=False), now_s=20.0
+    )
+    hold_x, _ = store.query(
+        ExampleSelectionCriteria(max_examples=100, holdout=True), now_s=20.0
+    )
+    train_vals = set(train_x.ravel().tolist())
+    hold_vals = set(hold_x.ravel().tolist())
+    assert train_vals.isdisjoint(hold_vals)
+    assert len(train_vals) + len(hold_vals) == 10
+
+
+def test_max_examples_keeps_most_recent():
+    store = filled_store(n=10, ttl=None)
+    x, _ = store.query(ExampleSelectionCriteria(max_examples=3), now_s=20.0)
+    assert x.shape[0] == 3
+    assert x.ravel().tolist() == [5.0, 6.0, 7.0]
+
+
+def test_empty_store_query():
+    store = ExampleStore()
+    x, y = store.query(ExampleSelectionCriteria(max_examples=5), now_s=0.0)
+    assert x.shape[0] == 0
+
+
+def test_registry_register_and_get():
+    registry = ExampleStoreRegistry()
+    store = ExampleStore("suggestions")
+    registry.register("keyboard", store)
+    assert registry.get("keyboard", "suggestions") is store
+    assert registry.stores_for("keyboard") == [store]
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register("keyboard", ExampleStore("suggestions"))
+    with pytest.raises(KeyError):
+        registry.get("other_app")
+
+
+def test_store_validation():
+    with pytest.raises(ValueError):
+        ExampleStore(capacity=0)
+    with pytest.raises(ValueError):
+        ExampleStore(ttl_s=-1.0)

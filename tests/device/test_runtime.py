@@ -1,0 +1,97 @@
+"""On-device trainers: the plan execution path."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClientTrainingConfig, SecAggConfig, TaskKind
+from repro.core.checkpoint import FLCheckpoint
+from repro.core.plan import generate_plan
+from repro.device.example_store import ExampleStore
+from repro.device.runtime import ComputeModel, RealTrainer, SyntheticTrainer
+from repro.nn.models import LogisticRegression
+from repro.nn.serialization import checkpoint_nbytes
+
+
+def make_plan(epochs=1, batch_size=8):
+    return generate_plan(
+        task_id="t",
+        kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(epochs=epochs, batch_size=batch_size),
+        secagg=SecAggConfig(),
+        model_nbytes=100,
+    )
+
+
+def make_checkpoint(model, rng):
+    params = model.init(rng)
+    return FLCheckpoint.from_params(params, "pop", "t", 0), params
+
+
+def test_real_trainer_executes_plan(rng):
+    model = LogisticRegression(input_dim=3, n_classes=2)
+    store = ExampleStore(ttl_s=None)
+    for i in range(30):
+        store.add(rng.normal(size=3), int(rng.integers(2)), float(i))
+    checkpoint, params = make_checkpoint(model, rng)
+    trainer = RealTrainer(model=model, store=store)
+    result = trainer.train(make_plan(), checkpoint, now_s=100.0, rng=rng)
+    assert result.num_examples == 24  # 30 minus 20% holdout
+    assert result.weight == 24
+    assert result.delta_vector.shape[0] == params.num_parameters
+    assert np.any(result.delta_vector != 0)
+    assert result.upload_nbytes == params.num_parameters * 8
+    assert "loss" in result.metrics
+
+
+def test_real_trainer_compression_shrinks_upload(rng):
+    model = LogisticRegression(input_dim=3, n_classes=2)
+    store = ExampleStore(ttl_s=None)
+    for i in range(10):
+        store.add(rng.normal(size=3), 0, float(i))
+    checkpoint, params = make_checkpoint(model, rng)
+    trainer = RealTrainer(model=model, store=store, update_compression_ratio=4.0)
+    result = trainer.train(make_plan(), checkpoint, 100.0, rng)
+    assert result.upload_nbytes == params.num_parameters * 8 // 4
+
+
+def test_real_trainer_empty_store_raises(rng):
+    model = LogisticRegression(input_dim=3, n_classes=2)
+    trainer = RealTrainer(model=model, store=ExampleStore())
+    checkpoint, _ = make_checkpoint(model, rng)
+    with pytest.raises(RuntimeError, match="no data"):
+        trainer.train(make_plan(), checkpoint, 0.0, rng)
+
+
+def test_synthetic_trainer_shapes(rng):
+    model = LogisticRegression(input_dim=5, n_classes=3)
+    checkpoint, params = make_checkpoint(model, rng)
+    trainer = SyntheticTrainer(num_parameters=params.num_parameters)
+    result = trainer.train(make_plan(epochs=2), checkpoint, 0.0, rng)
+    assert result.delta_vector.shape[0] == params.num_parameters
+    assert result.num_examples >= 1
+    assert result.train_compute_units == result.num_examples * 2
+
+
+def test_synthetic_trainer_respects_plan_cap(rng):
+    trainer = SyntheticTrainer(num_parameters=10, mean_examples=1e9)
+    plan = generate_plan(
+        task_id="t",
+        kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(max_examples=50),
+        secagg=SecAggConfig(),
+        model_nbytes=10,
+    )
+    model = LogisticRegression(input_dim=2, n_classes=2)
+    checkpoint, _ = make_checkpoint(model, rng)
+    result = trainer.train(plan, checkpoint, 0.0, rng)
+    assert result.num_examples <= 50
+
+
+def test_compute_model_scales_with_speed():
+    compute = ComputeModel(examples_per_second=100.0, setup_overhead_s=1.0)
+    slow = compute.train_time_s(compute_units=200.0, speed_factor=0.5)
+    fast = compute.train_time_s(compute_units=200.0, speed_factor=2.0)
+    assert slow == pytest.approx(1.0 + 4.0)
+    assert fast == pytest.approx(1.0 + 1.0)
+    with pytest.raises(ValueError):
+        compute.train_time_s(10.0, 0.0)

@@ -1,0 +1,67 @@
+"""Multi-tenant worker queue and job schedule."""
+
+import numpy as np
+import pytest
+
+from repro.device.scheduler import JobSchedule, MultiTenantScheduler
+
+
+def test_fifo_order():
+    scheduler = MultiTenantScheduler()
+    scheduler.enqueue("a")
+    scheduler.enqueue("b")
+    assert scheduler.try_start() == "a"
+    scheduler.finish("a")
+    assert scheduler.try_start() == "b"
+
+
+def test_one_session_at_a_time():
+    """Sec. 11: 'we avoid running training sessions on-device in parallel'."""
+    scheduler = MultiTenantScheduler()
+    scheduler.enqueue("a")
+    scheduler.enqueue("b")
+    assert scheduler.try_start() == "a"
+    assert scheduler.try_start() is None
+    scheduler.finish("a")
+    assert scheduler.try_start() == "b"
+
+
+def test_enqueue_coalesces_duplicates():
+    scheduler = MultiTenantScheduler()
+    assert scheduler.enqueue("a")
+    assert not scheduler.enqueue("a")
+    assert scheduler.try_start() == "a"
+    assert not scheduler.enqueue("a")  # running -> coalesced
+    scheduler.finish("a")
+    assert scheduler.enqueue("a")
+
+
+def test_finish_wrong_population_raises():
+    scheduler = MultiTenantScheduler()
+    scheduler.enqueue("a")
+    scheduler.try_start()
+    with pytest.raises(RuntimeError):
+        scheduler.finish("b")
+
+
+def test_abort_clears_running():
+    scheduler = MultiTenantScheduler()
+    scheduler.enqueue("a")
+    scheduler.try_start()
+    assert scheduler.abort() == "a"
+    assert scheduler.running is None
+    assert scheduler.sessions_completed == 0
+
+
+def test_job_schedule_jitter_bounds(rng):
+    schedule = JobSchedule(base_interval_s=100.0, jitter_fraction=0.2)
+    delays = [schedule.next_delay(rng) for _ in range(200)]
+    assert all(80.0 <= d <= 120.0 for d in delays)
+    assert np.std(delays) > 0
+
+
+def test_job_schedule_validation():
+    with pytest.raises(ValueError):
+        JobSchedule(base_interval_s=0)
+    with pytest.raises(ValueError):
+        JobSchedule(jitter_fraction=1.0)

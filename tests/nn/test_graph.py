@@ -1,0 +1,64 @@
+"""Graph representation and runtime compatibility."""
+
+from repro.nn.graph import (
+    GraphDef,
+    OpSpec,
+    build_eval_graph,
+    build_server_aggregation_graph,
+    build_training_graph,
+)
+
+
+def test_training_graph_requires_fused_runtime():
+    graph = build_training_graph(epochs=2, batch_size=8, learning_rate=0.1)
+    assert graph.min_runtime_version() == 9
+    assert not graph.compatible_with(8)
+    assert graph.compatible_with(9)
+
+
+def test_training_graph_carries_hyperparameters():
+    graph = build_training_graph(epochs=3, batch_size=32, learning_rate=0.05)
+    batch_op = next(op for op in graph.ops if op.name == "batch_examples")
+    assert batch_op.attrs["epochs"] == 3
+    assert batch_op.attrs["batch_size"] == 32
+    train_op = next(op for op in graph.ops if op.name == "fused_train_step")
+    assert train_op.attrs["learning_rate"] == 0.05
+
+
+def test_eval_graph_runs_everywhere():
+    graph = build_eval_graph(batch_size=16)
+    assert graph.min_runtime_version() == 1
+    assert "forward" in graph.op_names()
+    select = next(op for op in graph.ops if op.name == "select_examples")
+    assert select.attrs["holdout"] is True
+
+
+def test_labels_mark_load_and_save_nodes():
+    graph = build_training_graph(1, 8, 0.1)
+    assert graph.labels["load"] == "load_checkpoint"
+    assert graph.labels["save"] == "save_update"
+
+
+def test_server_graph_is_aggregation_only():
+    graph = build_server_aggregation_graph()
+    assert graph.op_names() == ["sum_updates", "apply_aggregate"]
+
+
+def test_replace_ops_preserves_labels():
+    graph = build_training_graph(1, 8, 0.1)
+    replaced = graph.replace_ops(
+        [OpSpec("noop", version=1, min_runtime_version=1)]
+    )
+    assert replaced.labels == graph.labels
+    assert replaced.min_runtime_version() == 1
+
+
+def test_with_attrs_merges():
+    op = OpSpec("x", 1, 1, attrs={"a": 1})
+    updated = op.with_attrs(b=2)
+    assert updated.attrs == {"a": 1, "b": 2}
+    assert op.attrs == {"a": 1}
+
+
+def test_empty_graph_min_runtime_zero():
+    assert GraphDef(ops=()).min_runtime_version() == 0

@@ -1,0 +1,38 @@
+"""Evaluation metric correctness."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, perplexity, top_k_recall
+
+
+def test_accuracy_exact():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    labels = np.array([0, 1, 1])
+    assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+
+def test_top_k_recall_widens_with_k():
+    logits = np.array(
+        [[5.0, 4.0, 3.0, 2.0], [1.0, 2.0, 3.0, 4.0], [9.0, 1.0, 8.0, 0.0]]
+    )
+    labels = np.array([1, 3, 2])
+    assert top_k_recall(logits, labels, k=1) == pytest.approx(1 / 3)
+    assert top_k_recall(logits, labels, k=2) == pytest.approx(1.0)
+    assert top_k_recall(logits, labels, k=4) == 1.0
+
+
+def test_top_1_equals_accuracy(rng):
+    logits = rng.normal(size=(50, 7))
+    labels = rng.integers(0, 7, size=50)
+    assert top_k_recall(logits, labels, k=1) == accuracy(logits, labels)
+
+
+def test_top_k_rejects_bad_k():
+    with pytest.raises(ValueError):
+        top_k_recall(np.zeros((2, 3)), np.zeros(2, dtype=int), k=0)
+
+
+def test_perplexity():
+    assert perplexity(0.0) == 1.0
+    assert perplexity(np.log(32.0)) == pytest.approx(32.0)

@@ -1,0 +1,100 @@
+"""All models' analytic gradients are verified against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import (
+    BagOfWordsLanguageModel,
+    LogisticRegression,
+    MLPClassifier,
+    RNNLanguageModel,
+)
+from repro.nn.parameters import Parameters
+
+
+def finite_difference_check(model, params, x, y, eps=1e-6, tol=1e-4):
+    """Compare every analytic gradient entry to a central difference."""
+    _, grads = model.loss_and_grad(params, x, y)
+    for name in params:
+        arr = params[name]
+        flat_grad = grads[name].ravel()
+        flat = arr.ravel()
+        # Probe a bounded number of coordinates to keep tests fast.
+        probe = np.linspace(0, flat.size - 1, min(flat.size, 12)).astype(int)
+        for idx in probe:
+            original = flat[idx]
+            bumped = {k: v.copy() for k, v in params.items()}
+            bumped[name].ravel()[idx] = original + eps
+            up = model.loss(Parameters(bumped), x, y)
+            bumped[name].ravel()[idx] = original - eps
+            down = model.loss(Parameters(bumped), x, y)
+            fd = (up - down) / (2 * eps)
+            assert flat_grad[idx] == pytest.approx(fd, abs=tol), (
+                f"{name}[{idx}]"
+            )
+
+
+def test_logreg_gradients(rng):
+    model = LogisticRegression(input_dim=6, n_classes=4)
+    params = model.init(rng)
+    x = rng.normal(size=(9, 6))
+    y = rng.integers(0, 4, size=9)
+    finite_difference_check(model, params, x, y)
+
+
+def test_mlp_gradients(rng):
+    model = MLPClassifier(input_dim=5, hidden_dims=(8, 6), n_classes=3)
+    params = model.init(rng)
+    x = rng.normal(size=(7, 5))
+    y = rng.integers(0, 3, size=7)
+    finite_difference_check(model, params, x, y)
+
+
+def test_rnn_gradients(rng):
+    model = RNNLanguageModel(vocab_size=12, embed_dim=5, hidden_dim=7)
+    params = model.init(rng)
+    x = rng.integers(0, 12, size=(6, 4))
+    y = rng.integers(0, 12, size=6)
+    finite_difference_check(model, params, x, y, tol=2e-4)
+
+
+def test_bow_gradients(rng):
+    model = BagOfWordsLanguageModel(vocab_size=10, embed_dim=4)
+    params = model.init(rng)
+    x = rng.integers(0, 10, size=(8, 5))
+    y = rng.integers(0, 10, size=8)
+    finite_difference_check(model, params, x, y)
+
+
+def test_logreg_learns_separable_data(rng):
+    model = LogisticRegression(input_dim=4, n_classes=3)
+    params = model.init(rng)
+    w_true = rng.normal(size=(4, 3))
+    x = rng.normal(size=(400, 4))
+    y = (x @ w_true).argmax(axis=1)
+    for _ in range(200):
+        _, grads = model.loss_and_grad(params, x, y)
+        params = params.axpy(-0.5, grads)
+    acc = (model.logits(params, x).argmax(axis=1) == y).mean()
+    assert acc > 0.9
+
+
+def test_rnn_param_count_configurable(rng):
+    model = RNNLanguageModel(vocab_size=100, embed_dim=16, hidden_dim=32)
+    params = model.init(rng)
+    expected = 100 * 16 + 16 * 32 + 32 * 32 + 32 + 32 * 100 + 100
+    assert params.num_parameters == expected
+
+
+def test_rnn_rejects_non_sequence_input(rng):
+    model = RNNLanguageModel(vocab_size=5)
+    params = model.init(rng)
+    with pytest.raises(ValueError, match="token ids"):
+        model.logits(params, np.zeros(3, dtype=int))
+
+
+def test_models_are_deterministic_given_params(rng):
+    model = MLPClassifier(input_dim=3, hidden_dims=(4,), n_classes=2)
+    params = model.init(rng)
+    x = rng.normal(size=(5, 3))
+    np.testing.assert_array_equal(model.logits(params, x), model.logits(params, x))

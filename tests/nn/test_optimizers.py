@@ -1,0 +1,60 @@
+"""SGD semantics: plain step, momentum accumulation, weight decay."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, SGDConfig
+from repro.nn.parameters import Parameters
+
+
+def p(val):
+    return Parameters({"w": np.array([val])})
+
+
+def test_plain_sgd_step():
+    opt = SGD(SGDConfig(learning_rate=0.1))
+    updated = opt.step(p(1.0), p(2.0))
+    assert updated["w"][0] == pytest.approx(1.0 - 0.1 * 2.0)
+
+
+def test_step_is_functional():
+    params = p(1.0)
+    SGD(SGDConfig(learning_rate=0.1)).step(params, p(1.0))
+    assert params["w"][0] == 1.0
+
+
+def test_momentum_accumulates():
+    opt = SGD(SGDConfig(learning_rate=1.0, momentum=0.5))
+    params = p(0.0)
+    params = opt.step(params, p(1.0))   # v=1, w=-1
+    assert params["w"][0] == pytest.approx(-1.0)
+    params = opt.step(params, p(1.0))   # v=1.5, w=-2.5
+    assert params["w"][0] == pytest.approx(-2.5)
+
+
+def test_weight_decay_adds_to_gradient():
+    opt = SGD(SGDConfig(learning_rate=1.0, weight_decay=0.1))
+    updated = opt.step(p(10.0), p(0.0))
+    assert updated["w"][0] == pytest.approx(10.0 - 1.0 * (0.1 * 10.0))
+
+
+def test_reset_clears_velocity():
+    opt = SGD(SGDConfig(learning_rate=1.0, momentum=0.9))
+    opt.step(p(0.0), p(1.0))
+    opt.reset()
+    updated = opt.step(p(0.0), p(1.0))
+    assert updated["w"][0] == pytest.approx(-1.0)  # no inherited velocity
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"learning_rate": 0.0},
+        {"learning_rate": -1.0},
+        {"momentum": 1.0},
+        {"weight_decay": -0.1},
+    ],
+)
+def test_invalid_configs(kwargs):
+    with pytest.raises(ValueError):
+        SGD(SGDConfig(**kwargs))

@@ -1,0 +1,63 @@
+"""Checkpoint serialization: exact roundtrip and size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.parameters import Parameters
+from repro.nn.serialization import (
+    checkpoint_nbytes,
+    params_from_bytes,
+    params_to_bytes,
+)
+
+
+def test_roundtrip_basic(rng):
+    p = Parameters(
+        {"embed": rng.normal(size=(10, 4)), "b": rng.normal(size=3),
+         "scalarish": np.array(2.5)}
+    )
+    blob = params_to_bytes(p)
+    assert params_from_bytes(blob).allclose(p, atol=0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            st.integers(min_value=1, max_value=20),
+        ),
+        min_size=1,
+        max_size=5,
+        unique_by=lambda t: t[0],
+    ),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(spec, seed):
+    rng = np.random.default_rng(seed)
+    p = Parameters({name: rng.normal(size=size) for name, size in spec})
+    recovered = params_from_bytes(params_to_bytes(p))
+    assert recovered.shapes() == p.shapes()
+    assert recovered.allclose(p, atol=0)
+
+
+def test_nbytes_matches_actual_serialized_size(rng):
+    p = Parameters({"w": rng.normal(size=(17, 3)), "bias_vector": rng.normal(size=9)})
+    assert checkpoint_nbytes(p) == len(params_to_bytes(p))
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError, match="magic"):
+        params_from_bytes(b"NOPE" + b"\x00" * 32)
+
+
+def test_preserves_name_order(rng):
+    p = Parameters({"z": np.zeros(1), "a": np.ones(1), "m": np.full(1, 2.0)})
+    recovered = params_from_bytes(params_to_bytes(p))
+    assert list(recovered) == ["z", "a", "m"]

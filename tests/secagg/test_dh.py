@@ -1,0 +1,35 @@
+"""Diffie–Hellman agreement symmetry."""
+
+from repro.secagg.dh import agree, generate_keypair, public_key_of
+from repro.secagg.field import SECRET_BITS, SHAMIR_PRIME
+
+
+def test_agreement_is_symmetric(rng):
+    alice = generate_keypair(rng)
+    bob = generate_keypair(rng)
+    assert agree(alice.secret, bob.public) == agree(bob.secret, alice.public)
+
+
+def test_distinct_pairs_get_distinct_keys(rng):
+    a, b, c = (generate_keypair(rng) for _ in range(3))
+    assert agree(a.secret, b.public) != agree(a.secret, c.public)
+
+
+def test_public_key_recomputable_from_secret(rng):
+    """The server re-derives a dropped device's public key to verify the
+    reconstructed secret (protocol round 3)."""
+    pair = generate_keypair(rng)
+    assert public_key_of(pair.secret) == pair.public
+
+
+def test_secrets_fit_in_shamir_field(rng):
+    for _ in range(20):
+        pair = generate_keypair(rng)
+        assert 0 < pair.secret < SHAMIR_PRIME
+        assert pair.secret.bit_length() <= SECRET_BITS
+
+
+def test_agreed_keys_fit_in_shamir_field(rng):
+    a, b = generate_keypair(rng), generate_keypair(rng)
+    key = agree(a.secret, b.public)
+    assert 0 <= key < SHAMIR_PRIME

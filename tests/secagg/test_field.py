@@ -1,0 +1,65 @@
+"""Field and ring arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secagg.field import (
+    SHAMIR_PRIME,
+    centered_mod,
+    eval_polynomial,
+    mod_inverse,
+    ring_add,
+    ring_sub,
+)
+
+
+@given(st.integers(min_value=1, max_value=SHAMIR_PRIME - 1))
+@settings(max_examples=50, deadline=None)
+def test_mod_inverse_property(a):
+    assert (a * mod_inverse(a)) % SHAMIR_PRIME == 1
+
+
+def test_mod_inverse_of_zero():
+    with pytest.raises(ZeroDivisionError):
+        mod_inverse(0)
+
+
+def test_eval_polynomial_horner():
+    # f(x) = 3 + 2x + x^2 at x=5 -> 3 + 10 + 25 = 38
+    assert eval_polynomial([3, 2, 1], 5) == 38
+
+
+def test_ring_add_wraps():
+    bits = 8
+    a = np.array([250], dtype=np.uint64)
+    b = np.array([10], dtype=np.uint64)
+    assert ring_add(a, b, bits)[0] == 4  # 260 mod 256
+
+
+def test_ring_sub_wraps():
+    bits = 8
+    a = np.array([5], dtype=np.uint64)
+    b = np.array([10], dtype=np.uint64)
+    assert ring_sub(a, b, bits)[0] == 251
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=20),
+    st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_ring_add_sub_roundtrip(xs, ys):
+    n = min(len(xs), len(ys))
+    a = np.array(xs[:n], dtype=np.uint64)
+    b = np.array(ys[:n], dtype=np.uint64)
+    bits = 16
+    np.testing.assert_array_equal(ring_sub(ring_add(a, b, bits), b, bits), a)
+
+
+def test_centered_mod_maps_to_signed_range():
+    bits = 8
+    values = np.array([0, 1, 127, 128, 255], dtype=np.uint64)
+    out = centered_mod(values, bits)
+    np.testing.assert_array_equal(out, [0, 1, 127, -128, -1])

@@ -1,0 +1,70 @@
+"""Per-Aggregator SecAgg groups and the master's plain combine."""
+
+import numpy as np
+import pytest
+
+from repro.secagg.grouped import grouped_secure_sum, partition_into_groups
+from repro.secagg.masking import VectorQuantizer
+from repro.secagg.protocol import DropoutSchedule, SecAggError
+
+
+def test_partition_all_groups_at_least_k():
+    groups = partition_into_groups(list(range(25)), min_group_size=10)
+    assert len(groups) == 2
+    assert all(len(g) >= 10 for g in groups)
+    assert sorted(sum(groups, [])) == list(range(25))
+
+
+def test_partition_single_group_under_2k():
+    groups = partition_into_groups(list(range(15)), min_group_size=10)
+    assert len(groups) == 1
+
+
+def test_partition_too_few_users():
+    with pytest.raises(SecAggError):
+        partition_into_groups(list(range(5)), min_group_size=10)
+
+
+def test_partition_validates_k():
+    with pytest.raises(ValueError):
+        partition_into_groups([1, 2, 3], min_group_size=1)
+
+
+def test_grouped_sum_matches_plain_sum(rng):
+    inputs = {uid: rng.uniform(-2, 2, size=30) for uid in range(30)}
+    q = VectorQuantizer(modulus_bits=32, clip_range=2.5, max_summands=32)
+    total, metrics_list = grouped_secure_sum(
+        inputs, min_group_size=10, threshold_fraction=0.7, quantizer=q, rng=rng
+    )
+    expected = sum(inputs.values())
+    # Each group introduces its own quantization error.
+    bound = sum(q.max_quantization_error(12) for _ in metrics_list)
+    assert np.abs(total - expected).max() <= bound
+    assert len(metrics_list) == 3
+
+
+def test_grouped_sum_with_dropouts(rng):
+    inputs = {uid: rng.uniform(-1, 1, size=20) for uid in range(20)}
+    q = VectorQuantizer(modulus_bits=32, clip_range=1.5, max_summands=32)
+    drops = DropoutSchedule(after_share=frozenset({0, 11}))
+    total, metrics_list = grouped_secure_sum(
+        inputs, min_group_size=10, threshold_fraction=0.6,
+        quantizer=q, rng=rng, dropouts=drops,
+    )
+    expected = sum(v for u, v in inputs.items() if u not in {0, 11})
+    bound = sum(q.max_quantization_error(10) for _ in metrics_list)
+    assert np.abs(total - expected).max() <= bound
+
+
+def test_group_cost_is_bounded_by_group_size(rng):
+    """Sec. 6's point: grouping caps the quadratic cost per instance."""
+    inputs = {uid: rng.uniform(-1, 1, size=10) for uid in range(40)}
+    q = VectorQuantizer(modulus_bits=32, clip_range=1.5, max_summands=64)
+    drops = DropoutSchedule(after_share=frozenset({1, 11, 21, 31}))
+    _, metrics_list = grouped_secure_sum(
+        inputs, min_group_size=10, threshold_fraction=0.6,
+        quantizer=q, rng=rng, dropouts=drops,
+    )
+    for metrics in metrics_list:
+        # Each group: 1 dropped x <=9 survivors, never 4 x 36.
+        assert metrics.key_agreements <= 9

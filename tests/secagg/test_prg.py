@@ -1,0 +1,39 @@
+"""PRG expansion determinism — both mask endpoints must agree exactly."""
+
+import numpy as np
+import pytest
+
+from repro.secagg.prg import prg_expand
+
+
+def test_same_seed_same_stream():
+    a = prg_expand(123456789, 100, 32)
+    b = prg_expand(123456789, 100, 32)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    assert not np.array_equal(prg_expand(1, 100, 32), prg_expand(2, 100, 32))
+
+
+def test_values_bounded_by_modulus():
+    out = prg_expand(7, 1000, 16)
+    assert out.max() < (1 << 16)
+    assert out.dtype == np.uint64
+
+
+def test_zero_length():
+    assert prg_expand(5, 0, 32).size == 0
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ValueError):
+        prg_expand(5, -1, 32)
+
+
+def test_large_seed_is_truncated_consistently():
+    """Seeds above 128 bits must map to the same stream deterministically."""
+    big = (1 << 200) + 17
+    np.testing.assert_array_equal(
+        prg_expand(big, 50, 32), prg_expand(big % (1 << 128), 50, 32)
+    )

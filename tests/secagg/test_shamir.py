@@ -1,0 +1,64 @@
+"""Shamir sharing: reconstruction from any t-subset, and only from those."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secagg.shamir import ShamirShare, reconstruct_secret, share_secret
+
+
+@given(
+    secret=st.integers(min_value=0, max_value=2**120 - 1),
+    n=st.integers(min_value=3, max_value=12),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_threshold_subset_reconstructs(secret, n, data):
+    threshold = data.draw(st.integers(min_value=2, max_value=n))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    shares = share_secret(secret, n, threshold, rng)
+    subset_idx = data.draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=threshold, max_size=threshold, unique=True
+        )
+    )
+    subset = [shares[i] for i in subset_idx]
+    assert reconstruct_secret(subset) == secret
+
+
+def test_fewer_than_threshold_reveals_nothing(rng):
+    secret = 123456789
+    shares = share_secret(secret, 6, 4, rng)
+    # Reconstruction from t-1 shares is just interpolation of a random
+    # degree-3 polynomial through 3 points: overwhelmingly wrong.
+    wrong = reconstruct_secret(shares[:3])
+    assert wrong != secret
+
+
+def test_share_index_zero_forbidden():
+    with pytest.raises(ValueError, match="leak"):
+        ShamirShare(x=0, y=5)
+
+
+def test_duplicate_indices_rejected(rng):
+    shares = share_secret(42, 5, 3, rng)
+    with pytest.raises(ValueError, match="duplicate"):
+        reconstruct_secret([shares[0], shares[0], shares[1]])
+
+
+def test_validation_errors(rng):
+    with pytest.raises(ValueError):
+        share_secret(-1, 5, 3, rng)
+    with pytest.raises(ValueError):
+        share_secret(1, 2, 3, rng)  # fewer shares than threshold
+    with pytest.raises(ValueError):
+        share_secret(1, 5, 0, rng)
+    with pytest.raises(ValueError):
+        reconstruct_secret([])
+
+
+def test_threshold_one_is_constant_polynomial(rng):
+    shares = share_secret(99, 4, 1, rng)
+    for share in shares:
+        assert reconstruct_secret([share]) == 99

@@ -1,0 +1,82 @@
+"""Diurnal model: the 4x availability swing and hazard consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.diurnal import AvailabilityProcess, DiurnalModel
+from repro.sim.event_loop import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def test_peak_to_trough_ratio_is_4x():
+    model = DiurnalModel(amplitude=0.6)
+    hours = np.linspace(0, 24, 1000)
+    fractions = [model.eligible_fraction(h * SECONDS_PER_HOUR) for h in hours]
+    assert max(fractions) / min(fractions) == pytest.approx(4.0, rel=1e-3)
+
+
+def test_peak_is_at_peak_hour():
+    model = DiurnalModel(peak_hour=2.0)
+    at_peak = model.eligible_fraction(2.0 * SECONDS_PER_HOUR)
+    at_trough = model.eligible_fraction(14.0 * SECONDS_PER_HOUR)
+    assert at_peak > at_trough
+    hours = np.arange(0, 24, 0.25)
+    best = hours[np.argmax([model.eligible_fraction(h * 3600) for h in hours])]
+    assert best == pytest.approx(2.0, abs=0.25)
+
+
+def test_rate_off_is_higher_during_the_day():
+    """Fig. 7: drop-out is higher in daytime (users pick up their phones)."""
+    model = DiurnalModel(peak_hour=2.0)
+    assert model.rate_off(14 * SECONDS_PER_HOUR) > model.rate_off(2 * SECONDS_PER_HOUR)
+
+
+def test_stationary_fraction_matches_hazard_ratio():
+    model = DiurnalModel()
+    for hour in (0, 6, 12, 18):
+        t = hour * SECONDS_PER_HOUR
+        on, off = model.rate_on(t), model.rate_off(t)
+        stationary = on / (on + off)
+        assert stationary == pytest.approx(
+            min(model.eligible_fraction(t), 0.97), rel=1e-9
+        )
+
+
+@given(st.floats(min_value=0.0, max_value=7 * SECONDS_PER_DAY))
+@settings(max_examples=50, deadline=None)
+def test_modulation_stays_in_band(t):
+    model = DiurnalModel(amplitude=0.6)
+    assert 0.4 - 1e-9 <= model.modulation(t) <= 1.6 + 1e-9
+
+
+def test_availability_process_transitions_positive(rng):
+    process = AvailabilityProcess(DiurnalModel(), tz_offset_hours=-8.0, rng=rng)
+    for t in (0.0, 40_000.0, 80_000.0):
+        assert process.time_until_eligible(t) > 0
+        assert process.time_until_ineligible(t) > 0
+
+
+def test_eligible_durations_average_near_configured_mean(rng):
+    model = DiurnalModel(mean_eligible_minutes=45.0, amplitude=0.6)
+    process = AvailabilityProcess(model, tz_offset_hours=0.0, rng=rng)
+    # At the availability peak the off-hazard is lowest; sample many
+    # durations across the day and compare to the configured scale.
+    samples = [
+        process.time_until_ineligible(t)
+        for t in np.linspace(0, SECONDS_PER_DAY, 400)
+    ]
+    mean_minutes = np.mean(samples) / 60.0
+    assert 25.0 < mean_minutes < 80.0
+
+
+def test_more_devices_eligible_at_night(rng):
+    model = DiurnalModel(peak_hour=2.0)
+    process = AvailabilityProcess(model, tz_offset_hours=0.0, rng=rng)
+    night = 2 * SECONDS_PER_HOUR
+    day = 14 * SECONDS_PER_HOUR
+    night_count = sum(
+        process.is_initially_eligible(night) for _ in range(2000)
+    )
+    day_count = sum(process.is_initially_eligible(day) for _ in range(2000))
+    assert night_count > 2.0 * day_count

@@ -1,0 +1,109 @@
+"""Event loop: ordering, cancellation, time semantics."""
+
+import pytest
+
+from repro.sim.event_loop import EventLoop, SimulationError
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(5.0, fired.append, "b")
+    loop.schedule(1.0, fired.append, "a")
+    loop.schedule(9.0, fired.append, "c")
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule(1.0, fired.append, i)
+    loop.run()
+    assert fired == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    loop = EventLoop(start_time=100.0)
+    seen = []
+    loop.schedule(2.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [102.5]
+    assert loop.now == 102.5
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    loop = EventLoop(start_time=50.0)
+    with pytest.raises(SimulationError):
+        loop.schedule_at(49.9, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1.0, fired.append, "x")
+    loop.schedule(2.0, fired.append, "y")
+    event.cancel()
+    loop.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "a")
+    loop.schedule(10.0, fired.append, "b")
+    loop.run(until=5.0)
+    assert fired == ["a"]
+    assert loop.now == 5.0  # clock advances to the horizon
+    loop.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_for_relative_horizon():
+    loop = EventLoop(start_time=100.0)
+    fired = []
+    loop.schedule(3.0, fired.append, 1)
+    loop.schedule(30.0, fired.append, 2)
+    loop.run_for(5.0)
+    assert fired == [1]
+    assert loop.now == 105.0
+
+
+def test_events_scheduled_during_run_are_processed():
+    loop = EventLoop()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            loop.schedule(1.0, chain, n + 1)
+
+    loop.schedule(0.0, chain, 0)
+    loop.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert loop.now == 5.0
+
+
+def test_max_events_bound():
+    loop = EventLoop()
+    for _ in range(100):
+        loop.schedule(1.0, lambda: None)
+    processed = loop.run(max_events=7)
+    assert processed == 7
+    assert len(loop) == 93
+
+
+def test_len_excludes_cancelled():
+    loop = EventLoop()
+    e1 = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert len(loop) == 1

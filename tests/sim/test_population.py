@@ -1,0 +1,58 @@
+"""Population sampling: validation, determinism, constraint ranges."""
+
+import numpy as np
+import pytest
+
+from repro.sim.population import PopulationConfig, build_population
+from repro.sim.rng import RngRegistry
+
+
+def test_population_size_and_ids():
+    pop = build_population(PopulationConfig(num_devices=50), RngRegistry(0))
+    assert len(pop) == 50
+    assert [p.device_id for p in pop] == list(range(50))
+
+
+def test_population_is_deterministic():
+    a = build_population(PopulationConfig(num_devices=20), RngRegistry(42))
+    b = build_population(PopulationConfig(num_devices=20), RngRegistry(42))
+    assert a == b
+
+
+def test_fields_within_configured_choices():
+    config = PopulationConfig(num_devices=300)
+    pop = build_population(config, RngRegistry(1))
+    for p in pop:
+        assert p.memory_mb in config.memory_choices
+        assert p.os_version in config.os_versions
+        assert p.runtime_version in config.runtime_versions
+        assert p.speed_factor > 0
+
+
+def test_compromised_fraction_roughly_respected():
+    config = PopulationConfig(num_devices=5000, compromised_fraction=0.1)
+    pop = build_population(config, RngRegistry(2))
+    frac = sum(not p.genuine for p in pop) / len(pop)
+    assert 0.07 < frac < 0.13
+
+
+def test_timezones_center_on_configured_offset():
+    config = PopulationConfig(
+        num_devices=1000, tz_offset_hours=-8.0, tz_spread_hours=1.0
+    )
+    pop = build_population(config, RngRegistry(3))
+    mean_tz = np.mean([p.tz_offset_hours for p in pop])
+    assert -8.3 < mean_tz < -7.7
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_devices": 0},
+        {"memory_weights": (0.5, 0.5, 0.5, 0.2, 0.2)},
+        {"compromised_fraction": 1.5},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        build_population(PopulationConfig(**kwargs), RngRegistry(0))

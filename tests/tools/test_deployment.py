@@ -1,0 +1,125 @@
+"""Deployment gates: all four acceptance conditions (Sec. 7.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import ClientDataset
+from repro.nn.models import LogisticRegression
+from repro.tools.deployment import DeploymentGate, PlanEmulator, measure_resources
+from repro.tools.modeling import FLTaskBuilder, TestPredicate, loss_is_finite
+
+
+def make_builder(rng, reviewed=True, predicate=None):
+    x = rng.normal(size=(60, 4))
+    b = (
+        FLTaskBuilder("pop/train", "pop")
+        .with_model(LogisticRegression(input_dim=4, n_classes=3), rng)
+        .with_proxy_data(ClientDataset("proxy", x, rng.integers(0, 3, size=60)))
+        .with_test(predicate or loss_is_finite())
+    )
+    if reviewed:
+        b.mark_reviewed()
+    return b
+
+
+def build_plan(builder):
+    # Bypass build()'s own validation to reach the gate with a plan.
+    from repro.core.plan import generate_plan
+    from repro.core.config import SecAggConfig, TaskKind
+    from repro.nn.serialization import checkpoint_nbytes
+
+    return generate_plan(
+        task_id=builder.task_id,
+        kind=TaskKind.TRAINING,
+        client_config=builder.client_config,
+        secagg=SecAggConfig(),
+        model_nbytes=checkpoint_nbytes(builder.initial_params),
+    )
+
+
+def test_all_gates_pass(rng):
+    builder = make_builder(rng)
+    gate = DeploymentGate(fleet_runtime_versions=[7, 8, 9, 10])
+    report = gate.evaluate(builder, build_plan(builder), rng)
+    assert report.accepted, report.violations
+    assert report.resources is not None
+    assert set(report.versioned_plans) == {7, 8, 9, 10}
+
+
+def test_unreviewed_code_rejected(rng):
+    builder = make_builder(rng, reviewed=False)
+    gate = DeploymentGate(fleet_runtime_versions=[10])
+    report = gate.evaluate(builder, build_plan(builder), rng)
+    assert not report.accepted
+    assert any("peer reviewed" in v for v in report.violations)
+
+
+def test_failing_task_test_rejected(rng):
+    builder = make_builder(
+        rng, predicate=TestPredicate("nope", lambda m, p, d: False)
+    )
+    gate = DeploymentGate(fleet_runtime_versions=[10])
+    report = gate.evaluate(builder, build_plan(builder), rng)
+    assert not report.accepted
+    assert any("task test failed" in v for v in report.violations)
+
+
+def test_resource_overrun_rejected(rng):
+    builder = make_builder(rng)
+    gate = DeploymentGate(
+        fleet_runtime_versions=[10], max_memory_mb=1e-6
+    )
+    report = gate.evaluate(builder, build_plan(builder), rng)
+    assert not report.accepted
+    assert any("peak memory" in v for v in report.violations)
+
+
+def test_update_size_limit(rng):
+    builder = make_builder(rng)
+    gate = DeploymentGate(fleet_runtime_versions=[10], max_update_nbytes=8)
+    report = gate.evaluate(builder, build_plan(builder), rng)
+    assert not report.accepted
+    assert any("update size" in v for v in report.violations)
+
+
+def test_versioned_plans_pass_same_release_tests(rng):
+    """'Versioned and unversioned plans must pass the same release tests.'"""
+    builder = make_builder(rng)
+    plan = build_plan(builder)
+    report = DeploymentGate(fleet_runtime_versions=[7, 10]).evaluate(
+        builder, plan, rng
+    )
+    assert report.accepted
+    v7 = report.versioned_plans[7]
+    assert v7.version_tag == "runtime-7"
+    assert PlanEmulator(7).run_task_tests(builder, v7) == []
+
+
+def test_emulator_refuses_too_new_plan(rng):
+    builder = make_builder(rng)
+    plan = build_plan(builder)
+    refusals = PlanEmulator(8).check_ops(plan)
+    assert refusals  # fused op needs runtime 9
+    failures = PlanEmulator(8).run_task_tests(builder, plan)
+    assert any("refuses" in f for f in failures)
+
+
+def test_measure_resources_reports_positive_numbers(rng):
+    builder = make_builder(rng)
+    estimate = measure_resources(
+        builder.model, builder.initial_params, build_plan(builder),
+        builder.proxy_data, rng,
+    )
+    assert estimate.peak_memory_mb > 0
+    assert estimate.train_seconds_per_100_examples > 0
+    assert estimate.update_nbytes == builder.initial_params.num_parameters * 8
+
+
+def test_gate_builds_servable_repository(rng):
+    builder = make_builder(rng)
+    plan = build_plan(builder)
+    gate = DeploymentGate(fleet_runtime_versions=[7, 8, 9, 10])
+    assert gate.evaluate(builder, plan, rng).accepted
+    repo = gate.build_repository(plan)
+    for version in (7, 8, 9, 10):
+        assert repo.plan_for_runtime(version) is not None

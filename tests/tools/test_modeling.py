@@ -1,0 +1,89 @@
+"""Task builder and validation (Sec. 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import ClientDataset
+from repro.tools.modeling import (
+    FLTaskBuilder,
+    TestPredicate,
+    ValidationError,
+    loss_decreases_after_one_step,
+    loss_is_finite,
+)
+from repro.nn.models import LogisticRegression
+
+
+def proxy(rng, n=40, d=4, c=3):
+    x = rng.normal(size=(n, d))
+    return ClientDataset("proxy", x, rng.integers(0, c, size=n))
+
+
+def builder(rng):
+    return (
+        FLTaskBuilder("pop/train", "pop")
+        .with_model(LogisticRegression(input_dim=4, n_classes=3), rng)
+        .with_proxy_data(proxy(rng))
+    )
+
+
+def test_build_produces_task_plan_params(rng):
+    task, plan, params = (
+        builder(rng).with_test(loss_is_finite()).mark_reviewed().build()
+    )
+    assert task.task_id == "pop/train"
+    assert plan.task_id == "pop/train"
+    assert params.num_parameters == 4 * 3 + 3
+
+
+def test_build_without_tests_rejected(rng):
+    with pytest.raises(ValidationError, match="required"):
+        builder(rng).build()
+
+
+def test_failing_predicate_blocks_build(rng):
+    failing = TestPredicate("always_fails", lambda m, p, d: False)
+    with pytest.raises(ValidationError, match="always_fails"):
+        builder(rng).with_test(failing).build()
+
+
+def test_crashing_predicate_reported_as_failure(rng):
+    def boom(m, p, d):
+        raise RuntimeError("kaboom")
+
+    failures = builder(rng).with_test(TestPredicate("boom", boom)).validate()
+    assert len(failures) == 1
+    assert "boom" in failures[0]
+
+
+def test_standard_predicates_pass_on_sane_model(rng):
+    b = (
+        builder(rng)
+        .with_test(loss_is_finite())
+        .with_test(loss_decreases_after_one_step(0.1))
+    )
+    assert b.validate() == []
+
+
+def test_validate_requires_model_and_data(rng):
+    bare = FLTaskBuilder("t", "p")
+    with pytest.raises(ValidationError, match="no model"):
+        bare.validate()
+    with_model = FLTaskBuilder("t", "p").with_model(
+        LogisticRegression(2, 2), rng
+    )
+    with pytest.raises(ValidationError, match="proxy"):
+        with_model.validate()
+
+
+def test_pretrained_params_flow_through(rng):
+    model = LogisticRegression(input_dim=4, n_classes=3)
+    pretrained = model.init(rng).scale(7.0)
+    task, plan, params = (
+        FLTaskBuilder("pop/t", "pop")
+        .with_pretrained(model, pretrained)
+        .with_proxy_data(proxy(rng))
+        .with_test(loss_is_finite())
+        .build()
+    )
+    assert params.allclose(pretrained)

@@ -1,0 +1,63 @@
+"""PlanDirectory: per-task versioned plan serving."""
+
+import pytest
+
+from repro.core.config import ClientTrainingConfig, SecAggConfig, TaskKind
+from repro.core.plan import generate_plan
+from repro.tools.versioning import PlanDirectory, PlanRepository, default_transforms
+
+
+def make_repo(task_id, kind=TaskKind.TRAINING):
+    plan = generate_plan(
+        task_id=task_id,
+        kind=kind,
+        client_config=ClientTrainingConfig(),
+        secagg=SecAggConfig(),
+        model_nbytes=100,
+    )
+    return PlanRepository.build(plan, [7, 10], default_transforms())
+
+
+def test_routes_by_task_id():
+    directory = PlanDirectory()
+    directory.add("train", make_repo("train"))
+    directory.add("eval", make_repo("eval", TaskKind.EVALUATION))
+    train_plan = directory.plan_for_task("train", 10)
+    eval_plan = directory.plan_for_task("eval", 10)
+    assert train_plan.task_id == "train"
+    assert eval_plan.task_id == "eval"
+    assert eval_plan.device.kind is TaskKind.EVALUATION
+    assert directory.task_ids() == ["eval", "train"]
+
+
+def test_unknown_task_returns_none():
+    directory = PlanDirectory()
+    directory.add("train", make_repo("train"))
+    assert directory.plan_for_task("nope", 10) is None
+
+
+def test_versioned_serving_per_task():
+    directory = PlanDirectory()
+    directory.add("train", make_repo("train"))
+    lowered = directory.plan_for_task("train", 7)
+    assert lowered is not None
+    assert lowered.version_tag == "runtime-7"
+
+
+def test_any_task_servable_gate():
+    directory = PlanDirectory()
+    directory.add("train", make_repo("train"))
+    assert directory.plan_for_runtime(10) is not None
+    assert directory.plan_for_runtime(7) is not None
+
+
+def test_duplicate_task_rejected():
+    directory = PlanDirectory()
+    directory.add("t", make_repo("t"))
+    with pytest.raises(ValueError, match="already"):
+        directory.add("t", make_repo("t"))
+
+
+def test_repository_itself_satisfies_the_directory_interface():
+    repo = make_repo("solo")
+    assert repo.plan_for_task("anything", 10) is repo.plan_for_runtime(10)

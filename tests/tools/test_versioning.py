@@ -1,0 +1,102 @@
+"""Versioned plans via graph transformations (Sec. 7.3)."""
+
+import pytest
+
+from repro.core.config import ClientTrainingConfig, SecAggConfig, TaskKind
+from repro.core.plan import generate_plan
+from repro.nn.graph import OpSpec
+from repro.tools.versioning import (
+    IncompatiblePlanError,
+    PlanRepository,
+    TransformRegistry,
+    default_transforms,
+    generate_versioned_plan,
+    transform_graph_for_runtime,
+)
+
+
+def default_plan():
+    return generate_plan(
+        task_id="t",
+        kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(learning_rate=0.25),
+        secagg=SecAggConfig(),
+        model_nbytes=100,
+    )
+
+
+def test_unfuse_lowers_runtime_requirement():
+    plan = default_plan()
+    assert plan.device.graph.min_runtime_version() == 9
+    lowered = transform_graph_for_runtime(plan.device.graph, 7)
+    assert lowered.min_runtime_version() == 1
+    names = lowered.op_names()
+    assert "fused_train_step" not in names
+    assert names.index("forward") < names.index("backward") < names.index(
+        "apply_gradients"
+    )
+
+
+def test_unfuse_preserves_hyperparameters():
+    plan = default_plan()
+    lowered = transform_graph_for_runtime(plan.device.graph, 7)
+    apply_op = next(op for op in lowered.ops if op.name == "apply_gradients")
+    assert apply_op.attrs["learning_rate"] == 0.25
+
+
+def test_compatible_graph_untouched():
+    plan = default_plan()
+    same = transform_graph_for_runtime(plan.device.graph, 10)
+    assert same.op_names() == plan.device.graph.op_names()
+
+
+def test_unliftable_op_raises():
+    registry = TransformRegistry()  # no rules at all
+    graph = default_plan().device.graph
+    with pytest.raises(IncompatiblePlanError, match="no transform"):
+        transform_graph_for_runtime(graph, 7, registry)
+
+
+def test_transform_producing_still_new_op_rejected():
+    registry = TransformRegistry()
+    registry.register(
+        "fused_train_step",
+        2,
+        lambda op: [OpSpec("exotic", 1, min_runtime_version=99)],
+    )
+    with pytest.raises(IncompatiblePlanError, match="still"):
+        transform_graph_for_runtime(default_plan().device.graph, 7, registry)
+
+
+def test_duplicate_rule_rejected():
+    registry = default_transforms()
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register("fused_train_step", 2, lambda op: [])
+
+
+def test_versioned_plan_is_tagged():
+    vplan = generate_versioned_plan(default_plan(), 8)
+    assert vplan.version_tag == "runtime-8"
+    assert vplan.runtime_version == 8
+    assert vplan.compatible_with_runtime(8)
+
+
+def test_repository_serves_appropriate_plan():
+    repo = PlanRepository.build(default_plan(), [7, 8, 9, 10])
+    assert repo.plan_for_runtime(10).version_tag == "unversioned"
+    assert repo.plan_for_runtime(9).version_tag == "unversioned"
+    assert repo.plan_for_runtime(8).version_tag == "runtime-8"
+    assert repo.plan_for_runtime(7).version_tag == "runtime-7"
+    assert sorted(repo.materialized_versions()) == [7, 8, 9, 10]
+
+
+def test_repository_caches():
+    repo = PlanRepository.build(default_plan(), [8])
+    assert repo.plan_for_runtime(8) is repo.plan_for_runtime(8)
+
+
+def test_repository_returns_none_when_unservable():
+    registry = TransformRegistry()  # cannot lower the fused op
+    repo = PlanRepository(default_plan(), registry)
+    assert repo.plan_for_runtime(5) is None
+    assert repo.plan_for_runtime(10) is not None
