@@ -29,7 +29,14 @@ REFERENCE_DAYS = 3.0
 def build_reference_fleet(seed: int = 2019) -> FLSystem:
     config = FLSystemConfig(
         seed=seed,
-        population=PopulationConfig(num_devices=900, tz_offset_hours=-8.0),
+        # 750 devices with a 360s check-in wait bound keeps the fleet
+        # *supply-limited* in daytime while night rounds run at full
+        # cadence, which is what makes the Fig. 5 oscillation visible.
+        # (The original 900-device calibration relied on a device-actor
+        # bug that permanently wedged almost the whole fleet's on-device
+        # schedulers over 3 days; with that fixed, a healthy 900-device
+        # fleet saturates the round cadence around the clock.)
+        population=PopulationConfig(num_devices=750, tz_offset_hours=-8.0),
         num_selectors=3,
         job=JobSchedule(1800.0, 0.5),
         # ~4 examples/s puts median on-device training around 60-90s, so
@@ -40,6 +47,11 @@ def build_reference_fleet(seed: int = 2019) -> FLSystem:
         # pace-steering round period (also 300s) and systematically sample
         # the inter-round gaps.
         sample_interval_s=97.0,
+        # Devices hang up after ~1.2 pace round periods (300s) without
+        # being selected and retry on the job cadence; raising this back
+        # toward the 1800s default re-saturates daytime rounds and
+        # flattens the Fig. 5 oscillation.
+        waiting_timeout_s=360.0,
     )
     system = FLSystem(config)
     task = TaskConfig(

@@ -5,13 +5,18 @@ Three API layers:
 
 * **Algorithms** (:mod:`repro.core`): ``FederatedAveraging`` / ``FedSGD``
   over in-memory clients — Appendix B, runnable anywhere.
-* **System** (:class:`repro.system.FLSystem`): the full production design —
-  actor server, simulated device fleet, pace steering, Secure Aggregation,
-  analytics — on a deterministic discrete-event simulation.
+* **System** (:class:`repro.system.FLFleet`): the full production design as
+  a *multi-tenant fleet* — one actor server and simulated device fleet
+  hosting many FL populations concurrently (Secs. 2-4), with pace
+  steering, Secure Aggregation, and per-population analytics — on a
+  deterministic discrete-event simulation.  Declared via
+  ``FLFleet.builder()``; results come back as typed
+  :class:`repro.system.RunReport` objects.  The legacy single-population
+  :class:`repro.system.FLSystem` remains as a thin shim.
 * **Tools** (:mod:`repro.tools`): the model-engineer workflow — define,
   validate, version, gate, deploy.
 
-Quickstart::
+Quickstart (algorithm layer)::
 
     import numpy as np
     from repro import FederatedAveraging, FedAvgConfig, ClientDataset
@@ -22,6 +27,20 @@ Quickstart::
     clients = [...]  # list[ClientDataset]
     algo = FederatedAveraging(model, FedAvgConfig(clients_per_round=10))
     params, history = algo.fit(clients, num_rounds=100, rng=rng)
+
+Fleet quickstart (system layer)::
+
+    fleet = (
+        FLFleet.builder()
+        .seed(7)
+        .population("kbd", tasks=[train_task], model=initial_params)
+        .population("stats", tasks=[eval_task], model=stats_params,
+                    membership=0.5)
+        .build()
+    )
+    fleet.run_days(1.0)
+    for pop in fleet.report().populations:
+        print(pop.name, pop.rounds_committed)
 """
 
 from repro.core import (
@@ -35,9 +54,19 @@ from repro.core import (
     TaskConfig,
     TaskKind,
 )
-from repro.system import FLSystem, FLSystemConfig
+from repro.system import (
+    FLFleet,
+    FLSystem,
+    FLSystemConfig,
+    FleetBuilder,
+    FleetConfig,
+    FleetValidationError,
+    PopulationReport,
+    PopulationSpec,
+    RunReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClientDataset",
@@ -49,7 +78,14 @@ __all__ = [
     "SecAggConfig",
     "TaskConfig",
     "TaskKind",
+    "FLFleet",
     "FLSystem",
     "FLSystemConfig",
+    "FleetBuilder",
+    "FleetConfig",
+    "FleetValidationError",
+    "PopulationReport",
+    "PopulationSpec",
+    "RunReport",
     "__version__",
 ]

@@ -56,6 +56,7 @@ class Coordinator(Actor):
         config: CoordinatorConfig | None = None,
         round_listener: Callable[..., None] | None = None,
         metrics_store=None,
+        round_id_base: int = 0,
     ):
         self.population_name = population_name
         self.scheduler = scheduler
@@ -66,7 +67,10 @@ class Coordinator(Actor):
         self.config = config or CoordinatorConfig()
         self.round_listener = round_listener
         self.metrics_store = metrics_store
-        self.round_counter = 0
+        #: Populations hosted on one fleet get disjoint round-id ranges so
+        #: (device, round) session keys never collide across populations.
+        self.round_id_base = round_id_base
+        self.round_counter = round_id_base
         self.active_master: ActorRef | None = None
         self.active_round_id: int | None = None
         self.last_round_ended_at_s: float | None = None
@@ -82,7 +86,10 @@ class Coordinator(Actor):
         # A respawned coordinator recovers its round counter from the
         # last committed checkpoint.
         if self.store.has_checkpoint(self.population_name):
-            self.round_counter = self.store.latest(self.population_name).round_number
+            self.round_counter = max(
+                self.round_id_base,
+                self.store.latest(self.population_name).round_number,
+            )
         for selector in self.selectors:
             self.tell(
                 selector,
@@ -104,7 +111,9 @@ class Coordinator(Actor):
         for ref in self.selectors:
             selector = self.system.actor_of(ref)
             if selector is not None:
-                total += selector.connected_count  # type: ignore[attr-defined]
+                total += selector.connected_count_for(  # type: ignore[attr-defined]
+                    self.population_name
+                )
         return total
 
     def _start_threshold(self) -> int:
@@ -164,6 +173,7 @@ class Coordinator(Actor):
                     count=task.config.round_config.selection_goal,
                     aggregators=(),
                     master=master_ref,
+                    population_name=self.population_name,
                 ),
             )
 
@@ -191,7 +201,13 @@ class Coordinator(Actor):
             except KeyError:
                 pass
         for selector in self.selectors:
-            self.tell(selector, msg.ClearForwarding(round_id=finished.round_id))
+            self.tell(
+                selector,
+                msg.ClearForwarding(
+                    round_id=finished.round_id,
+                    population_name=self.population_name,
+                ),
+            )
         if self.config.pipelining:
             self._maybe_start_round()
 
@@ -207,5 +223,9 @@ class Coordinator(Actor):
             self.last_round_ended_at_s = self.now
             for selector in self.selectors:
                 self.tell(
-                    selector, msg.ClearForwarding(round_id=dead_round_id or -1)
+                    selector,
+                    msg.ClearForwarding(
+                        round_id=dead_round_id or -1,
+                        population_name=self.population_name,
+                    ),
                 )

@@ -41,9 +41,14 @@ class CheckinRejected:
 
 @dataclass(frozen=True)
 class DeviceDisconnect:
-    """Device closes its stream (lost eligibility while waiting)."""
+    """Device closes its stream (lost eligibility while waiting).
+
+    ``population_name`` routes the disconnect to the right per-population
+    pool on a multi-tenant Selector; ``None`` (legacy senders) makes the
+    Selector search all pools for the device id."""
 
     device_id: int
+    population_name: str | None = None
 
 
 @dataclass(frozen=True)
@@ -67,13 +72,14 @@ class SelectorStatus:
 @dataclass(frozen=True)
 class ForwardDevices:
     """Coordinator tells a Selector to forward ``count`` connected devices
-    to the given Aggregators for a starting round."""
+    to the given Aggregators for a starting round of one population."""
 
     round_id: int
     task_id: str
     count: int
     aggregators: tuple["ActorRef", ...]
     master: "ActorRef"
+    population_name: str = ""
 
 
 # -- configuration / reporting (device <-> aggregator) -------------------------
@@ -196,6 +202,7 @@ class RegisterCoordinator:
 
 @dataclass(frozen=True)
 class ClearForwarding:
-    """Coordinator cancels the Selectors' standing forwarding instruction."""
+    """Coordinator cancels its population's standing forwarding instruction."""
 
     round_id: int
+    population_name: str = ""

@@ -8,13 +8,19 @@ which is exactly what makes the pipelining of Sec. 4.3 free: while one
 round is reporting, newly checked-in devices are already pooling here for
 the next one.
 
-Selectors also watch the Coordinator and — arbitrated by the shared lock
-service — respawn it exactly once if it dies (Sec. 4.4).
+One Selector serves *many* FL populations at once (Sec. 2's multi-tenant
+fleet): each check-in names a population, and the Selector keeps one
+:class:`PopulationRoute` — pool, standing forwarding instruction,
+Coordinator link, pace steering, quotas, and counters — per hosted
+population.
+
+Selectors also watch each population's Coordinator and — arbitrated by
+the shared lock service — respawn it exactly once if it dies (Sec. 4.4).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -35,8 +41,14 @@ class SelectorStats:
     rejected_quota: int = 0
     rejected_attestation: int = 0
     rejected_incompatible: int = 0
+    rejected_unknown_population: int = 0
     forwarded: int = 0
     disconnects: int = 0
+
+    def __iadd__(self, other: "SelectorStats") -> "SelectorStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
 
 
 @dataclass
@@ -47,37 +59,66 @@ class _ConnectedDevice:
     connected_at_s: float
 
 
+@dataclass
+class PopulationRoute:
+    """One hosted population's routing state inside a Selector.
+
+    ``plans`` exposes ``plan_for_runtime(version)`` / ``plan_for_task``;
+    ``coordinator_factory`` builds a replacement Coordinator for the
+    Sec. 4.4 respawn path.
+    """
+
+    population_name: str
+    pace: PaceSteering
+    plans: Any
+    population_size: int
+    pool_cap: int = 1000
+    coordinator_factory: Callable[[], Actor] | None = None
+    coordinator: ActorRef | None = None
+    pool: dict[int, _ConnectedDevice] = field(default_factory=dict)
+    forwarding: msg.ForwardDevices | None = None
+    stats: SelectorStats = field(default_factory=SelectorStats)
+
+
 class Selector(Actor):
-    """One selector; production runs many, spread geographically."""
+    """One selector; production runs many, spread geographically.
+
+    Shared pieces (attestation, locks, checkpoint store) are fleet-wide;
+    everything population-specific lives in :attr:`routes`.
+    """
 
     def __init__(
         self,
-        population_name: str,
-        pace: PaceSteering,
         locks: LockService,
         verify_attestation: Callable[[Any], bool],
-        plan_repository: Any,          # exposes plan_for_runtime(version)
         checkpoint_store: Any,         # exposes latest(population)
-        population_size: int,
         rng: np.random.Generator,
-        coordinator_factory: Callable[[], Actor] | None = None,
-        pool_cap: int = 1000,
     ):
-        self.population_name = population_name
-        self.pace = pace
         self.locks = locks
         self.verify_attestation = verify_attestation
-        self.plans = plan_repository
         self.store = checkpoint_store
-        self.population_size = population_size
         self.rng = rng
-        self.coordinator_factory = coordinator_factory
-        self.pool_cap = pool_cap
-        self.coordinator: ActorRef | None = None
-        self.pool: dict[int, _ConnectedDevice] = {}
-        self.stats = SelectorStats()
-        self._forwarding: msg.ForwardDevices | None = None
+        self.routes: dict[str, PopulationRoute] = {}
         self._paused = False
+
+    # -- population registry ---------------------------------------------------
+    def add_route(self, route: PopulationRoute) -> None:
+        if route.population_name in self.routes:
+            raise ValueError(
+                f"population {route.population_name!r} already routed"
+            )
+        self.routes[route.population_name] = route
+
+    def route_of(self, population_name: str) -> PopulationRoute:
+        return self.routes[population_name]
+
+    def _lookup(self, population_name: str) -> PopulationRoute | None:
+        route = self.routes.get(population_name)
+        if route is None and len(self.routes) == 1:
+            # Single-tenant deployments tolerate legacy messages that omit
+            # the population name.
+            return next(iter(self.routes.values()))
+        return route
 
     # -- lifecycle --------------------------------------------------------------
     def on_stop(self, crashed: bool) -> None:
@@ -85,21 +126,37 @@ class Selector(Actor):
         # devices so they retry elsewhere (Sec. 4.4: "only the devices
         # connected to that actor will be lost" — lost from this round,
         # not forever).
-        for device in self.pool.values():
-            self.system.tell(device.ref, msg.ConnectionReset())
-        self.pool.clear()
+        for route in self.routes.values():
+            for device in route.pool.values():
+                self.system.tell(device.ref, msg.ConnectionReset())
+            route.pool.clear()
 
     # -- helpers ----------------------------------------------------------------
     @property
     def connected_count(self) -> int:
-        return len(self.pool)
+        """Pooled devices across every hosted population."""
+        return sum(len(route.pool) for route in self.routes.values())
 
-    def _reject(self, device_ref: ActorRef, reason: str) -> None:
-        window = self.pace.suggest_reconnect(
+    def connected_count_for(self, population_name: str) -> int:
+        route = self.routes.get(population_name)
+        return len(route.pool) if route is not None else 0
+
+    @property
+    def stats(self) -> SelectorStats:
+        """Aggregate counters across routes (legacy single-tenant view)."""
+        total = SelectorStats()
+        for route in self.routes.values():
+            total += route.stats
+        return total
+
+    def _reject(
+        self, route: PopulationRoute, device_ref: ActorRef, reason: str
+    ) -> None:
+        window = route.pace.suggest_reconnect(
             now_s=self.now,
-            population_size=self.population_size,
+            population_size=route.population_size,
             needed_per_round=(
-                self._forwarding.count if self._forwarding is not None else 100
+                route.forwarding.count if route.forwarding is not None else 100
             ),
         )
         self.tell(device_ref, msg.CheckinRejected(window=window, reason=reason))
@@ -109,24 +166,30 @@ class Selector(Actor):
         if isinstance(message, msg.DeviceCheckin):
             self._on_checkin(message)
         elif isinstance(message, msg.DeviceDisconnect):
-            if self.pool.pop(message.device_id, None) is not None:
-                self.stats.disconnects += 1
+            self._on_disconnect(message)
         elif isinstance(message, msg.ForwardDevices):
-            self._forwarding = message
-            self._drain_pool()
+            route = self._lookup(message.population_name)
+            if route is not None:
+                route.forwarding = message
+                self._drain_pool(route)
         elif isinstance(message, msg.ClearForwarding):
+            route = self._lookup(message.population_name)
             if (
-                self._forwarding is not None
-                and self._forwarding.round_id == message.round_id
+                route is not None
+                and route.forwarding is not None
+                and route.forwarding.round_id == message.round_id
             ):
-                self._forwarding = None
+                route.forwarding = None
         elif isinstance(message, msg.PauseAccepting):
             self._paused = message.paused
             if self._paused:
-                self._flush_pool("paused")
+                for route in self.routes.values():
+                    self._flush_pool(route, "paused")
         elif isinstance(message, msg.RegisterCoordinator):
-            self.coordinator = message.coordinator
-            self.system.watch(self.ref, message.coordinator)
+            route = self._lookup(message.population_name)
+            if route is not None:
+                route.coordinator = message.coordinator
+                self.system.watch(self.ref, message.coordinator)
         elif isinstance(message, msg.SelectorStatusRequest):
             if sender is not None:
                 self.tell(
@@ -139,20 +202,41 @@ class Selector(Actor):
         elif isinstance(message, DeathNotice):
             self._on_coordinator_death(message)
 
+    def _on_disconnect(self, message: msg.DeviceDisconnect) -> None:
+        if message.population_name is not None:
+            route = self._lookup(message.population_name)
+            routes = [route] if route is not None else []
+        else:
+            routes = list(self.routes.values())
+        for route in routes:
+            if route.pool.pop(message.device_id, None) is not None:
+                route.stats.disconnects += 1
+                return
+
     # -- check-in path ---------------------------------------------------------
     def _on_checkin(self, checkin: msg.DeviceCheckin) -> None:
-        self.stats.checkins += 1
+        route = self.routes.get(checkin.population_name)
+        if route is None:
+            # No hosted population by that name: steer the device away with
+            # an arbitrary route's pace (or drop if nothing is hosted).
+            if self.routes:
+                fallback = next(iter(self.routes.values()))
+                fallback.stats.checkins += 1
+                fallback.stats.rejected_unknown_population += 1
+                self._reject(fallback, checkin.device_ref, "unknown_population")
+            return
+        route.stats.checkins += 1
         if not self.verify_attestation(checkin.attestation_token):
-            self.stats.rejected_attestation += 1
-            self._reject(checkin.device_ref, "attestation_failed")
+            route.stats.rejected_attestation += 1
+            self._reject(route, checkin.device_ref, "attestation_failed")
             return
-        if self.plans.plan_for_runtime(checkin.runtime_version) is None:
-            self.stats.rejected_incompatible += 1
-            self._reject(checkin.device_ref, "no_compatible_plan")
+        if route.plans.plan_for_runtime(checkin.runtime_version) is None:
+            route.stats.rejected_incompatible += 1
+            self._reject(route, checkin.device_ref, "no_compatible_plan")
             return
-        if self._paused or len(self.pool) >= self.pool_cap:
-            self.stats.rejected_quota += 1
-            self._reject(checkin.device_ref, "over_quota")
+        if self._paused or len(route.pool) >= route.pool_cap:
+            route.stats.rejected_quota += 1
+            self._reject(route, checkin.device_ref, "over_quota")
             return
         device = _ConnectedDevice(
             device_id=checkin.device_id,
@@ -160,30 +244,30 @@ class Selector(Actor):
             runtime_version=checkin.runtime_version,
             connected_at_s=self.now,
         )
-        self.pool[checkin.device_id] = device
-        self.stats.accepted += 1
-        if self._forwarding is not None:
-            self._try_forward(device)
+        route.pool[checkin.device_id] = device
+        route.stats.accepted += 1
+        if route.forwarding is not None:
+            self._try_forward(route, device)
 
     # -- forwarding path -----------------------------------------------------------
-    def _drain_pool(self) -> None:
+    def _drain_pool(self, route: PopulationRoute) -> None:
         """Offer pooled devices to the newly started round, oldest first."""
-        for device in sorted(self.pool.values(), key=lambda d: d.connected_at_s):
-            if self._forwarding is None:
+        for device in sorted(route.pool.values(), key=lambda d: d.connected_at_s):
+            if route.forwarding is None:
                 break
-            self._try_forward(device)
+            self._try_forward(route, device)
 
-    def _try_forward(self, device: _ConnectedDevice) -> None:
+    def _try_forward(self, route: PopulationRoute, device: _ConnectedDevice) -> None:
         """Admission RPC to the Master Aggregator, then configure or reject."""
-        assert self._forwarding is not None
-        instruction = self._forwarding
+        assert route.forwarding is not None
+        instruction = route.forwarding
         master = self.system.actor_of(instruction.master)
         if master is None:
             # Master died (Sec. 4.4): the round is gone; keep the device
             # pooled for the next round.
-            self._forwarding = None
+            route.forwarding = None
             return
-        plan = self.plans.plan_for_task(
+        plan = route.plans.plan_for_task(
             instruction.task_id, device.runtime_version
         )
         if plan is None:
@@ -193,13 +277,13 @@ class Selector(Actor):
         decision, agg_ref = master.admit_device(  # type: ignore[attr-defined]
             device.device_id, device.ref, device.runtime_version
         )
-        self.pool.pop(device.device_id, None)
+        route.pool.pop(device.device_id, None)
         if decision is not CheckinDecision.ACCEPT or agg_ref is None:
-            self.stats.rejected_quota += 1
-            self._reject(device.ref, "round_full")
+            route.stats.rejected_quota += 1
+            self._reject(route, device.ref, "round_full")
             return
-        checkpoint = self.store.latest(self.population_name)
-        self.stats.forwarded += 1
+        checkpoint = self.store.latest(route.population_name)
+        route.stats.forwarded += 1
         self.tell(
             device.ref,
             msg.ConfigureDevice(
@@ -222,26 +306,30 @@ class Selector(Actor):
     def _participation_cap_s(self) -> float:
         return 600.0
 
-    def _flush_pool(self, reason: str) -> None:
-        for device in list(self.pool.values()):
-            self._reject(device.ref, reason)
-        self.pool.clear()
+    def _flush_pool(self, route: PopulationRoute, reason: str) -> None:
+        for device in list(route.pool.values()):
+            self._reject(route, device.ref, reason)
+        route.pool.clear()
 
     # -- coordinator recovery (Sec. 4.4) ------------------------------------------
     def _on_coordinator_death(self, notice: DeathNotice) -> None:
-        if self.coordinator is None or notice.ref != self.coordinator:
+        route = next(
+            (r for r in self.routes.values() if r.coordinator == notice.ref),
+            None,
+        )
+        if route is None:
             return
-        self.coordinator = None
-        self._forwarding = None
-        if not notice.crashed or self.coordinator_factory is None:
+        route.coordinator = None
+        route.forwarding = None
+        if not notice.crashed or route.coordinator_factory is None:
             return
         # "Because the Coordinators are registered in a shared locking
         # service, this will happen exactly once": the respawn key embeds
         # the dead incarnation's actor id, so exactly one selector wins.
-        key = f"respawn/{self.population_name}/{notice.ref.actor_id}"
+        key = f"respawn/{route.population_name}/{notice.ref.actor_id}"
         if self.locks.acquire(key, self.ref):
-            replacement = self.coordinator_factory()
+            replacement = route.coordinator_factory()
             self.system.spawn(
                 replacement,
-                f"coordinator/{self.population_name}/r{notice.ref.actor_id}",
+                f"coordinator/{route.population_name}/r{notice.ref.actor_id}",
             )

@@ -92,3 +92,34 @@ class Dashboard:
 
     def counters(self) -> dict[str, float]:
         return dict(self._counters)
+
+    def scoped(self, prefix: str) -> "ScopedDashboard":
+        """A recording view that namespaces every metric under ``prefix``.
+
+        Multi-population fleets give each population its own scope
+        (``pop/<name>/...``) over the one shared dashboard, so operators
+        can monitor tenants independently (Sec. 5)."""
+        return ScopedDashboard(self, prefix)
+
+
+class ScopedDashboard:
+    """Prefix-namespaced recorder over a shared :class:`Dashboard`."""
+
+    def __init__(self, dashboard: Dashboard, prefix: str):
+        self._dashboard = dashboard
+        self.prefix = prefix.rstrip("/")
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}/{name}"
+
+    def record(self, name: str, time_s: float, value: float) -> None:
+        self._dashboard.record(self._name(name), time_s, value)
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self._dashboard.increment(self._name(name), amount)
+
+    def series(self, name: str) -> TimeSeries:
+        return self._dashboard.series(self._name(name))
+
+    def counter(self, name: str) -> float:
+        return self._dashboard.counter(self._name(name))

@@ -6,13 +6,19 @@ check-in/pace-steering behaviour, plan download, local training, update
 upload, and every Table 1 event along the way.  Interruption semantics
 follow Sec. 3: "Once started, the FL runtime will abort, freeing the
 allocated resources, if these conditions are no longer met."
+
+A device may belong to *several* FL populations (Sec. 2's multi-tenancy:
+one fleet, many learning problems).  Each job-scheduler firing enqueues
+every membership on the on-device :class:`MultiTenantScheduler`; exactly
+one session runs at a time, and the check-in announces the session's
+population so the Selector can route it.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +47,7 @@ class DeviceHealthStats:
     "the device state in which training was activated, how often and how
     long it ran, how much memory it used, which errors where detected,
     which phone model / OS / FL runtime version was used" — aggregated by
-    :meth:`repro.system.FLSystem.device_health_summary`.
+    :meth:`repro.system.FLFleet.device_health_summary`.
     """
 
     checkins: int = 0
@@ -49,13 +55,22 @@ class DeviceHealthStats:
     train_seconds: float = 0.0
     peak_memory_mb: float = 0.0
     errors: dict[str, int] = field(default_factory=dict)
+    #: Sessions started per FL population this device belongs to — the
+    #: multi-tenant interleaving record (Sec. 11 "Device Scheduling").
+    sessions_by_population: dict[str, int] = field(default_factory=dict)
 
     def record_error(self, reason: str) -> None:
         self.errors[reason] = self.errors.get(reason, 0) + 1
 
+    def record_session(self, population_name: str) -> None:
+        self.sessions_started += 1
+        self.sessions_by_population[population_name] = (
+            self.sessions_by_population.get(population_name, 0) + 1
+        )
+
 
 class DeviceActor(Actor):
-    """One phone in the fleet."""
+    """One phone in the fleet, member of one or more FL populations."""
 
     def __init__(
         self,
@@ -64,30 +79,50 @@ class DeviceActor(Actor):
         network: NetworkModel,
         conditions: NetworkConditions,
         selectors: list[ActorRef],
-        population_name: str,
-        trainer: LocalTrainer,
-        compute: ComputeModel,
-        attestation: AttestationService,
-        event_log: EventLog,
-        rng: np.random.Generator,
+        trainer: LocalTrainer | None = None,
+        population_name: str | None = None,
+        memberships: Sequence[str] | None = None,
+        trainers: Mapping[str, LocalTrainer] | None = None,
+        compute: ComputeModel | None = None,
+        attestation: AttestationService | None = None,
+        event_log: EventLog | None = None,
+        rng: np.random.Generator | None = None,
         job: JobSchedule | None = None,
         compute_error_prob: float = 0.005,
         ack_timeout_s: float = 60.0,
+        waiting_timeout_s: float = 1800.0,
     ):
         self.profile = profile
         self.availability = availability
         self.network = network
         self.conditions = conditions
         self.selectors = selectors
-        self.population_name = population_name
-        self.trainer = trainer
-        self.compute = compute
-        self.attestation = attestation
-        self.event_log = event_log
-        self.rng = rng
+        # Membership normalization: the legacy single-population call shape
+        # (population_name= + trainer=) and the fleet shape (memberships= +
+        # trainers=) both land in the same internal representation.
+        if memberships is not None:
+            self.memberships: tuple[str, ...] = tuple(memberships)
+        elif population_name is not None:
+            self.memberships = (population_name,)
+        else:
+            self.memberships = ()
+        if trainers is not None:
+            self.trainers: dict[str, LocalTrainer] = dict(trainers)
+        elif trainer is not None:
+            self.trainers = {name: trainer for name in self.memberships}
+        else:
+            self.trainers = {}
+        missing = [m for m in self.memberships if m not in self.trainers]
+        if missing:
+            raise ValueError(f"no trainer for memberships {missing}")
+        self.compute = compute or ComputeModel()
+        self.attestation = attestation or AttestationService()
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.job = job or JobSchedule()
         self.compute_error_prob = compute_error_prob
         self.ack_timeout_s = ack_timeout_s
+        self.waiting_timeout_s = waiting_timeout_s
 
         self.state = DeviceState.SLEEPING
         self.eligible = False
@@ -96,6 +131,7 @@ class DeviceActor(Actor):
         self.rounds_completed = 0
         self.rounds_rejected_report = 0
         self.rounds_interrupted = 0
+        self._active_population: str | None = None
         self._selector: ActorRef | None = None
         self._round_id: int | None = None
         self._aggregator: ActorRef | None = None
@@ -103,11 +139,30 @@ class DeviceActor(Actor):
         self._checkin_event = None
         self._pending_window_t: float | None = None
         self._last_checkin_t: float | None = None
+        self._wait_epoch = 0
 
     # -- helpers -----------------------------------------------------------------
     @property
     def device_id(self) -> int:
         return self.profile.device_id
+
+    @property
+    def population_name(self) -> str | None:
+        """Legacy single-tenant view: the first (or only) membership."""
+        return self.memberships[0] if self.memberships else None
+
+    @property
+    def trainer(self) -> LocalTrainer:
+        """The primary membership's trainer (legacy accessor)."""
+        return self.trainers[self.memberships[0]]
+
+    @trainer.setter
+    def trainer(self, value: LocalTrainer) -> None:
+        self.trainers[self.memberships[0]] = value
+
+    def _active_trainer(self) -> LocalTrainer:
+        name = self._active_population or self.memberships[0]
+        return self.trainers[name]
 
     def _log(self, event: DeviceEvent, **attrs: object) -> None:
         self.event_log.log(
@@ -123,8 +178,9 @@ class DeviceActor(Actor):
         self._schedule_eligibility_flip()
         if self.eligible:
             self.state = DeviceState.IDLE
-            # Stagger the fleet's first check-ins across the job interval.
-            self._schedule_checkin(self.rng.uniform(1.0, self.job.base_interval_s))
+            if self.memberships:
+                # Stagger the fleet's first check-ins across the job interval.
+                self._schedule_checkin(self.rng.uniform(1.0, self.job.base_interval_s))
         else:
             self.state = DeviceState.SLEEPING
 
@@ -145,7 +201,18 @@ class DeviceActor(Actor):
 
     def _on_became_ineligible(self) -> None:
         if self.state is DeviceState.WAITING and self._selector is not None:
-            self.tell(self._selector, msg.DeviceDisconnect(self.device_id))
+            self.tell(
+                self._selector,
+                msg.DeviceDisconnect(
+                    self.device_id, population_name=self._active_population
+                ),
+            )
+            # Free the on-device worker queue (a stuck session would block
+            # every tenant forever) and reschedule the interrupted job at
+            # its normal cadence instead of the next eligibility window.
+            self.scheduler.abort()
+            self._active_population = None
+            self._pending_window_t = self.now + self.job.next_delay(self.rng)
         elif self.state is DeviceState.PARTICIPATING:
             # Sec. 3: the runtime aborts when conditions are no longer met.
             self._log(DeviceEvent.INTERRUPTED, reason="eligibility_change")
@@ -164,6 +231,8 @@ class DeviceActor(Actor):
 
     def _on_became_eligible(self) -> None:
         self.state = DeviceState.IDLE
+        if not self.memberships:
+            return
         if self._pending_window_t is not None and self._pending_window_t > self.now:
             self._schedule_checkin(self._pending_window_t - self.now)
         else:
@@ -178,14 +247,28 @@ class DeviceActor(Actor):
     def _attempt_checkin(self) -> None:
         if not self.eligible or self.state is not DeviceState.IDLE:
             return
+        if not self.memberships:
+            return
         self._pending_window_t = None
-        self.scheduler.enqueue(self.population_name)
-        if self.scheduler.try_start() != self.population_name:
+        # Every membership wants a session; the on-device worker queue
+        # (Sec. 11) serializes them and picks who goes first.
+        for membership in self.memberships:
+            self.scheduler.enqueue(membership)
+        started = self.scheduler.try_start()
+        if started is None:
             # Another tenant is training; retry after its session.
             self._schedule_checkin(self.job.next_delay(self.rng))
             return
+        self._active_population = started
         self._selector = self.selectors[int(self.rng.integers(len(self.selectors)))]
         self.state = DeviceState.WAITING
+        self._wait_epoch += 1
+        # A real check-in stream does not stay open forever: if no round
+        # wants this device within the timeout, hang up and retry on the
+        # normal job cadence.
+        self.schedule(
+            self.waiting_timeout_s, self._on_waiting_timeout, self._wait_epoch
+        )
         self.health.checkins += 1
         self._round_id = None
         # The round id is unknown until selection; the check-in event is
@@ -197,13 +280,30 @@ class DeviceActor(Actor):
             self._selector,
             msg.DeviceCheckin(
                 device_id=self.device_id,
-                population_name=self.population_name,
+                population_name=started,
                 runtime_version=self.profile.runtime_version,
                 attestation_token=token,
                 device_ref=self.ref,
             ),
             delay=self.conditions.rtt_s,
         )
+
+    def _on_waiting_timeout(self, wait_epoch: int) -> None:
+        if self.state is not DeviceState.WAITING or wait_epoch != self._wait_epoch:
+            return
+        if self._selector is not None:
+            self.tell(
+                self._selector,
+                msg.DeviceDisconnect(
+                    self.device_id, population_name=self._active_population
+                ),
+            )
+        self.scheduler.abort()
+        self._active_population = None
+        self._selector = None
+        self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        if self.eligible:
+            self._schedule_checkin(self.job.next_delay(self.rng))
 
     # -- message handling ------------------------------------------------------
     def receive(self, sender: Optional[ActorRef], message: Any) -> None:
@@ -221,6 +321,7 @@ class DeviceActor(Actor):
         if self.state is not DeviceState.WAITING:
             return
         self.scheduler.abort()
+        self._active_population = None
         self._selector = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
         if self.eligible:
@@ -230,10 +331,14 @@ class DeviceActor(Actor):
         if self.state is not DeviceState.WAITING:
             return
         self.scheduler.abort()
+        self._active_population = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
         self._selector = None
         # Pace steering: "The device attempts to respect this, modulo its
         # eligibility."
+        # The window gates the whole device, not just the rejected tenant:
+        # pace steering is the server's overload valve, and a multi-tenant
+        # device hammering back for its other population would defeat it.
         reconnect_at = rejected.window.sample(self.rng)
         self._pending_window_t = reconnect_at
         if self.eligible:
@@ -252,7 +357,9 @@ class DeviceActor(Actor):
             )
             return
         self.state = DeviceState.PARTICIPATING
-        self.health.sessions_started += 1
+        self.health.record_session(
+            self._active_population or self.memberships[0]
+        )
         self.health.peak_memory_mb = max(
             self.health.peak_memory_mb,
             3 * configure.checkpoint.nbytes / 1e6,  # params+grads+activations
@@ -288,7 +395,7 @@ class DeviceActor(Actor):
         self._log(DeviceEvent.DOWNLOADED_PLAN)
         self._log(DeviceEvent.TRAIN_STARTED)
         try:
-            result = self.trainer.train(
+            result = self._active_trainer().train(
                 configure.plan, configure.checkpoint, self.now, self.rng
             )
         except Exception:
@@ -386,18 +493,29 @@ class DeviceActor(Actor):
     def _end_participation(self) -> None:
         """Invalidate in-flight work (interruption path)."""
         self._generation += 1
-        if self.scheduler.running == self.population_name:
+        if self.scheduler.running == self._active_population:
             self.scheduler.abort()
+        self._active_population = None
         self._selector = None
         self._aggregator = None
 
     def _finish_participation(self) -> None:
         self._generation += 1
-        if self.scheduler.running == self.population_name:
-            self.scheduler.finish(self.population_name)
+        if (
+            self._active_population is not None
+            and self.scheduler.running == self._active_population
+        ):
+            self.scheduler.finish(self._active_population)
+        self._active_population = None
         self._selector = None
         self._aggregator = None
         self._round_id = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
         if self.eligible:
-            self._schedule_checkin(self.job.next_delay(self.rng))
+            if self.scheduler.queue_depth > 0:
+                # A queued tenant is waiting its turn on the worker queue:
+                # check in again promptly for it rather than sleeping a full
+                # job interval (cross-population interleaving, Sec. 11).
+                self._schedule_checkin(1.0)
+            else:
+                self._schedule_checkin(self.job.next_delay(self.rng))

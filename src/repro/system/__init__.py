@@ -1,0 +1,43 @@
+"""The full system, assembled (the paper's Fig. 1 end to end) — as a
+multi-tenant fleet.
+
+* :class:`FLFleet` — N FL populations sharing one event loop, actor
+  server, and simulated device fleet.  Build one declaratively with
+  :meth:`FLFleet.builder`.
+* :class:`FleetBuilder` / :class:`PopulationSpec` — validate the whole
+  topology (populations, tasks, memberships) before spawning anything.
+* :class:`RunReport` / :class:`PopulationReport` — typed, comparable run
+  results replacing the legacy summary dicts.
+* :class:`FLSystem` — the original single-population API, kept as a thin
+  shim over a one-population fleet.
+"""
+
+from repro.system.builder import (
+    FleetBuilder,
+    FleetValidationError,
+    PopulationSpec,
+)
+from repro.system.compat import FLSystem
+from repro.system.config import FleetConfig, FLSystemConfig, TrainerFactory
+from repro.system.fleet import FLFleet
+from repro.system.reports import (
+    FleetHealthReport,
+    PopulationReport,
+    RunReport,
+    TaskReport,
+)
+
+__all__ = [
+    "FLFleet",
+    "FLSystem",
+    "FleetBuilder",
+    "FleetConfig",
+    "FLSystemConfig",
+    "FleetHealthReport",
+    "FleetValidationError",
+    "PopulationReport",
+    "PopulationSpec",
+    "RunReport",
+    "TaskReport",
+    "TrainerFactory",
+]

@@ -1,0 +1,161 @@
+"""FLSystem: the legacy single-population facade over :class:`FLFleet`.
+
+The original top-level API stood up exactly one population per system.
+`FLSystem` keeps that contract — same constructor, same ``deploy()``
+signature and error messages, same attribute surface (``loop``,
+``actors``, ``selectors``, ``round_results``, ...) and the dict-shaped
+``operational_summary()`` / ``device_health_summary()`` — while delegating
+all the actual work to a one-population ``FLFleet``.  New code should use
+``FLFleet.builder()`` directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import TaskConfig
+from repro.core.plan import FLPlan
+from repro.core.rounds import RoundResult
+from repro.core.task import SchedulingStrategy
+from repro.nn.parameters import Parameters
+from repro.system.builder import PopulationSpec
+from repro.system.config import FleetConfig, TrainerFactory
+from repro.sim.event_loop import SECONDS_PER_DAY
+from repro.system.fleet import FLFleet
+from repro.system.reports import RunReport
+
+
+class FLSystem:
+    """One FL population: server actors + device fleet + analytics.
+
+    Compatibility shim: hosts a single population on an :class:`FLFleet`.
+    """
+
+    def __init__(self, config: FleetConfig | None = None):
+        self.fleet = FLFleet(config)
+        self.population_name: str | None = None
+
+    # -- shared-infrastructure passthrough ------------------------------------
+    @property
+    def config(self) -> FleetConfig:
+        return self.fleet.config
+
+    @property
+    def loop(self):
+        return self.fleet.loop
+
+    @property
+    def rngs(self):
+        return self.fleet.rngs
+
+    @property
+    def actors(self):
+        return self.fleet.actors
+
+    @property
+    def locks(self):
+        return self.fleet.locks
+
+    @property
+    def store(self):
+        return self.fleet.store
+
+    @property
+    def event_log(self):
+        return self.fleet.event_log
+
+    @property
+    def dashboard(self):
+        return self.fleet.dashboard
+
+    @property
+    def metrics(self):
+        return self.fleet.metrics
+
+    @property
+    def attestation(self):
+        return self.fleet.attestation
+
+    @property
+    def round_results(self) -> list[RoundResult]:
+        return self.fleet.round_results
+
+    @property
+    def devices(self):
+        return self.fleet.devices
+
+    @property
+    def profiles(self):
+        return self.fleet.profiles
+
+    @property
+    def selectors(self):
+        return self.fleet.selectors
+
+    @property
+    def coordinator_ref(self):
+        if self.population_name is None:
+            return None
+        return self.fleet.coordinators[self.population_name]
+
+    # -- deployment --------------------------------------------------------------
+    def deploy(
+        self,
+        tasks: list[TaskConfig],
+        initial_params: Parameters,
+        plan: FLPlan | None = None,
+        strategy: SchedulingStrategy = SchedulingStrategy.ROUND_ROBIN,
+        trainer_factory: TrainerFactory | None = None,
+    ) -> None:
+        """Install tasks, initialize the model, spawn server and fleet."""
+        if self.fleet._installed:
+            raise RuntimeError("system already deployed")
+        if not tasks:
+            raise ValueError("need at least one task")
+        population_name = tasks[0].population_name
+        if any(t.population_name != population_name for t in tasks):
+            raise ValueError("all tasks must target the same population")
+        self.population_name = population_name
+        self.fleet._install(
+            [
+                PopulationSpec(
+                    name=population_name,
+                    tasks=list(tasks),
+                    initial_params=initial_params,
+                    plan=plan,
+                    strategy=strategy,
+                    trainer_factory=trainer_factory,
+                )
+            ]
+        )
+
+    # -- running ------------------------------------------------------------
+    def run_for(self, duration_s: float) -> None:
+        if not self.fleet._installed:
+            raise RuntimeError("deploy() before running")
+        self.fleet.run_for(duration_s)
+
+    def run_days(self, days: float) -> None:
+        self.run_for(days * SECONDS_PER_DAY)
+
+    # -- results ------------------------------------------------------------
+    @property
+    def committed_rounds(self) -> list[RoundResult]:
+        return self.fleet.committed_rounds
+
+    def session_shapes(self):
+        return self.fleet.session_shapes()
+
+    def global_model(self) -> Parameters:
+        assert self.population_name is not None
+        return self.fleet.global_model(self.population_name)
+
+    def report(self) -> RunReport:
+        """The structured results API (see :mod:`repro.system.reports`)."""
+        return self.fleet.report()
+
+    def device_health_summary(self) -> dict[str, object]:
+        """Fleet-wide health telemetry (Sec. 5), legacy dict shape."""
+        return self.fleet.health_report().to_dict()
+
+    def operational_summary(self) -> dict[str, float]:
+        """Headline Sec. 9 numbers from this run, legacy dict shape."""
+        return self.fleet.report().to_operational_dict()

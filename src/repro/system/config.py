@@ -1,0 +1,63 @@
+"""Fleet-level configuration shared by every hosted FL population.
+
+Everything here describes the *fleet* — how many devices exist, their
+diurnal availability, the network between them and the datacenter, the
+on-device job schedule — as opposed to the per-population knobs carried by
+:class:`repro.system.builder.PopulationSpec` (tasks, model, pace override,
+scheduling strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.actors.coordinator import CoordinatorConfig
+from repro.core.pace import PaceConfig
+from repro.device.runtime import ComputeModel, LocalTrainer
+from repro.device.scheduler import JobSchedule
+from repro.sim.diurnal import DiurnalModel
+from repro.sim.network import NetworkModel
+from repro.sim.population import DeviceProfile, PopulationConfig
+
+#: Builds the per-device local trainer for one population's model.
+TrainerFactory = Callable[[DeviceProfile], LocalTrainer]
+
+
+@dataclass
+class FleetConfig:
+    """Everything needed to stand up one shared device fleet.
+
+    ``pace`` and ``coordinator`` are fleet-wide *defaults*; individual
+    populations may override them in their spec.
+    """
+
+    seed: int = 0
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    diurnal: DiurnalModel = field(default_factory=DiurnalModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    pace: PaceConfig = field(default_factory=PaceConfig)
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    job: JobSchedule = field(default_factory=lambda: JobSchedule(3600.0, 0.5))
+    compute: ComputeModel = field(default_factory=ComputeModel)
+    num_selectors: int = 2
+    sample_interval_s: float = 120.0
+    compute_error_prob: float = 0.005
+    #: How long a checked-in device holds its selector stream open before
+    #: hanging up and retrying on the job cadence (Sec. 2.3's bounded
+    #: selection wait).
+    waiting_timeout_s: float = 1800.0
+
+    def validate(self) -> None:
+        if self.num_selectors < 1:
+            raise ValueError("num_selectors must be >= 1")
+        if self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        if not 0.0 <= self.compute_error_prob <= 1.0:
+            raise ValueError("compute_error_prob must be in [0, 1]")
+        self.population.validate()
+
+
+#: Legacy alias: the single-population deployment config is the fleet
+#: config — :class:`repro.system.FLSystem` simply hosts one population.
+FLSystemConfig = FleetConfig

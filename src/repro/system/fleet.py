@@ -1,0 +1,467 @@
+"""FLFleet: one shared device fleet hosting many FL populations.
+
+The paper's Fig. 1 server is *multi-tenant*: a single fleet of devices
+checks in to infrastructure hosting many FL populations, each with its own
+Coordinator, round pipeline, and telemetry (Secs. 2-4, Sec. 9's "multiple
+concurrent training sessions").  :class:`FLFleet` realizes that: one
+``EventLoop`` / ``ActorSystem`` / device fleet, N populations, with
+Selectors routing check-ins by the device's announced population and one
+Coordinator spawned per population.
+
+Construction goes through :class:`repro.system.builder.FleetBuilder`
+(``FLFleet.builder()``), which validates the declared topology before a
+single actor is spawned.  Results come back as typed
+:class:`repro.system.reports.RunReport` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.actors.coordinator import Coordinator
+from repro.actors.kernel import ActorRef, ActorSystem
+from repro.actors.locking import LockService
+from repro.actors.selector import PopulationRoute, Selector
+from repro.analytics.dashboard import Dashboard, ScopedDashboard
+from repro.analytics.events import EventLog
+from repro.analytics.metrics_store import ModelMetricsStore
+from repro.analytics.session_shapes import shape_distribution
+from repro.core.checkpoint import CheckpointStore
+from repro.core.pace import PaceSteering
+from repro.core.plan import generate_plan
+from repro.core.rounds import RoundResult
+from repro.core.task import FLPopulation, FLTask, TaskScheduler
+from repro.device.actor import DeviceActor, DeviceState
+from repro.device.attestation import AttestationService
+from repro.device.runtime import LocalTrainer, SyntheticTrainer
+from repro.nn.parameters import Parameters
+from repro.nn.serialization import checkpoint_nbytes
+from repro.sim.diurnal import AvailabilityProcess
+from repro.sim.event_loop import SECONDS_PER_DAY, EventLoop
+from repro.sim.population import DeviceProfile, build_population
+from repro.sim.rng import RngRegistry
+from repro.system.builder import FleetBuilder, FleetValidationError, PopulationSpec
+from repro.system.config import FleetConfig
+from repro.system.reports import (
+    FleetHealthReport,
+    PopulationReport,
+    RunReport,
+    TaskReport,
+    summarize_rounds,
+)
+from repro.tools.versioning import PlanDirectory, PlanRepository, default_transforms
+
+#: Disjoint round-id ranges per population so (device, round) session keys
+#: in the event log never collide across tenants.
+ROUND_ID_STRIDE = 1_000_000
+
+
+@dataclass
+class _PopulationRuntime:
+    """Everything the fleet tracks for one hosted population."""
+
+    spec: PopulationSpec
+    index: int
+    fl_population: FLPopulation
+    plan_directory: PlanDirectory
+    pace: PaceSteering
+    scope: ScopedDashboard
+    member_ids: set[int] = field(default_factory=set)
+    coordinator_ref: ActorRef | None = None
+    results: list[RoundResult] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def round_id_base(self) -> int:
+        return self.index * ROUND_ID_STRIDE
+
+
+class FLFleet:
+    """N FL populations sharing one simulated device fleet and server."""
+
+    def __init__(self, config: FleetConfig | None = None):
+        self.config = config or FleetConfig()
+        self.loop = EventLoop()
+        self.rngs = RngRegistry(self.config.seed)
+        self.actors = ActorSystem(self.loop, self.rngs.stream("actors/latency"))
+        self.locks = LockService()
+        self.actors.on_actor_terminated(self.locks.release_all)
+        self.store = CheckpointStore()
+        self.event_log = EventLog()
+        self.dashboard = Dashboard()
+        self.metrics = ModelMetricsStore()
+        self.attestation = AttestationService()
+        self.round_results: list[RoundResult] = []
+        self.devices: list[DeviceActor] = []
+        self.profiles = build_population(self.config.population, self.rngs)
+        self.selectors: list[ActorRef] = []
+        self._populations: dict[str, _PopulationRuntime] = {}
+        self._installed = False
+
+    @staticmethod
+    def builder() -> FleetBuilder:
+        return FleetBuilder()
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def population_names(self) -> tuple[str, ...]:
+        return tuple(self._populations)
+
+    @property
+    def coordinators(self) -> dict[str, ActorRef | None]:
+        return {
+            name: runtime.coordinator_ref
+            for name, runtime in self._populations.items()
+        }
+
+    def members_of(self, population_name: str) -> set[int]:
+        """Device ids enrolled in a population."""
+        return set(self._populations[population_name].member_ids)
+
+    def results_for(self, population_name: str) -> list[RoundResult]:
+        return list(self._populations[population_name].results)
+
+    # -- deployment --------------------------------------------------------------
+    def _install(
+        self,
+        specs: Sequence[PopulationSpec],
+        membership_overrides: Mapping[int, tuple[str, ...]] | None = None,
+    ) -> None:
+        """Spawn the declared topology.  Called by :class:`FleetBuilder`
+        (or the legacy ``FLSystem.deploy`` shim) exactly once."""
+        if self._installed:
+            raise RuntimeError("fleet already deployed")
+        if not specs:
+            raise FleetValidationError("fleet declares no populations")
+
+        # 1. Per-population server state: round-0 checkpoint, plan
+        #    directory, task registry, pace steering.
+        for index, spec in enumerate(specs):
+            self.store.initialize(
+                spec.initial_params, spec.name, spec.tasks[0].task_id
+            )
+            model_nbytes = checkpoint_nbytes(spec.initial_params)
+            plan_directory = PlanDirectory()
+            fl_population = FLPopulation(name=spec.name)
+            for i, task_config in enumerate(spec.tasks):
+                # An explicitly supplied plan applies to the first task (the
+                # one the model engineer built it for); the rest are generated.
+                task_plan = (
+                    spec.plan
+                    if spec.plan is not None and i == 0
+                    else generate_plan(
+                        task_id=task_config.task_id,
+                        kind=task_config.kind,
+                        client_config=task_config.client_config,
+                        secagg=task_config.secagg,
+                        model_nbytes=model_nbytes,
+                    )
+                )
+                plan_directory.add(
+                    task_config.task_id,
+                    PlanRepository.build(
+                        task_plan,
+                        list(self.config.population.runtime_versions),
+                        default_transforms(),
+                    ),
+                )
+                fl_population.add_task(FLTask(config=task_config, plan=task_plan))
+            self._populations[spec.name] = _PopulationRuntime(
+                spec=spec,
+                index=index,
+                fl_population=fl_population,
+                plan_directory=plan_directory,
+                pace=PaceSteering(spec.pace or self.config.pace, self.config.diurnal),
+                scope=self.dashboard.scoped(f"pop/{spec.name}"),
+            )
+
+        # 2. Memberships: deterministic fraction sampling, then explicit
+        #    per-device overrides.
+        memberships = self._assign_memberships(specs, membership_overrides or {})
+
+        # 3. Selectors, shared by every population: one route per tenant.
+        for i in range(self.config.num_selectors):
+            selector = Selector(
+                locks=self.locks,
+                verify_attestation=self.attestation.verify,
+                checkpoint_store=self.store,
+                rng=self.rngs.stream(f"selector/{i}"),
+            )
+            for runtime in self._populations.values():
+                selector.add_route(
+                    PopulationRoute(
+                        population_name=runtime.name,
+                        pace=runtime.pace,
+                        plans=runtime.plan_directory,
+                        population_size=len(runtime.member_ids),
+                        pool_cap=runtime.spec.pool_cap,
+                        coordinator_factory=self._coordinator_factory(runtime),
+                    )
+                )
+            self.selectors.append(self.actors.spawn(selector, f"selector/{i}"))
+
+        # 4. One Coordinator per population.
+        for runtime in self._populations.values():
+            runtime.coordinator_ref = self.actors.spawn(
+                self._coordinator_factory(runtime)(),
+                f"coordinator/{runtime.name}/0",
+            )
+
+        # 5. The shared device fleet.
+        trainer_factories = {
+            spec.name: self._resolve_trainer_factory(spec) for spec in specs
+        }
+        for profile in self.profiles:
+            device_memberships = memberships[profile.device_id]
+            device_rng = self.rngs.stream(f"device/{profile.device_id}")
+            availability = AvailabilityProcess(
+                self.config.diurnal, profile.tz_offset_hours, device_rng
+            )
+            conditions = self.config.network.sample_conditions(device_rng)
+            device = DeviceActor(
+                profile=profile,
+                availability=availability,
+                network=self.config.network,
+                conditions=conditions,
+                selectors=list(self.selectors),
+                memberships=device_memberships,
+                trainers={
+                    name: trainer_factories[name](profile)
+                    for name in device_memberships
+                },
+                compute=self.config.compute,
+                attestation=self.attestation,
+                event_log=self.event_log,
+                rng=device_rng,
+                job=self.config.job,
+                compute_error_prob=self.config.compute_error_prob,
+                waiting_timeout_s=self.config.waiting_timeout_s,
+            )
+            self.devices.append(device)
+            self.actors.spawn(device, profile.name)
+
+        self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
+        self._installed = True
+
+    def _assign_memberships(
+        self,
+        specs: Sequence[PopulationSpec],
+        overrides: Mapping[int, tuple[str, ...]],
+    ) -> dict[int, tuple[str, ...]]:
+        """Device id -> population names (spec order), deterministic."""
+        enrolled: dict[str, set[int]] = {}
+        for spec in specs:
+            if spec.membership_fraction >= 1.0:
+                members = {p.device_id for p in self.profiles}
+            else:
+                rng = self.rngs.stream(f"membership/{spec.name}")
+                draws = rng.random(len(self.profiles))
+                members = {
+                    p.device_id
+                    for p, draw in zip(self.profiles, draws)
+                    if draw < spec.membership_fraction
+                }
+            enrolled[spec.name] = members
+        for device_id, names in overrides.items():
+            for spec in specs:
+                if spec.name in names:
+                    enrolled[spec.name].add(device_id)
+                else:
+                    enrolled[spec.name].discard(device_id)
+        for spec in specs:
+            if not enrolled[spec.name]:
+                raise FleetValidationError(
+                    f"population {spec.name!r} has no member devices "
+                    f"(fraction {spec.membership_fraction}, "
+                    f"{len(self.profiles)} devices)"
+                )
+            self._populations[spec.name].member_ids = enrolled[spec.name]
+        return {
+            p.device_id: tuple(
+                spec.name
+                for spec in specs
+                if p.device_id in enrolled[spec.name]
+            )
+            for p in self.profiles
+        }
+
+    def _resolve_trainer_factory(self, spec: PopulationSpec):
+        if spec.trainer_factory is not None:
+            return spec.trainer_factory
+        num_params = spec.initial_params.num_parameters
+
+        def synthetic_factory(profile: DeviceProfile) -> LocalTrainer:
+            return SyntheticTrainer(num_parameters=num_params)
+
+        return synthetic_factory
+
+    def _coordinator_factory(self, runtime: _PopulationRuntime):
+        """A zero-arg Coordinator builder for initial spawn and the
+        Sec. 4.4 selector-driven respawn path."""
+        name = runtime.name
+
+        def make_coordinator() -> Coordinator:
+            return Coordinator(
+                population_name=name,
+                scheduler=TaskScheduler(
+                    runtime.fl_population,
+                    runtime.spec.strategy,
+                    self.rngs.stream(f"scheduler/{name}"),
+                ),
+                selectors=list(self.selectors),
+                locks=self.locks,
+                store=self.store,
+                rng=self.rngs.stream(f"coordinator/{name}"),
+                config=runtime.spec.coordinator or self.config.coordinator,
+                round_listener=lambda result: self._on_round_result(name, result),
+                metrics_store=self.metrics,
+                round_id_base=runtime.round_id_base,
+            )
+
+        return make_coordinator
+
+    # -- telemetry ------------------------------------------------------------
+    def _on_round_result(self, population_name: str, result: RoundResult) -> None:
+        runtime = self._populations[population_name]
+        self.round_results.append(result)
+        runtime.results.append(result)
+        t = result.ended_at_s
+        for board in (self.dashboard, runtime.scope):
+            board.record("rounds/outcome", t, 1.0 if result.committed else 0.0)
+            board.record("rounds/completed_devices", t, result.completed_count)
+            board.record("rounds/aborted_devices", t, result.aborted_count)
+            board.record("rounds/dropped_devices", t, result.dropped_count)
+            board.record("rounds/drop_rate", t, result.drop_rate)
+            board.record("rounds/run_time_s", t, result.round_run_time_s)
+            board.increment("rounds/total")
+            if result.committed:
+                board.increment("rounds/committed")
+
+    def _sample_fleet(self) -> None:
+        now = self.loop.now
+        counts = {state: 0 for state in DeviceState}
+        participating: dict[str, int] = {name: 0 for name in self._populations}
+        for device in self.devices:
+            counts[device.state] += 1
+            if (
+                device.state is DeviceState.PARTICIPATING
+                and device._active_population in participating
+            ):
+                participating[device._active_population] += 1
+        for state, count in counts.items():
+            self.dashboard.record(f"devices/{state.value}", now, count)
+        for name, count in participating.items():
+            self._populations[name].scope.record(
+                "devices/participating", now, count
+            )
+        self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
+
+    # -- running ------------------------------------------------------------
+    def run_for(self, duration_s: float) -> None:
+        if not self._installed:
+            raise RuntimeError(
+                "no populations deployed: build the fleet before running"
+            )
+        self.loop.run_for(duration_s)
+
+    def run_days(self, days: float) -> None:
+        self.run_for(days * SECONDS_PER_DAY)
+
+    # -- results ------------------------------------------------------------
+    @property
+    def committed_rounds(self) -> list[RoundResult]:
+        return [r for r in self.round_results if r.committed]
+
+    def session_shapes(self):
+        return shape_distribution(self.event_log)
+
+    def global_model(self, population_name: str | None = None) -> Parameters:
+        if population_name is None:
+            if len(self._populations) != 1:
+                raise ValueError(
+                    "fleet hosts several populations; name the one whose "
+                    f"model you want (one of {list(self._populations)})"
+                )
+            population_name = next(iter(self._populations))
+        return self.store.latest(population_name).to_params()
+
+    def health_report(self) -> FleetHealthReport:
+        """Fleet-wide health telemetry (Sec. 5): training time, session
+        counts, errors by kind, and OS-version / population breakdowns —
+        all PII-free aggregates of per-device counters."""
+        from repro.analytics.quantile import MetricSummary
+
+        train_seconds = MetricSummary.empty()
+        sessions = MetricSummary.empty()
+        errors: dict[str, int] = {}
+        by_os: dict[int, int] = {}
+        by_population: dict[str, int] = {name: 0 for name in self._populations}
+        for device in self.devices:
+            train_seconds.update(device.health.train_seconds)
+            sessions.update(device.health.sessions_started)
+            for reason, count in device.health.errors.items():
+                errors[reason] = errors.get(reason, 0) + count
+            os_v = device.profile.os_version
+            by_os[os_v] = by_os.get(os_v, 0) + device.health.sessions_started
+            for name, count in device.health.sessions_by_population.items():
+                by_population[name] = by_population.get(name, 0) + count
+        return FleetHealthReport(
+            train_seconds=train_seconds.to_dict(),
+            sessions=sessions.to_dict(),
+            errors_by_reason=errors,
+            sessions_by_os_version=by_os,
+            sessions_by_population=by_population,
+        )
+
+    def report(self) -> RunReport:
+        """The structured results of the run so far."""
+        total, committed, drop, completed, run_time = summarize_rounds(
+            self.round_results
+        )
+        populations = []
+        for runtime in self._populations.values():
+            p_total, p_committed, p_drop, p_completed, p_run_time = (
+                summarize_rounds(runtime.results)
+            )
+            device_sessions = sum(
+                device.health.sessions_by_population.get(runtime.name, 0)
+                for device in self.devices
+            )
+            populations.append(
+                PopulationReport(
+                    name=runtime.name,
+                    rounds_total=p_total,
+                    rounds_committed=p_committed,
+                    mean_drop_rate=p_drop,
+                    mean_completed_per_round=p_completed,
+                    mean_round_time_s=p_run_time,
+                    device_sessions=device_sessions,
+                    member_devices=len(runtime.member_ids),
+                    tasks=tuple(
+                        TaskReport(
+                            task_id=task.task_id,
+                            kind=task.kind.value,
+                            rounds_started=task.rounds_started,
+                            rounds_committed=task.rounds_committed,
+                        )
+                        for task in runtime.fl_population.tasks
+                    ),
+                )
+            )
+        meter = self.config.network.meter
+        return RunReport(
+            simulated_seconds=self.loop.now,
+            rounds_total=total,
+            rounds_committed=committed,
+            mean_drop_rate=drop,
+            mean_completed_per_round=completed,
+            mean_round_time_s=run_time,
+            download_bytes=meter.downloaded_bytes,
+            upload_bytes=meter.uploaded_bytes,
+            populations=tuple(populations),
+            health=self.health_report(),
+        )

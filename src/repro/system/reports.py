@@ -1,0 +1,128 @@
+"""Typed run reports: the structured results API for fleet runs.
+
+Replaces the ad-hoc ``operational_summary()`` / ``device_health_summary()``
+dicts with frozen dataclasses.  A :class:`RunReport` covers the whole
+fleet; :class:`RunReport.populations` carries one
+:class:`PopulationReport` per hosted FL population, matching the
+per-population dashboard namespace (``pop/<name>/rounds/...``).
+
+Reports compare equal field-by-field, which is what the determinism tests
+lean on: two identically seeded runs must produce identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.rounds import RoundResult
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """Per-task round counters (Sec. 7.1's task-level bookkeeping)."""
+
+    task_id: str
+    kind: str
+    rounds_started: int
+    rounds_committed: int
+
+
+@dataclass(frozen=True)
+class PopulationReport:
+    """One population's operational profile over a run (Sec. 9 headline
+    numbers, restricted to this tenant's rounds)."""
+
+    name: str
+    rounds_total: int
+    rounds_committed: int
+    mean_drop_rate: float
+    mean_completed_per_round: float
+    mean_round_time_s: float
+    device_sessions: int
+    member_devices: int
+    tasks: tuple[TaskReport, ...] = ()
+
+
+@dataclass(frozen=True)
+class FleetHealthReport:
+    """Fleet-wide device-health telemetry (Sec. 5): PII-free aggregates
+    of per-device counters."""
+
+    train_seconds: Mapping[str, float]
+    sessions: Mapping[str, float]
+    errors_by_reason: Mapping[str, int]
+    sessions_by_os_version: Mapping[int, int]
+    sessions_by_population: Mapping[str, int]
+
+    def to_dict(self) -> dict[str, object]:
+        """The legacy ``device_health_summary()`` dict shape."""
+        return {
+            "train_seconds": dict(self.train_seconds),
+            "sessions": dict(self.sessions),
+            "errors_by_reason": dict(self.errors_by_reason),
+            "sessions_by_os_version": dict(self.sessions_by_os_version),
+        }
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Structured results of one fleet run.
+
+    Fleet-level aggregates plus one :class:`PopulationReport` per hosted
+    population.  ``to_operational_dict()`` reproduces the legacy
+    ``operational_summary()`` mapping bit-for-bit for migration.
+    """
+
+    simulated_seconds: float
+    rounds_total: int
+    rounds_committed: int
+    mean_drop_rate: float
+    mean_completed_per_round: float
+    mean_round_time_s: float
+    download_bytes: int
+    upload_bytes: int
+    populations: tuple[PopulationReport, ...]
+    health: FleetHealthReport
+
+    def population(self, name: str) -> PopulationReport:
+        for report in self.populations:
+            if report.name == name:
+                return report
+        raise KeyError(f"no population {name!r} in this report")
+
+    @property
+    def population_names(self) -> tuple[str, ...]:
+        return tuple(report.name for report in self.populations)
+
+    def to_operational_dict(self) -> dict[str, float]:
+        """Legacy ``operational_summary()`` key set and values."""
+        return {
+            "rounds_total": self.rounds_total,
+            "rounds_committed": self.rounds_committed,
+            "mean_drop_rate": self.mean_drop_rate,
+            "mean_completed_per_round": self.mean_completed_per_round,
+            "mean_round_time_s": self.mean_round_time_s,
+            "download_bytes": self.download_bytes,
+            "upload_bytes": self.upload_bytes,
+        }
+
+
+def summarize_rounds(
+    results: Iterable[RoundResult],
+) -> tuple[int, int, float, float, float]:
+    """(total, committed, mean_drop, mean_completed, mean_round_time) over
+    a round-result stream — shared by fleet- and population-level reports
+    so both always agree with the legacy dict math."""
+    results = list(results)
+    committed = [r for r in results if r.committed]
+    drop_rates = [r.drop_rate for r in results if r.selected_count]
+    return (
+        len(results),
+        len(committed),
+        float(np.mean(drop_rates)) if drop_rates else 0.0,
+        float(np.mean([r.completed_count for r in committed])) if committed else 0.0,
+        float(np.mean([r.round_run_time_s for r in committed])) if committed else 0.0,
+    )

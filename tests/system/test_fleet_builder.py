@@ -1,0 +1,157 @@
+"""FleetBuilder: topology validation happens before anything spawns."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FLFleet,
+    FleetValidationError,
+    RoundConfig,
+    TaskConfig,
+)
+from repro.nn.models import LogisticRegression
+from repro.sim.population import PopulationConfig
+
+
+def params(seed=0, dim=3, classes=2):
+    return LogisticRegression(input_dim=dim, n_classes=classes).init(
+        np.random.default_rng(seed)
+    )
+
+
+def task(task_id, population, target=10):
+    return TaskConfig(
+        task_id=task_id,
+        population_name=population,
+        round_config=RoundConfig(
+            target_participants=target,
+            selection_timeout_s=60,
+            reporting_timeout_s=120,
+        ),
+    )
+
+
+def base_builder(num_devices=60):
+    return (
+        FLFleet.builder()
+        .seed(3)
+        .devices(PopulationConfig(num_devices=num_devices))
+        .selectors(2)
+    )
+
+
+def test_duplicate_population_name_rejected():
+    builder = base_builder().population("a", tasks=[task("a/t", "a")], model=params())
+    with pytest.raises(FleetValidationError, match="duplicate population"):
+        builder.population("a", tasks=[task("a/t2", "a")], model=params())
+
+
+def test_empty_task_list_rejected():
+    with pytest.raises(FleetValidationError, match="no tasks"):
+        base_builder().population("a", tasks=[], model=params())
+
+
+def test_task_targeting_other_population_rejected():
+    with pytest.raises(FleetValidationError, match="targets population"):
+        base_builder().population("a", tasks=[task("b/t", "b")], model=params())
+
+
+def test_duplicate_task_id_rejected():
+    with pytest.raises(FleetValidationError, match="duplicate task id"):
+        base_builder().population(
+            "a", tasks=[task("a/t", "a"), task("a/t", "a")], model=params()
+        )
+
+
+def test_membership_fraction_out_of_range_rejected():
+    for fraction in (0.0, -0.5, 1.5):
+        with pytest.raises(FleetValidationError, match="membership fraction"):
+            base_builder().population(
+                "a", tasks=[task("a/t", "a")], model=params(),
+                membership=fraction,
+            )
+
+
+def test_no_populations_rejected():
+    with pytest.raises(FleetValidationError, match="no populations"):
+        base_builder().build()
+
+
+def test_membership_override_unknown_population_rejected():
+    builder = (
+        FLFleet.builder()
+        .devices(
+            PopulationConfig(num_devices=60),
+            memberships={5: ("a", "ghost")},
+        )
+        .population("a", tasks=[task("a/t", "a")], model=params())
+    )
+    with pytest.raises(FleetValidationError, match="unknown population"):
+        builder.build()
+
+
+def test_membership_override_unknown_device_rejected():
+    builder = (
+        FLFleet.builder()
+        .devices(PopulationConfig(num_devices=60), memberships={999: ("a",)})
+        .population("a", tasks=[task("a/t", "a")], model=params())
+    )
+    with pytest.raises(FleetValidationError, match="unknown device"):
+        builder.build()
+
+
+def test_validation_failures_spawn_nothing():
+    builder = (
+        FLFleet.builder()
+        .devices(PopulationConfig(num_devices=60), memberships={999: ("a",)})
+        .population("a", tasks=[task("a/t", "a")], model=params())
+    )
+    with pytest.raises(FleetValidationError):
+        builder.build()
+    # The failed build left no half-constructed fleet behind: a corrected
+    # builder still works from scratch.
+    fleet = (
+        FLFleet.builder()
+        .devices(PopulationConfig(num_devices=60))
+        .population("a", tasks=[task("a/t", "a")], model=params())
+        .build()
+    )
+    assert fleet.population_names == ("a",)
+    assert len(fleet.devices) == 60
+
+
+def test_membership_overrides_and_fractions_applied():
+    fleet = (
+        base_builder(num_devices=80)
+        .devices(
+            PopulationConfig(num_devices=80),
+            memberships={0: ("a",), 1: ("a", "b"), 2: ()},
+        )
+        .population("a", tasks=[task("a/t", "a")], model=params())
+        .population("b", tasks=[task("b/t", "b")], model=params(1), membership=0.5)
+        .build()
+    )
+    a, b = fleet.members_of("a"), fleet.members_of("b")
+    assert 0 in a and 0 not in b
+    assert 1 in a and 1 in b
+    assert 2 not in a and 2 not in b
+    # Fraction sampling is a strict, non-empty subset of the fleet.
+    assert 0 < len(b) < 80
+    # Devices carry memberships in population-declaration order.
+    device_1 = fleet.devices[1]
+    assert device_1.memberships == ("a", "b")
+    assert set(device_1.trainers) == {"a", "b"}
+
+
+def test_pool_cap_uses_largest_task_goal():
+    """The selector quota must be sized to the largest round any task in
+    the population runs, not whichever task happens to be listed first."""
+    small = task("a/small", "a", target=10)    # selection goal 13
+    large = task("a/large", "a", target=100)   # selection goal 130
+    fleet = (
+        base_builder()
+        .population("a", tasks=[small, large], model=params())
+        .build()
+    )
+    selector = fleet.actors.actor_of(fleet.selectors[0])
+    assert selector.route_of("a").pool_cap == 2 * large.round_config.selection_goal
