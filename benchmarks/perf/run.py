@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Tiny runner for the hot-path perf harness.
+
+Writes ``BENCH_hotpath.json`` at the repo root (override with ``--out``)
+and optionally checks the fresh run against a committed reference::
+
+    python benchmarks/perf/run.py                      # full run, write JSON
+    python benchmarks/perf/run.py --quick              # CI-sized run
+    python benchmarks/perf/run.py --quick --check BENCH_hotpath.json
+
+``--check`` compares *speedup ratios* (machine-independent) and exits
+non-zero when a guarded benchmark regressed more than ``--tolerance``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.tools import perf  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small repeats / tiny fleet (CI smoke)")
+    parser.add_argument("--no-fleet", action="store_true",
+                        help="skip the fleet_run_days benchmark")
+    parser.add_argument("--out", default=os.path.join(_REPO_ROOT, "BENCH_hotpath.json"),
+                        help="where to write the JSON report (default: repo root)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print the report without writing it")
+    parser.add_argument("--check", metavar="REFERENCE",
+                        help="compare speedups against a committed reference JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative speedup regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    config = perf.HarnessConfig.quick() if args.quick else perf.HarnessConfig()
+    report = perf.run_harness(config, include_fleet=not args.no_fleet)
+
+    for name, entry in report["results"].items():
+        speedup = entry.get("speedup")
+        line = f"  {name:20s}"
+        if speedup is not None:
+            line += f" {speedup:6.2f}x  ({entry['workload']})"
+        else:
+            line += f" {entry.get('ops_per_sec', 0):,.0f} ops/s  ({entry['workload']})"
+        print(line)
+
+    if not args.no_write:
+        perf.write_report(report, args.out)
+        print(f"wrote {args.out}")
+
+    if args.check:
+        with open(args.check) as f:
+            reference = json.load(f)
+        failures = perf.check_against_reference(report, reference, args.tolerance)
+        if failures:
+            print("PERF REGRESSION:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"perf check ok (tolerance {args.tolerance:.0%} vs {args.check})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,16 @@ Secure Aggregation enabled the Aggregator runs one protocol instance over
 its cohort (Sec. 6); the cryptography executes over the observed
 participation trace when the round closes, with devices that vanished
 mid-round entering the protocol as post-ShareKeys dropouts.
+
+Buffering: in buffered mode (the default) accepted reports fold into a
+:class:`~repro.nn.parameters.ParameterAccumulator` in place instead of
+re-allocating ``delta_sum + vector`` per report.  Report vectors are
+immutable by contract — trainers never write a vector again after
+reporting it (eval reports may even share one zero vector), and the
+aggregation pipeline only ever reads them.  An aggregator built with
+``copy_pending=True`` additionally stages pending reports into a pool of
+per-round scratch vectors, for report sources that may reuse their
+upload buffers.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ import numpy as np
 from repro.actors.kernel import Actor, ActorRef
 from repro.actors import messages as msg
 from repro.core.config import SecAggConfig
+from repro.nn.parameters import ParameterAccumulator, buffered_math_enabled
 from repro.secagg.masking import VectorQuantizer
 from repro.secagg.protocol import DropoutSchedule, SecAggError, run_secure_aggregation
 
@@ -35,17 +46,23 @@ class Aggregator(Actor):
         master: ActorRef,
         secagg: SecAggConfig,
         rng: np.random.Generator,
+        copy_pending: bool = False,
     ):
         self.round_id = round_id
         self.task_id = task_id
         self.master = master
         self.secagg = secagg
         self.rng = rng
+        self.copy_pending = copy_pending
         self._delta_sum: np.ndarray | None = None
         self._weight_sum: float = 0.0
+        self._accumulator: ParameterAccumulator | None = None
         self._accepted_count = 0
         #: Reports awaiting the master's accept/reject decision.
         self._pending: dict[int, tuple[np.ndarray, float]] = {}
+        #: Scratch vectors reused for pending-report staging (only when
+        #: ``copy_pending``): returned here when a report resolves.
+        self._staging_pool: list[np.ndarray] = []
         #: SecAgg mode: accepted vectors retained inside the crypto sim.
         self._vectors: dict[int, np.ndarray] = {}
         self._weights: dict[int, float] = {}
@@ -68,6 +85,20 @@ class Aggregator(Actor):
         elif isinstance(message, msg.DeviceDropped):
             self._on_dropped(message)
 
+    def _stage(self, vector: np.ndarray) -> np.ndarray:
+        """Stage an incoming report vector for the pending window."""
+        if not self.copy_pending:
+            return vector
+        scratch = self._staging_pool.pop() if self._staging_pool else None
+        if scratch is None or scratch.size != vector.size:
+            scratch = np.empty_like(vector)
+        np.copyto(scratch, vector)
+        return scratch
+
+    def _unstage(self, vector: np.ndarray) -> None:
+        if self.copy_pending:
+            self._staging_pool.append(vector)
+
     def _on_report(self, report: msg.DeviceReport) -> None:
         if (
             report.round_id != self.round_id
@@ -79,7 +110,7 @@ class Aggregator(Actor):
             self._nack(report.device_id)
             return
         vector = np.asarray(report.delta_vector, dtype=np.float64)
-        self._pending[report.device_id] = (vector, report.weight)
+        self._pending[report.device_id] = (self._stage(vector), report.weight)
         # The master's round state machine decides acceptance; it calls
         # back via ack_device.
         self.tell(self.master, report)
@@ -100,8 +131,11 @@ class Aggregator(Actor):
     def ack_device(self, device_id: int, accepted: bool) -> None:
         """Master's decision for a pending report: fold in or discard."""
         pending = self._pending.pop(device_id, None)
-        if pending is not None and accepted:
-            self._fold_in(device_id, *pending)
+        if pending is not None:
+            if accepted:
+                self._fold_in(device_id, *pending)
+            else:
+                self._unstage(pending[0])
         device = self._devices.get(device_id)
         if device is not None:
             self.tell(device, msg.ReportAck(self.round_id, accepted=accepted))
@@ -109,13 +143,24 @@ class Aggregator(Actor):
     def _fold_in(self, device_id: int, vector: np.ndarray, weight: float) -> None:
         self._accepted_count += 1
         if self.secagg.enabled:
+            # The crypto sim retains the vector until the round closes, so
+            # a staged scratch stays checked out until flush.
             self._vectors[device_id] = vector
             self._weights[device_id] = weight
+            return
+        if buffered_math_enabled():
+            if self._accumulator is None:
+                self._accumulator = ParameterAccumulator(dim=vector.size)
+            self._accumulator.add_vector(vector, 1.0)
+            self._weight_sum += weight
         else:
+            # Functional path (perf-harness baseline): re-allocates the
+            # running sum on every fold, as the original implementation did.
             self._delta_sum = (
                 vector.copy() if self._delta_sum is None else self._delta_sum + vector
             )
             self._weight_sum += weight
+        self._unstage(vector)
 
     # -- flush ----------------------------------------------------------------
     def flush(self, accepted_ids: set[int]) -> msg.IntermediateAggregate:
@@ -131,9 +176,19 @@ class Aggregator(Actor):
         self._pending.clear()
         if self.secagg.enabled:
             return self._flush_secagg()
+        if buffered_math_enabled():
+            # Ownership of the accumulator's buffer transfers to the
+            # message: the aggregator is stopped right after the round.
+            delta_sum = (
+                self._accumulator.sum_vector
+                if self._accumulator is not None and self._accumulator.count > 0
+                else None
+            )
+        else:
+            delta_sum = self._delta_sum
         return msg.IntermediateAggregate(
             round_id=self.round_id,
-            delta_sum=self._delta_sum,
+            delta_sum=delta_sum,
             weight_sum=self._weight_sum,
             device_count=self._accepted_count,
         )
@@ -147,24 +202,27 @@ class Aggregator(Actor):
         dim = next(iter(committed.values())).shape[0]
         # The full cohort = everyone forwarded here; non-committers are
         # post-ShareKeys dropouts whose pairwise masks must be recovered.
-        cohort: dict[int, np.ndarray] = {
-            uid: committed.get(uid, np.zeros(dim)) for uid in self._devices
-        }
+        # Weights ride along as one extra securely-summed coordinate, since
+        # FedAvg needs Σ n as well as Σ Δ (Sec. 6: sums are sufficient).
+        # The cohort's augmented vectors are rows of one (n, dim+1) matrix
+        # rather than n separate np.concatenate calls.
+        cohort_ids = list(self._devices)
+        stacked = np.zeros((len(cohort_ids), dim + 1), dtype=np.float64)
+        for i, uid in enumerate(cohort_ids):
+            vec = committed.get(uid)
+            if vec is not None:
+                stacked[i, :dim] = vec
+            stacked[i, dim] = self._weights.get(uid, 0.0)
+        augmented = {uid: stacked[i] for i, uid in enumerate(cohort_ids)}
         dropouts = DropoutSchedule(
             after_share=frozenset(uid for uid in self._devices if uid not in committed)
         )
-        threshold = self.secagg.threshold(len(cohort))
-        # Weights ride along as one extra securely-summed coordinate, since
-        # FedAvg needs Σ n as well as Σ Δ (Sec. 6: sums are sufficient).
-        augmented = {
-            uid: np.concatenate([vec, [self._weights.get(uid, 0.0)]])
-            for uid, vec in cohort.items()
-        }
-        max_abs = max(float(np.abs(v).max()) for v in augmented.values())
+        threshold = self.secagg.threshold(len(cohort_ids))
+        max_abs = float(np.abs(stacked).max())
         quantizer = VectorQuantizer(
             modulus_bits=self.secagg.modulus_bits,
             clip_range=max(max_abs, 1e-6),
-            max_summands=max(len(cohort), 1),
+            max_summands=max(len(cohort_ids), 1),
         )
         try:
             total, metrics = run_secure_aggregation(

@@ -25,6 +25,7 @@ from repro.core.rounds import (
     RoundPhase,
     RoundStateMachine,
 )
+from repro.nn.parameters import ParameterAccumulator, buffered_math_enabled
 
 #: Devices per leaf aggregator when Secure Aggregation is off.
 _PLAIN_GROUP_SIZE = 100
@@ -230,6 +231,8 @@ class MasterAggregator(Actor):
             for p in self.state.participants.values()
             if p.outcome is DeviceOutcome.COMPLETED
         }
+        buffered = buffered_math_enabled()
+        accumulator: ParameterAccumulator | None = None
         delta_sum: np.ndarray | None = None
         weight_sum = 0.0
         contributing = 0
@@ -242,9 +245,15 @@ class MasterAggregator(Actor):
                 continue
             contributing += partial.device_count
             vec = np.asarray(partial.delta_sum, dtype=np.float64)
-            delta_sum = vec.copy() if delta_sum is None else delta_sum + vec
+            if buffered:
+                if accumulator is None:
+                    accumulator = ParameterAccumulator(dim=vec.size)
+                accumulator.add_vector(vec, 1.0)
+            else:
+                delta_sum = vec.copy() if delta_sum is None else delta_sum + vec
             weight_sum += partial.weight_sum
-        if delta_sum is None or weight_sum <= 0:
+        folded = accumulator is not None if buffered else delta_sum is not None
+        if not folded or weight_sum <= 0:
             return False
         if contributing < self.task.round_config.min_participants:
             return False
@@ -253,8 +262,18 @@ class MasterAggregator(Actor):
         except KeyError:
             return False
         params = previous.to_params()
-        avg_delta = params.from_vector(delta_sum / weight_sum)
-        new_params = params + avg_delta
+        if buffered:
+            assert accumulator is not None
+            # Divide the round sum in place (the accumulator dies with this
+            # round) and fold the average into the freshly-deserialized
+            # global weights without materialising `params + avg_delta`.
+            avg_vec = accumulator.sum_vector
+            np.divide(avg_vec, weight_sum, out=avg_vec)
+            avg_delta = params.from_vector(avg_vec)
+            new_params = params.add_(avg_delta)
+        else:
+            avg_delta = params.from_vector(delta_sum / weight_sum)
+            new_params = params + avg_delta
         checkpoint = FLCheckpoint.from_params(
             new_params,
             population_name=self.task.population_name,

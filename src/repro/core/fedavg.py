@@ -11,6 +11,20 @@ and applies the weighted average of the deltas::
 and returns ``Δ = n · (w - w_init)`` — the *weighted* delta, which the
 paper notes is more amenable to compression than raw weights, and whose
 sum-only structure is exactly what Secure Aggregation needs (Sec. 6).
+
+Two execution paths share :func:`client_update`:
+
+* **functional** (``buffers=None``): every SGD step returns a new
+  ``Parameters`` — the original implementation, kept as the measurable
+  baseline for the perf harness;
+* **buffered** (``buffers=``:class:`ClientUpdateBuffers`): training runs in
+  a pre-allocated working copy with zero per-step allocation, gradients
+  are written into a reusable buffer, and the weighted delta lands in the
+  buffer's flat delta vector.
+
+The two paths consume the identical RNG stream and perform the identical
+elementwise float ops, so they are byte-identical (see
+``tests/core/test_fedavg_buffered.py``).
 """
 
 from __future__ import annotations
@@ -23,8 +37,7 @@ import numpy as np
 from repro.core.datasets import ClientDataset
 from repro.nn.models import Model
 from repro.nn.optimizers import SGD, SGDConfig
-from repro.nn.parameters import Parameters
-
+from repro.nn.parameters import ParameterAccumulator, ParameterLayout, Parameters
 
 @dataclass
 class ClientUpdateResult:
@@ -44,6 +57,59 @@ class ClientUpdateResult:
             )
 
 
+class ClientUpdateBuffers:
+    """Pre-allocated working state for buffered :func:`client_update`.
+
+    One instance serves one parameter structure and is reused across
+    sessions; everything it hands out (``result.delta`` included) aliases
+    its buffers and is only valid until the next ``client_update`` call
+    with the same buffers.  Callers that need the delta to outlive the
+    session copy it out (``delta.to_vector()`` always returns fresh
+    storage).
+    """
+
+    __slots__ = ("layout", "work", "params", "grad", "grads", "_batch_x", "_batch_y")
+
+    def __init__(self, layout: ParameterLayout):
+        self.layout = layout
+        #: Flat working weights; ``params`` is its structured view.
+        self.work = layout.empty()
+        self.params = layout.unflatten(self.work)
+        #: Flat gradient buffer; ``grads`` is its structured view.
+        self.grad = layout.empty()
+        self.grads = layout.unflatten(self.grad)
+        #: Minibatch gather buffers, sized lazily to the first dataset.
+        self._batch_x: np.ndarray | None = None
+        self._batch_y: np.ndarray | None = None
+
+    @classmethod
+    def for_structure(cls, params: Parameters) -> "ClientUpdateBuffers":
+        return cls(params.layout)
+
+    def matches(self, params: Parameters) -> bool:
+        return self.layout == params.layout
+
+    def batch_buffers(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather buffers for ``batch_size`` rows of ``x``/``y``;
+        re-allocated only when the data shape or dtype changes (a device
+        trains the same store session after session)."""
+        bx, by = self._batch_x, self._batch_y
+        if (
+            bx is None
+            or by is None
+            or bx.shape != (batch_size, *x.shape[1:])
+            or by.shape != (batch_size, *y.shape[1:])
+            or bx.dtype != x.dtype
+            or by.dtype != y.dtype
+        ):
+            bx = np.empty((batch_size, *x.shape[1:]), dtype=x.dtype)
+            by = np.empty((batch_size, *y.shape[1:]), dtype=y.dtype)
+            self._batch_x, self._batch_y = bx, by
+        return bx, by
+
+
 def client_update(
     model: Model,
     global_params: Parameters,
@@ -54,6 +120,7 @@ def client_update(
     rng: np.random.Generator,
     max_examples: int | None = None,
     clip_update_norm: float | None = None,
+    buffers: ClientUpdateBuffers | None = None,
 ) -> ClientUpdateResult:
     """``ClientUpdate(w)`` from Algorithm 1: local SGD, weighted delta out."""
     data = dataset
@@ -64,17 +131,35 @@ def client_update(
     if n == 0:
         raise ValueError(f"client {dataset.client_id} has no examples")
     optimizer = SGD(SGDConfig(learning_rate=learning_rate))
-    w = global_params
     losses = []
     steps = 0
-    for xb, yb in data.batches(batch_size, epochs, rng):
-        loss, grads = model.loss_and_grad(w, xb, yb)
-        w = optimizer.step(w, grads)
-        losses.append(loss)
-        steps += 1
-    delta = (w - global_params).scale(float(n))
-    if clip_update_norm is not None:
-        delta = delta.clip_by_norm(clip_update_norm * n)
+    if buffers is None:
+        # Functional path: each step materialises fresh Parameters.
+        w = global_params
+        for xb, yb in data.batches(batch_size, epochs, rng):
+            loss, grads = model.loss_and_grad(w, xb, yb)
+            w = optimizer.step(w, grads)
+            losses.append(loss)
+            steps += 1
+        delta = (w - global_params).scale(float(n))
+        if clip_update_norm is not None:
+            delta = delta.clip_by_norm(clip_update_norm * n)
+    else:
+        # Buffered path: train in the working copy, zero per-step allocation.
+        if not buffers.matches(global_params):
+            raise ValueError("buffers were built for a different model structure")
+        w = buffers.params
+        w.copy_from_(global_params)
+        batch_x, batch_y = buffers.batch_buffers(data.x, data.y, batch_size)
+        for xb, yb in data.batches_into(batch_size, epochs, rng, batch_x, batch_y):
+            loss = model.loss_and_grad_into(w, xb, yb, buffers.grads)
+            optimizer.step_(w, buffers.grads)
+            losses.append(loss)
+            steps += 1
+        # The working copy becomes the weighted delta in place.
+        delta = w.sub_(global_params).scale_(float(n))
+        if clip_update_norm is not None:
+            delta = delta.clip_by_norm_(clip_update_norm * n)
     return ClientUpdateResult(
         client_id=dataset.client_id,
         delta=delta,
@@ -121,28 +206,57 @@ class FederatedAveraging:
 
     This is the algorithm layer: no networking, no failures — those live in
     the protocol/actor layers, which call :meth:`aggregate` with whatever
-    updates survived the round.
+    updates survived the round.  The loop owns one set of client-update
+    buffers and one delta accumulator, reused across every round.
     """
 
     def __init__(self, model: Model, config: FedAvgConfig | None = None):
         self.model = model
         self.config = config or FedAvgConfig()
+        self._buffers: ClientUpdateBuffers | None = None
+        self._accumulator: ParameterAccumulator | None = None
 
     def initialize(self, rng: np.random.Generator) -> Parameters:
         return self.model.init(rng)
 
+    def _buffers_for(self, params: Parameters) -> ClientUpdateBuffers:
+        if self._buffers is None or not self._buffers.matches(params):
+            self._buffers = ClientUpdateBuffers.for_structure(params)
+        return self._buffers
+
+    def _accumulator_for(self, params: Parameters) -> ParameterAccumulator:
+        if self._accumulator is None or self._accumulator.dim != params.num_parameters:
+            self._accumulator = ParameterAccumulator.like(params)
+        else:
+            self._accumulator.reset()
+        return self._accumulator
+
     def aggregate(
         self, global_params: Parameters, updates: Sequence[ClientUpdateResult]
     ) -> Parameters:
-        """Apply Algorithm 1's combination rule to surviving updates."""
+        """Apply Algorithm 1's combination rule to surviving updates.
+
+        Streaming: each delta folds into a reused accumulator buffer —
+        byte-identical to the original ``delta_sum + delta`` chain.
+        """
         if not updates:
             raise ValueError("cannot aggregate zero updates")
-        delta_sum = updates[0].delta.copy()
-        weight_sum = updates[0].weight
-        for u in updates[1:]:
-            delta_sum = delta_sum + u.delta
+        acc = self._accumulator_for(updates[0].delta)
+        weight_sum = 0.0
+        for u in updates:
+            # Deltas are already weighted by their example counts, so they
+            # fold with weight 1; the divisor is tracked separately.
+            acc.add(u.delta, 1.0)
             weight_sum += u.weight
-        avg_delta = delta_sum.scale(1.0 / weight_sum)
+        return self._apply_mean_delta(global_params, acc, weight_sum)
+
+    def _apply_mean_delta(
+        self,
+        global_params: Parameters,
+        acc: ParameterAccumulator,
+        weight_sum: float,
+    ) -> Parameters:
+        avg_delta = global_params.from_vector(acc.scaled_sum(1.0 / weight_sum))
         return global_params.axpy(self.config.server_learning_rate, avg_delta)
 
     def run_round(
@@ -158,8 +272,13 @@ class FederatedAveraging:
         if k == 0:
             raise ValueError("no clients available")
         chosen_idx = rng.choice(len(clients), size=k, replace=False)
-        updates = [
-            client_update(
+        buffers = self._buffers_for(global_params)
+        acc = self._accumulator_for(global_params)
+        weight_sum = 0.0
+        total_examples = 0
+        client_losses = []
+        for i in chosen_idx:
+            update = client_update(
                 self.model,
                 global_params,
                 clients[i],
@@ -169,15 +288,20 @@ class FederatedAveraging:
                 rng=rng,
                 max_examples=cfg.max_examples_per_client,
                 clip_update_norm=cfg.clip_update_norm,
+                buffers=buffers,
             )
-            for i in chosen_idx
-        ]
-        new_params = self.aggregate(global_params, updates)
+            # The delta aliases the shared buffers, so it must be folded
+            # into the accumulator before the next client trains.
+            acc.add(update.delta, 1.0)
+            weight_sum += update.weight
+            total_examples += update.num_examples
+            client_losses.append(update.mean_loss)
+        new_params = self._apply_mean_delta(global_params, acc, weight_sum)
         stats = RoundStats(
             round_number=round_number,
             num_clients=k,
-            total_examples=sum(u.num_examples for u in updates),
-            mean_client_loss=float(np.mean([u.mean_loss for u in updates])),
+            total_examples=total_examples,
+            mean_client_loss=float(np.mean(client_losses)),
             update_norm=(new_params - global_params).l2_norm(),
         )
         return new_params, stats

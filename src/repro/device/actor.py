@@ -137,6 +137,11 @@ class DeviceActor(Actor):
         self._aggregator: ActorRef | None = None
         self._generation = 0
         self._checkin_event = None
+        #: Stale-guard timers: cancelled eagerly when their session ends so
+        #: they are reclaimed by the event loop's compaction instead of
+        #: surviving on the heap until their (guarded no-op) fire time.
+        self._waiting_timeout_event = None
+        self._ack_timeout_event = None
         self._pending_window_t: float | None = None
         self._last_checkin_t: float | None = None
         self._wait_epoch = 0
@@ -172,6 +177,16 @@ class DeviceActor(Actor):
     def _transfer(self, nbytes: int, direction: TransferDirection) -> tuple[float, bool]:
         return self.network.transfer(self.conditions, nbytes, direction, self.rng)
 
+    def _cancel_waiting_timer(self) -> None:
+        if self._waiting_timeout_event is not None:
+            self._waiting_timeout_event.cancel()
+            self._waiting_timeout_event = None
+
+    def _cancel_ack_timer(self) -> None:
+        if self._ack_timeout_event is not None:
+            self._ack_timeout_event.cancel()
+            self._ack_timeout_event = None
+
     # -- lifecycle ------------------------------------------------------------
     def on_start(self) -> None:
         self.eligible = self.availability.is_initially_eligible(self.now)
@@ -200,6 +215,8 @@ class DeviceActor(Actor):
             self._on_became_eligible()
 
     def _on_became_ineligible(self) -> None:
+        if self.state is DeviceState.WAITING:
+            self._cancel_waiting_timer()
         if self.state is DeviceState.WAITING and self._selector is not None:
             self.tell(
                 self._selector,
@@ -266,7 +283,7 @@ class DeviceActor(Actor):
         # A real check-in stream does not stay open forever: if no round
         # wants this device within the timeout, hang up and retry on the
         # normal job cadence.
-        self.schedule(
+        self._waiting_timeout_event = self.schedule(
             self.waiting_timeout_s, self._on_waiting_timeout, self._wait_epoch
         )
         self.health.checkins += 1
@@ -289,6 +306,7 @@ class DeviceActor(Actor):
         )
 
     def _on_waiting_timeout(self, wait_epoch: int) -> None:
+        self._waiting_timeout_event = None
         if self.state is not DeviceState.WAITING or wait_epoch != self._wait_epoch:
             return
         if self._selector is not None:
@@ -320,6 +338,7 @@ class DeviceActor(Actor):
         """The selector's end of the stream died; retry another one."""
         if self.state is not DeviceState.WAITING:
             return
+        self._cancel_waiting_timer()
         self.scheduler.abort()
         self._active_population = None
         self._selector = None
@@ -330,6 +349,7 @@ class DeviceActor(Actor):
     def _on_rejected(self, rejected: msg.CheckinRejected) -> None:
         if self.state is not DeviceState.WAITING:
             return
+        self._cancel_waiting_timer()
         self.scheduler.abort()
         self._active_population = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
@@ -357,6 +377,7 @@ class DeviceActor(Actor):
             )
             return
         self.state = DeviceState.PARTICIPATING
+        self._cancel_waiting_timer()
         self.health.record_session(
             self._active_population or self.memberships[0]
         )
@@ -456,7 +477,9 @@ class DeviceActor(Actor):
             ),
         )
         # If the server never answers (round torn down), treat as rejected.
-        self.schedule(self.ack_timeout_s, self._on_ack_timeout, self._generation)
+        self._ack_timeout_event = self.schedule(
+            self.ack_timeout_s, self._on_ack_timeout, self._generation
+        )
 
     def _on_report_ack(self, ack: msg.ReportAck) -> None:
         if self.state is not DeviceState.PARTICIPATING or ack.round_id != self._round_id:
@@ -470,6 +493,7 @@ class DeviceActor(Actor):
         self._finish_participation()
 
     def _on_ack_timeout(self, generation: int) -> None:
+        self._ack_timeout_event = None
         if not self._guard(generation):
             return
         self._log(DeviceEvent.UPLOAD_REJECTED, reason="ack_timeout")
@@ -493,6 +517,8 @@ class DeviceActor(Actor):
     def _end_participation(self) -> None:
         """Invalidate in-flight work (interruption path)."""
         self._generation += 1
+        self._cancel_waiting_timer()
+        self._cancel_ack_timer()
         if self.scheduler.running == self._active_population:
             self.scheduler.abort()
         self._active_population = None
@@ -501,6 +527,8 @@ class DeviceActor(Actor):
 
     def _finish_participation(self) -> None:
         self._generation += 1
+        self._cancel_waiting_timer()
+        self._cancel_ack_timer()
         if (
             self._active_population is not None
             and self.scheduler.running == self._active_population

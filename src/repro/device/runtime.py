@@ -12,6 +12,19 @@ Two trainer implementations share the :class:`LocalTrainer` interface:
 * :class:`SyntheticTrainer` — produces a structurally identical but
   numerically trivial update at near-zero cost.  Used by fleet-scale
   protocol benchmarks (Figs. 5–8) where per-device SGD cost is irrelevant.
+
+Both trainers route through the buffered model plane when it is enabled
+(the default — see :func:`repro.nn.parameters.buffered_math_enabled`):
+training runs in per-trainer pre-allocated buffers so a check-in's
+session performs no per-step allocation.  Trainers are built one per
+device, and a device never starts a new session while a report is in
+flight, so per-trainer buffers are never aliased across sessions.  The
+``delta_vector`` placed in a :class:`TrainResult` is never written again
+by the trainer: training deltas are freshly-owned storage handed to the
+reporting pipeline, and evaluation deltas may be one shared zero vector
+— either way the pipeline treats report vectors as immutable (it only
+reads them; an ``Aggregator(copy_pending=True)`` exists for report
+sources that cannot honour this).
 """
 
 from __future__ import annotations
@@ -24,11 +37,11 @@ import numpy as np
 from repro.core.checkpoint import FLCheckpoint
 from repro.core.config import TaskKind
 from repro.core.datasets import ClientDataset
-from repro.core.fedavg import client_update
+from repro.core.fedavg import ClientUpdateBuffers, client_update
 from repro.core.plan import FLPlan
 from repro.device.example_store import ExampleStore
 from repro.nn.models import Model
-
+from repro.nn.parameters import Parameters, buffered_math_enabled
 
 @dataclass
 class TrainResult:
@@ -80,11 +93,35 @@ class RealTrainer:
     plans (Sec. 3: "FL plans ... can also encode evaluation tasks") run a
     forward pass over held-out data and report only metrics — the delta is
     zero and the upload is metrics-sized.
+
+    In buffered mode the trainer owns the session's working buffers
+    (:class:`ClientUpdateBuffers`) and caches the deserialized global
+    checkpoint per round, so repeated sessions against the same round
+    don't re-decode the payload.
     """
 
     model: Model
     store: ExampleStore
     update_compression_ratio: float = 1.0   # >1 when a codec is configured
+
+    def __post_init__(self) -> None:
+        self._buffers: ClientUpdateBuffers | None = None
+        self._params_cache_key: tuple[str, str, int] | None = None
+        self._params_cache: Parameters | None = None
+        self._zero_delta: np.ndarray | None = None
+
+    def _checkpoint_params(self, checkpoint: FLCheckpoint) -> Parameters:
+        if not buffered_math_enabled():
+            return checkpoint.to_params()
+        key = (
+            checkpoint.population_name,
+            checkpoint.task_id,
+            checkpoint.round_number,
+        )
+        if self._params_cache is None or self._params_cache_key != key:
+            self._params_cache = checkpoint.to_params()
+            self._params_cache_key = key
+        return self._params_cache
 
     def train(
         self,
@@ -96,11 +133,16 @@ class RealTrainer:
         x, y = self.store.query(plan.device.selection_criteria, now_s)
         if x.shape[0] == 0:
             raise RuntimeError("example store returned no data for the plan")
-        params = checkpoint.to_params()
+        params = self._checkpoint_params(checkpoint)
         cfg = plan.device.training
         dataset = ClientDataset("local", x, y)
         if plan.device.kind is not TaskKind.TRAINING:
             return self._evaluate(params, dataset)
+        buffers: ClientUpdateBuffers | None = None
+        if buffered_math_enabled():
+            if self._buffers is None or not self._buffers.matches(params):
+                self._buffers = ClientUpdateBuffers.for_structure(params)
+            buffers = self._buffers
         update = client_update(
             self.model,
             params,
@@ -111,7 +153,9 @@ class RealTrainer:
             rng=rng,
             max_examples=cfg.max_examples,
             clip_update_norm=cfg.clip_update_norm,
+            buffers=buffers,
         )
+        # Fresh storage either way: the report outlives this session.
         vector = update.delta.to_vector()
         raw_nbytes = vector.size * 8
         return TrainResult(
@@ -123,6 +167,15 @@ class RealTrainer:
             train_compute_units=float(update.num_examples * cfg.epochs),
         )
 
+    def _zero_vector(self, num_parameters: int) -> np.ndarray:
+        """Eval reports carry a zero delta; the reporting pipeline never
+        mutates report vectors, so buffered mode shares one."""
+        if not buffered_math_enabled():
+            return np.zeros(num_parameters)
+        if self._zero_delta is None or self._zero_delta.size != num_parameters:
+            self._zero_delta = np.zeros(num_parameters)
+        return self._zero_delta
+
     def _evaluate(self, params, dataset: ClientDataset) -> TrainResult:
         """Held-out metrics: "analogous to the validation step in data
         center training" (Sec. 3)."""
@@ -133,7 +186,7 @@ class RealTrainer:
             (np.asarray(logits).argmax(axis=-1) == dataset.y).mean()
         )
         return TrainResult(
-            delta_vector=np.zeros(params.num_parameters),
+            delta_vector=self._zero_vector(params.num_parameters),
             weight=float(n),
             num_examples=n,
             metrics={"eval_loss": loss, "eval_accuracy": accuracy,
@@ -159,6 +212,16 @@ class SyntheticTrainer:
     delta_scale: float = 1e-3
     metrics_template: dict[str, float] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._zero_delta: np.ndarray | None = None
+
+    def _zero_vector(self) -> np.ndarray:
+        if not buffered_math_enabled():
+            return np.zeros(self.num_parameters)
+        if self._zero_delta is None:
+            self._zero_delta = np.zeros(self.num_parameters)
+        return self._zero_delta
+
     def train(
         self,
         plan: FLPlan,
@@ -175,14 +238,20 @@ class SyntheticTrainer:
                        "num_examples": n}
             metrics.update(self.metrics_template)
             return TrainResult(
-                delta_vector=np.zeros(self.num_parameters),
+                delta_vector=self._zero_vector(),
                 weight=float(n),
                 num_examples=n,
                 metrics=metrics,
                 upload_nbytes=256,
                 train_compute_units=0.3 * n,
             )
-        delta = rng.normal(0.0, self.delta_scale, size=self.num_parameters) * n
+        delta = rng.normal(0.0, self.delta_scale, size=self.num_parameters)
+        if buffered_math_enabled():
+            # Scale the freshly-drawn vector in place: same values as the
+            # functional `delta * n` without the second allocation.
+            np.multiply(delta, n, out=delta)
+        else:
+            delta = delta * n
         raw_nbytes = self.num_parameters * 8
         metrics = {"loss": float(rng.uniform(0.5, 2.0)), "num_examples": n}
         metrics.update(self.metrics_template)

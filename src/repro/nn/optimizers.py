@@ -3,6 +3,12 @@
 Clients run plain SGD inside ``ClientUpdate`` (Algorithm 1); the server can
 apply the aggregated update with its own learning rate / momentum (the
 "server optimizer" generalisation of FedAvg).
+
+``step`` is functional (returns new :class:`Parameters`); ``step_`` is the
+hot-path twin that updates the weights in place with zero per-step
+allocation.  Both perform the same elementwise float operations in the
+same order, so their results are byte-identical (guarded by
+``tests/nn/test_inplace_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -12,7 +18,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.parameters import Parameters
-
 
 @dataclass(frozen=True)
 class SGDConfig:
@@ -34,21 +39,40 @@ class SGDConfig:
 class SGD:
     """Stochastic gradient descent with optional momentum and weight decay.
 
-    Stateful (keeps velocity) but functional in its API: ``step`` returns a
-    new :class:`Parameters` and never mutates its inputs.
+    Stateful (keeps velocity) with two entry points: functional ``step``
+    (new ``Parameters`` out, inputs untouched) and in-place ``step_``
+    (mutates ``params``; ``grads`` is only read).  Per-array velocity
+    state is shared between ``step`` and the per-array ``step_`` path;
+    the flat fast path keeps its own velocity vector, so with momentum
+    enabled one optimizer instance must not mix flat-path steps with the
+    other conventions mid-run (it raises rather than silently dropping
+    momentum).
     """
 
     def __init__(self, config: SGDConfig | None = None):
         self.config = config or SGDConfig()
         self.config.validate()
         self._velocity: dict[str, np.ndarray] | None = None
+        self._scratch: dict[str, np.ndarray] | None = None
+        self._flat_scratch: np.ndarray | None = None
+        self._flat_velocity: np.ndarray | None = None
 
     def reset(self) -> None:
         self._velocity = None
+        self._flat_velocity = None
+
+    def _require_no_flat_velocity(self) -> None:
+        if self.config.momentum > 0 and self._flat_velocity is not None:
+            raise RuntimeError(
+                "momentum state was accumulated by the flat step_ fast "
+                "path; mixing calling conventions mid-run would silently "
+                "restart momentum from zero (call reset() to start over)"
+            )
 
     def step(self, params: Parameters, grads: Parameters) -> Parameters:
         """One update: ``w <- w - lr * (v if momentum else g)``."""
         cfg = self.config
+        self._require_no_flat_velocity()
         updated: dict[str, np.ndarray] = {}
         if cfg.momentum > 0 and self._velocity is None:
             self._velocity = {k: np.zeros_like(v) for k, v in params.items()}
@@ -63,3 +87,62 @@ class SGD:
                 g = v
             updated[name] = w - cfg.learning_rate * g
         return Parameters(updated)
+
+    def step_(self, params: Parameters, grads: Parameters) -> Parameters:
+        """In-place :meth:`step`: mutates and returns ``params``.
+
+        ``params`` must not alias ``grads``.  Scratch and velocity buffers
+        are owned by the optimizer and allocated once on first use; after
+        that every step is allocation-free.  When both ``params`` and
+        ``grads`` are flat-backed with the same layout, the whole update
+        runs as a handful of single vector ops.
+        """
+        cfg = self.config
+        # Momentum state is laid out per calling convention; don't mix a
+        # flat velocity into a run that already has per-array state.
+        if (cfg.momentum == 0 or self._velocity is None) and params._flat_pair(grads):
+            self._step_flat(params.flat_base, grads.flat_base)
+            return params
+        self._require_no_flat_velocity()
+        if self._scratch is None:
+            self._scratch = {k: np.empty_like(v) for k, v in params.items()}
+        if cfg.momentum > 0 and self._velocity is None:
+            self._velocity = {k: np.zeros_like(v) for k, v in params.items()}
+        for name, w in params.items():
+            g = grads[name]
+            scratch = self._scratch[name]
+            if cfg.weight_decay > 0:
+                # scratch = wd * w + g  (addition is commutative bitwise,
+                # so this matches the functional `g + wd * w`)
+                np.multiply(w, cfg.weight_decay, out=scratch)
+                np.add(scratch, g, out=scratch)
+                g = scratch
+            if cfg.momentum > 0:
+                assert self._velocity is not None
+                v = self._velocity[name]
+                np.multiply(v, cfg.momentum, out=v)
+                np.add(v, g, out=v)
+                g = v
+            np.multiply(g, cfg.learning_rate, out=scratch)
+            np.subtract(w, scratch, out=w)
+        return params
+
+    def _step_flat(self, w: np.ndarray, g: np.ndarray) -> None:
+        """Flat fast path: identical elementwise math on the backing vectors."""
+        cfg = self.config
+        if self._flat_scratch is None or self._flat_scratch.size != w.size:
+            self._flat_scratch = np.empty_like(w)
+        scratch = self._flat_scratch
+        if cfg.momentum > 0 and self._flat_velocity is None:
+            self._flat_velocity = np.zeros_like(w)
+        if cfg.weight_decay > 0:
+            np.multiply(w, cfg.weight_decay, out=scratch)
+            np.add(scratch, g, out=scratch)
+            g = scratch
+        if cfg.momentum > 0:
+            v = self._flat_velocity
+            np.multiply(v, cfg.momentum, out=v)
+            np.add(v, g, out=v)
+            g = v
+        np.multiply(g, cfg.learning_rate, out=scratch)
+        np.subtract(w, scratch, out=w)

@@ -1,32 +1,180 @@
-"""Named parameter collections with functional vector arithmetic.
+"""Named parameter collections with functional *and* in-place arithmetic.
 
 ``Parameters`` is the unit of state the whole system moves around: the
 global model in a checkpoint, a client's weighted update ``Δ``, and the
 aggregated sums of Secure Aggregation are all ``Parameters`` (or their
 flattened-vector image).
+
+Two APIs coexist:
+
+* the **functional API** (``+``, ``-``, :meth:`Parameters.scale`,
+  :meth:`Parameters.axpy`, :func:`weighted_mean`) returns new objects and
+  never mutates its inputs — safe for concurrent actors sharing a global
+  model, and byte-for-byte identical to the original implementation;
+* the **in-place API** (:meth:`Parameters.add_`, :meth:`Parameters.axpy_`,
+  :meth:`Parameters.scale_`, :meth:`Parameters.copy_from_`, ...) mutates
+  ``self`` with zero allocation, for the model-update hot path.  Every
+  in-place op performs the *same elementwise float operations in the same
+  order* as its functional twin, so the two paths produce byte-identical
+  results (guarded by ``tests/nn/test_inplace_equivalence.py``).
+
+Flattening goes through a cached :class:`ParameterLayout` so repeated
+``to_vector``/``from_vector`` round trips never recompute offsets, and a
+:class:`ParameterAccumulator` owns one pre-allocated buffer per structure
+for streaming ``Σ w_k · x_k`` aggregation — the paper's "process updates
+online as they are received without a need to store them" (Sec. 10).
+
+Buffer-ownership invariants (see ROADMAP.md "Performance"):
+
+* a flat-backed ``Parameters`` (one produced by
+  :meth:`ParameterLayout.unflatten` or :meth:`Parameters.from_vector`)
+  *aliases* its backing vector; mutating one mutates the other;
+* :attr:`ParameterAccumulator.sum_vector` is the accumulator's live
+  buffer, not a copy — callers may read it, or take ownership only when
+  the accumulator is discarded afterwards (the per-round aggregators do
+  exactly that at flush time);
+* everything else (``to_vector()`` with no ``out``, the functional ops,
+  :meth:`ParameterAccumulator.mean`) returns freshly-owned storage.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
 from typing import Callable
 
 import numpy as np
 
+# -- buffered-math switch ----------------------------------------------------
+#
+# Global A/B lever used by the perf harness and the fleet-equivalence tests:
+# when disabled, the actors and trainers route through the original
+# allocating (functional) implementations so the pre-buffering cost model
+# can be measured and compared on the same build.  The two modes are
+# numerically byte-identical; only allocation behaviour differs.
 
-class Parameters(Mapping[str, np.ndarray]):
-    """Immutable-by-convention ordered mapping ``name -> float64 array``.
+_BUFFERED_MATH = True
 
-    All arithmetic is functional (returns new ``Parameters``) so that
-    concurrent actors can safely share references to a global model.
+
+def buffered_math_enabled() -> bool:
+    """Whether hot paths should use pre-allocated buffers (the default)."""
+    return _BUFFERED_MATH
+
+
+def set_buffered_math(enabled: bool) -> bool:
+    """Toggle the buffered model plane; returns the previous setting."""
+    global _BUFFERED_MATH
+    previous = _BUFFERED_MATH
+    _BUFFERED_MATH = bool(enabled)
+    return previous
+
+
+@contextmanager
+def functional_math():
+    """Context manager: run the model plane in functional (pre-buffering)
+    mode, restoring the previous setting on exit."""
+    previous = set_buffered_math(False)
+    try:
+        yield
+    finally:
+        set_buffered_math(previous)
+
+
+class ParameterLayout:
+    """Immutable flattening recipe for one parameter structure.
+
+    Records, once, the name/shape/offset of every array in flattening
+    order so that ``to_vector``/``from_vector`` and the streaming
+    accumulator never recompute them.  Layouts compare (and hash) by
+    structure, so one layout can serve every ``Parameters`` instance of
+    the same model.
     """
 
-    __slots__ = ("_arrays",)
+    __slots__ = ("names", "shapes", "sizes", "offsets", "total_size", "_key")
+
+    def __init__(self, shapes: Mapping[str, tuple[int, ...]]):
+        self.names: tuple[str, ...] = tuple(shapes)
+        self.shapes: tuple[tuple[int, ...], ...] = tuple(
+            tuple(s) for s in shapes.values()
+        )
+        self.sizes: tuple[int, ...] = tuple(
+            int(np.prod(s)) if s else 1 for s in self.shapes
+        )
+        offsets = []
+        offset = 0
+        for size in self.sizes:
+            offsets.append(offset)
+            offset += size
+        self.offsets: tuple[int, ...] = tuple(offsets)
+        self.total_size: int = offset
+        self._key = tuple(zip(self.names, self.shapes))
+
+    @classmethod
+    def of(cls, params: "Parameters") -> "ParameterLayout":
+        return cls(params.shapes())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ParameterLayout) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return f"ParameterLayout({self.total_size} params, {len(self.names)} arrays)"
+
+    # -- buffer construction -------------------------------------------------
+    def empty(self) -> np.ndarray:
+        """A new uninitialised flat buffer of this layout's total size."""
+        return np.empty(self.total_size, dtype=np.float64)
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.total_size, dtype=np.float64)
+
+    def views(self, vector: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-array reshaped views into ``vector`` (no copies)."""
+        if vector.size != self.total_size:
+            raise ValueError(
+                f"vector has {vector.size} entries, layout needs {self.total_size}"
+            )
+        return {
+            name: vector[off : off + size].reshape(shape)
+            for name, off, size, shape in zip(
+                self.names, self.offsets, self.sizes, self.shapes
+            )
+        }
+
+    def unflatten(self, vector: np.ndarray) -> "Parameters":
+        """Wrap a flat vector as flat-backed ``Parameters`` (views, no copy)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        params = Parameters.__new__(Parameters)
+        params._arrays = self.views(vector)
+        params._flat = vector
+        params._layout = self
+        return params
+
+    def flatten(self, params: "Parameters", out: np.ndarray | None = None) -> np.ndarray:
+        """Concatenate ``params`` into ``out`` (allocated when ``None``)."""
+        return params.to_vector(out=out)
+
+
+class Parameters(Mapping[str, np.ndarray]):
+    """Ordered mapping ``name -> float64 array``.
+
+    Functional arithmetic returns new ``Parameters`` (safe to share across
+    actors); the underscore-suffixed methods mutate in place for the hot
+    path.  A ``Parameters`` may be *flat-backed*: its arrays are views of
+    one contiguous vector (see :meth:`ParameterLayout.unflatten`), which
+    lets whole-model ops run as a single vector op.
+    """
+
+    __slots__ = ("_arrays", "_flat", "_layout")
 
     def __init__(self, arrays: Mapping[str, np.ndarray]):
         self._arrays: dict[str, np.ndarray] = {
             name: np.asarray(arr, dtype=np.float64) for name, arr in arrays.items()
         }
+        self._flat: np.ndarray | None = None
+        self._layout: ParameterLayout | None = None
 
     # -- Mapping protocol ---------------------------------------------------
     def __getitem__(self, name: str) -> np.ndarray:
@@ -43,6 +191,21 @@ class Parameters(Mapping[str, np.ndarray]):
         return f"Parameters({shapes})"
 
     # -- structure ----------------------------------------------------------
+    @property
+    def layout(self) -> ParameterLayout:
+        """This structure's flattening layout (computed once, then cached)."""
+        if self._layout is None:
+            self._layout = ParameterLayout.of(self)
+        return self._layout
+
+    @property
+    def flat_base(self) -> np.ndarray | None:
+        """The backing vector when flat-backed, else ``None``.
+
+        The returned vector *aliases* this object's arrays.
+        """
+        return self._flat
+
     @property
     def num_parameters(self) -> int:
         """Total scalar parameter count across all arrays."""
@@ -64,31 +227,61 @@ class Parameters(Mapping[str, np.ndarray]):
                 f"parameter structure mismatch: {self.shapes()} vs {other.shapes()}"
             )
 
+    def _check_structure_fast(self, other: "Parameters") -> None:
+        """Hot-path structure check: compare cached layouts (tuple
+        equality at C speed) and only fall back to the dict comparison —
+        which tolerates re-ordered but equal structures — on mismatch."""
+        a = self.layout
+        b = other.layout
+        if a is b or a == b:
+            return
+        self._require_same_structure(other)
+
+    def _flat_pair(self, other: "Parameters") -> bool:
+        """True when both operands are flat-backed with matching layout, so
+        a whole-model op can run as one vector op.  (Flat-backed params
+        always carry a layout; the identity check makes the common case —
+        views of buffers built from one shared layout — attribute-cheap.)"""
+        if self._flat is None or other._flat is None:
+            return False
+        a, b = self._layout, other._layout
+        return a is b or a == b
+
     # -- construction -------------------------------------------------------
     def copy(self) -> "Parameters":
+        if self._flat is not None:
+            return self.layout.unflatten(self._flat.copy())
         return Parameters({k: v.copy() for k, v in self._arrays.items()})
 
     def zeros_like(self) -> "Parameters":
-        return Parameters({k: np.zeros_like(v) for k, v in self._arrays.items()})
+        return self.layout.unflatten(self.layout.zeros())
 
     def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "Parameters":
         return Parameters({k: fn(v) for k, v in self._arrays.items()})
 
-    # -- arithmetic ---------------------------------------------------------
+    # -- functional arithmetic ----------------------------------------------
     def __add__(self, other: "Parameters") -> "Parameters":
         self._require_same_structure(other)
+        if self._flat_pair(other):
+            return self.layout.unflatten(self._flat + other._flat)
         return Parameters({k: v + other[k] for k, v in self._arrays.items()})
 
     def __sub__(self, other: "Parameters") -> "Parameters":
         self._require_same_structure(other)
+        if self._flat_pair(other):
+            return self.layout.unflatten(self._flat - other._flat)
         return Parameters({k: v - other[k] for k, v in self._arrays.items()})
 
     def scale(self, factor: float) -> "Parameters":
+        if self._flat is not None:
+            return self.layout.unflatten(self._flat * factor)
         return Parameters({k: v * factor for k, v in self._arrays.items()})
 
     def axpy(self, alpha: float, other: "Parameters") -> "Parameters":
         """Return ``self + alpha * other``."""
         self._require_same_structure(other)
+        if self._flat_pair(other):
+            return self.layout.unflatten(self._flat + alpha * other._flat)
         return Parameters(
             {k: v + alpha * other[k] for k, v in self._arrays.items()}
         )
@@ -112,39 +305,288 @@ class Parameters(Mapping[str, np.ndarray]):
             np.allclose(v, other[k], atol=atol) for k, v in self._arrays.items()
         )
 
+    # -- in-place arithmetic (zero allocation; byte-identical to functional) -
+    def copy_from_(self, other: "Parameters") -> "Parameters":
+        """``self[:] = other``."""
+        if self._flat_pair(other):
+            np.copyto(self._flat, other._flat)
+            return self
+        self._check_structure_fast(other)
+        for k, v in self._arrays.items():
+            np.copyto(v, other[k])
+        return self
+
+    def zero_(self) -> "Parameters":
+        if self._flat is not None:
+            self._flat.fill(0.0)
+            return self
+        for v in self._arrays.values():
+            v.fill(0.0)
+        return self
+
+    def add_(self, other: "Parameters") -> "Parameters":
+        """``self += other``."""
+        if self._flat_pair(other):
+            np.add(self._flat, other._flat, out=self._flat)
+            return self
+        self._check_structure_fast(other)
+        for k, v in self._arrays.items():
+            np.add(v, other[k], out=v)
+        return self
+
+    def sub_(self, other: "Parameters") -> "Parameters":
+        """``self -= other``."""
+        if self._flat_pair(other):
+            np.subtract(self._flat, other._flat, out=self._flat)
+            return self
+        self._check_structure_fast(other)
+        for k, v in self._arrays.items():
+            np.subtract(v, other[k], out=v)
+        return self
+
+    def scale_(self, factor: float) -> "Parameters":
+        """``self *= factor``."""
+        if self._flat is not None:
+            np.multiply(self._flat, factor, out=self._flat)
+            return self
+        for v in self._arrays.values():
+            np.multiply(v, factor, out=v)
+        return self
+
+    def axpy_(
+        self,
+        alpha: float,
+        other: "Parameters",
+        scratch: np.ndarray | None = None,
+    ) -> "Parameters":
+        """``self += alpha * other``.
+
+        Pass a flat ``scratch`` buffer of ``num_parameters`` entries to
+        make the call allocation-free (the product ``alpha * other`` must
+        be materialised before the add to match the functional op order).
+        """
+        if self._flat_pair(other):
+            if scratch is None:
+                scratch = np.empty_like(self._flat)
+            np.multiply(other._flat, alpha, out=scratch)
+            np.add(self._flat, scratch, out=self._flat)
+            return self
+        self._check_structure_fast(other)
+        views = self.layout.views(scratch) if scratch is not None else None
+        for k, v in self._arrays.items():
+            s = views[k] if views is not None else np.empty_like(v)
+            np.multiply(other[k], alpha, out=s)
+            np.add(v, s, out=v)
+        return self
+
+    def clip_by_norm_(self, max_norm: float) -> "Parameters":
+        """In-place :meth:`clip_by_norm`."""
+        norm = self.l2_norm()
+        if norm <= max_norm or norm == 0.0:
+            return self
+        return self.scale_(max_norm / norm)
+
     # -- flattening (Secure Aggregation / compression operate on vectors) ---
-    def to_vector(self) -> np.ndarray:
-        """Concatenate all arrays into a single 1-D float64 vector."""
+    def to_vector(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Concatenate all arrays into a single 1-D float64 vector.
+
+        With ``out`` provided the copy is written there (no allocation);
+        the result is always independent storage, never a view of self.
+        """
+        if out is not None:
+            if out.size != self.num_parameters:
+                raise ValueError(
+                    f"out has {out.size} entries, structure needs "
+                    f"{self.num_parameters}"
+                )
+            if self._flat is not None:
+                np.copyto(out, self._flat)
+            else:
+                layout = self.layout
+                for name, off, size in zip(
+                    layout.names, layout.offsets, layout.sizes
+                ):
+                    out[off : off + size] = self._arrays[name].ravel()
+            return out
         if not self._arrays:
             return np.zeros(0, dtype=np.float64)
+        if self._flat is not None:
+            return self._flat.copy()
         return np.concatenate([a.ravel() for a in self._arrays.values()])
 
     def from_vector(self, vector: np.ndarray) -> "Parameters":
-        """Reshape a flat vector back into this collection's structure."""
+        """Reshape a flat vector back into this collection's structure.
+
+        The result is flat-backed: its arrays are *views* of ``vector``.
+        """
         vector = np.asarray(vector, dtype=np.float64)
         if vector.size != self.num_parameters:
             raise ValueError(
                 f"vector has {vector.size} entries, structure needs "
                 f"{self.num_parameters}"
             )
-        out: dict[str, np.ndarray] = {}
-        offset = 0
-        for name, arr in self._arrays.items():
-            out[name] = vector[offset : offset + arr.size].reshape(arr.shape)
-            offset += arr.size
-        return Parameters(out)
+        return self.layout.unflatten(vector)
+
+
+class ParameterAccumulator:
+    """Streaming ``(Σ w_k · x_k, Σ w_k)`` accumulator owning its buffers.
+
+    One accumulator owns one flat sum buffer (plus one scratch buffer for
+    weighted adds) per parameter structure; folding an update in performs
+    zero allocations.  The fold order is exactly the functional chain
+    ``acc = x_0 * w_0; acc = acc + w_k * x_k``, so results are
+    byte-identical to :func:`weighted_mean` / the old ``delta_sum +
+    vector`` aggregation loop.
+    """
+
+    __slots__ = ("_layout", "_dim", "_sum", "_scratch", "_weight_sum", "_count")
+
+    def __init__(self, dim: int | None = None, layout: ParameterLayout | None = None):
+        if dim is None and layout is None:
+            raise ValueError("need dim or layout")
+        self._layout = layout
+        self._dim = int(layout.total_size if dim is None else dim)
+        if layout is not None and dim is not None and dim != layout.total_size:
+            raise ValueError(f"dim {dim} != layout size {layout.total_size}")
+        self._sum = np.zeros(self._dim, dtype=np.float64)
+        self._scratch: np.ndarray | None = None  # allocated on first weighted add
+        self._weight_sum = 0.0
+        self._count = 0
+
+    @classmethod
+    def like(cls, params: Parameters) -> "ParameterAccumulator":
+        return cls(layout=params.layout)
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Updates folded in since the last reset."""
+        return self._count
+
+    @property
+    def weight_sum(self) -> float:
+        return self._weight_sum
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def sum_vector(self) -> np.ndarray:
+        """The live ``Σ w_k · x_k`` buffer (not a copy — see module doc)."""
+        return self._sum
+
+    def reset(self) -> None:
+        self._sum.fill(0.0)
+        self._weight_sum = 0.0
+        self._count = 0
+
+    # -- folding -------------------------------------------------------------
+    def _scratch_buffer(self) -> np.ndarray:
+        if self._scratch is None:
+            self._scratch = np.empty(self._dim, dtype=np.float64)
+        return self._scratch
+
+    def add_vector(self, vector: np.ndarray, weight: float = 1.0) -> None:
+        """Fold one flattened update in; ``vector`` is only read."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.size != self._dim:
+            raise ValueError(f"vector has {vector.size} entries, need {self._dim}")
+        if self._count == 0:
+            if weight == 1.0:
+                np.copyto(self._sum, vector)
+            else:
+                np.multiply(vector, weight, out=self._sum)
+        elif weight == 1.0:
+            np.add(self._sum, vector, out=self._sum)
+        else:
+            scratch = self._scratch_buffer()
+            np.multiply(vector, weight, out=scratch)
+            np.add(self._sum, scratch, out=self._sum)
+        self._weight_sum += weight
+        self._count += 1
+
+    def add(self, params: Parameters, weight: float = 1.0) -> None:
+        """Fold one structured update in; ``params`` is only read."""
+        flat = params.flat_base
+        if flat is not None and (self._layout is None or params.layout == self._layout):
+            self.add_vector(flat, weight)
+            return
+        if self._layout is None:
+            raise ValueError(
+                "accumulator built without a layout can only fold flat vectors"
+            )
+        if params.layout != self._layout:
+            raise ValueError("parameter structure does not match accumulator layout")
+        first = self._count == 0
+        for name, off, size, shape in zip(
+            self._layout.names,
+            self._layout.offsets,
+            self._layout.sizes,
+            self._layout.shapes,
+        ):
+            arr = params[name]
+            dst = self._sum[off : off + size].reshape(shape)
+            if first:
+                if weight == 1.0:
+                    np.copyto(dst, arr)
+                else:
+                    np.multiply(arr, weight, out=dst)
+            elif weight == 1.0:
+                np.add(dst, arr, out=dst)
+            else:
+                scr = self._scratch_buffer()[off : off + size].reshape(shape)
+                np.multiply(arr, weight, out=scr)
+                np.add(dst, scr, out=dst)
+        self._weight_sum += weight
+        self._count += 1
+
+    # -- results -------------------------------------------------------------
+    def mean_vector(self, out: np.ndarray | None = None) -> np.ndarray:
+        """``Σ w_k x_k / Σ w_k`` as a flat vector (freshly owned unless
+        ``out`` is given; ``out`` may alias :attr:`sum_vector`)."""
+        if self._count == 0:
+            raise ValueError("cannot average an empty accumulator")
+        if self._weight_sum <= 0:
+            raise ValueError(
+                f"total weight must be positive, got {self._weight_sum}"
+            )
+        if out is None:
+            out = np.empty(self._dim, dtype=np.float64)
+        np.multiply(self._sum, 1.0 / self._weight_sum, out=out)
+        return out
+
+    def mean(self) -> Parameters:
+        """The weighted mean as freshly-allocated structured ``Parameters``."""
+        if self._layout is None:
+            raise ValueError("accumulator has no layout; use mean_vector()")
+        return self._layout.unflatten(self.mean_vector())
+
+    def scaled_sum(self, factor: float, out: np.ndarray | None = None) -> np.ndarray:
+        """``factor * Σ w_k x_k`` — for callers that track their own divisor
+        (FedAvg folds pre-weighted deltas with fold-weight 1 and divides by
+        the separately-summed example counts)."""
+        if out is None:
+            out = np.empty(self._dim, dtype=np.float64)
+        np.multiply(self._sum, factor, out=out)
+        return out
 
 
 def weighted_mean(
     updates: list[tuple[Parameters, float]]
 ) -> Parameters:
-    """``sum_k w_k * p_k / sum_k w_k`` — the FedAvg combination rule."""
+    """``sum_k w_k * p_k / sum_k w_k`` — the FedAvg combination rule.
+
+    Single-pass streaming implementation: one accumulator buffer, one
+    scratch buffer, zero allocations per update — byte-identical to the
+    original functional chain ``acc = p_0.scale(w_0); acc = acc.axpy(w, p)``.
+    """
     if not updates:
         raise ValueError("cannot average an empty update list")
     total_weight = sum(w for _, w in updates)
     if total_weight <= 0:
         raise ValueError(f"total weight must be positive, got {total_weight}")
-    acc = updates[0][0].scale(updates[0][1])
-    for params, w in updates[1:]:
-        acc = acc.axpy(w, params)
-    return acc.scale(1.0 / total_weight)
+    acc = ParameterAccumulator.like(updates[0][0])
+    for params, w in updates:
+        acc.add(params, w)
+    return acc.mean()

@@ -4,39 +4,64 @@ The loop is the single source of time for the whole system.  Events fire in
 ``(time, sequence)`` order, so two events scheduled for the same instant fire
 in the order they were scheduled — this makes every simulation run exactly
 reproducible for a given seed.
+
+The heap stores plain ``(time, seq, event)`` tuples so ordering comparisons
+run at C speed (``seq`` is unique, so the ``event`` payload is never
+compared).  Cancelled events are tracked with an O(1) live count, and the
+heap is compacted once more than half of it is dead weight — pace steering
+can cancel thousands of check-in timers per simulated day, and before
+compaction those corpses survived on the heap (and made ``__len__`` an O(n)
+scan) until their fire time came around.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
+
+#: Compact only when the heap is at least this large (tiny heaps aren't
+#: worth the rebuild churn).
+_COMPACT_MIN_SIZE = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (negative delay, time travel)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Returned by :meth:`EventLoop.schedule`.
+    """A scheduled callback.  Returned by :meth:`EventLoop.schedule`."""
 
-    Events compare by ``(time, seq)`` which is what the heap orders on.
-    """
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_popped", "_loop")
 
-    time: float
-    seq: int
-    fn: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        loop: "EventLoop | None" = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._popped = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if not self._popped and self._loop is not None:
+                self._loop._on_cancelled(self)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{state})"
 
 
 class EventLoop:
@@ -51,8 +76,9 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._cancelled_pending = 0
         self._events_processed = 0
 
     @property
@@ -65,7 +91,13 @@ class EventLoop:
         return self._events_processed
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) scheduled events — O(1)."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def heap_size(self) -> int:
+        """Heap entries including not-yet-collected cancelled events."""
+        return len(self._heap)
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -79,15 +111,39 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule at t={when} < now={self._now}"
             )
-        event = Event(time=float(when), seq=next(self._seq), fn=fn, args=args)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(float(when), seq, fn, args, loop=self)
+        heapq.heappush(self._heap, (event.time, seq, event))
         return event
+
+    # -- cancellation bookkeeping --------------------------------------------
+    def _on_cancelled(self, event: Event) -> None:
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending * 2 > len(self._heap)
+            and len(self._heap) >= _COMPACT_MIN_SIZE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Heap order is fully determined by the ``(time, seq)`` keys, so
+        rebuilding cannot change the firing order of live events.  The
+        list is mutated in place: ``run`` holds an alias to it.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     def step(self) -> bool:
         """Process the next pending event.  Returns False when none remain."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            _, _, event = heapq.heappop(self._heap)
+            event._popped = True
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -108,16 +164,23 @@ class EventLoop:
         consistent end time.
         """
         processed = 0
-        while self._heap:
-            nxt = self._heap[0]
-            if nxt.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            when, _, event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                event._popped = True
+                self._cancelled_pending -= 1
                 continue
-            if until is not None and nxt.time > until:
+            if until is not None and when > until:
                 break
             if max_events is not None and processed >= max_events:
                 return processed
-            self.step()
+            heapq.heappop(heap)
+            event._popped = True
+            self._now = when
+            self._events_processed += 1
+            event.fn(*event.args)
             processed += 1
         if until is not None and self._now < until:
             self._now = until

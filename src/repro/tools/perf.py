@@ -1,0 +1,621 @@
+"""Hot-path performance harness for the buffered model plane.
+
+Times the model-update hot paths in both execution modes on pinned
+workloads and emits a JSON report (``BENCH_hotpath.json`` at the repo
+root), seeding the perf trajectory that every future PR is measured
+against.  Run it via::
+
+    PYTHONPATH=src python benchmarks/perf/run.py            # full, writes JSON
+    PYTHONPATH=src python benchmarks/perf/run.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/perf/run.py --check BENCH_hotpath.json
+
+What is measured (see ROADMAP.md "Performance" for how to read it):
+
+* ``client_update`` — local-SGD steps/sec through
+  :func:`repro.core.fedavg.client_update` with the gradient source pinned
+  (a fixed-gradient model), isolating the *parameter-plane* cost the PR
+  rebuilt — exactly the "allocation churn rather than FLOPs" called out
+  in the issue.  ``client_update_e2e`` reports the same comparison with a
+  real model's forward/backward included.
+* ``sgd_step`` — a bare optimizer step, functional vs in-place.
+* ``aggregator_fold`` — folding a round's client deltas into the global
+  aggregate: the pre-buffering functional path (``Parameters``-level
+  ``delta_sum + delta`` chain, exactly the old
+  ``FederatedAveraging.aggregate``) vs the streaming
+  :class:`~repro.nn.parameters.ParameterAccumulator` over the flat
+  vectors the buffered pipeline emits.  ``vector_fold`` reports the
+  leaf-aggregator flat-vector fold on its own.
+* ``weighted_mean`` — the FedAvg combination rule, old functional chain
+  vs the streaming implementation.
+* ``fleet_run_days`` — simulated days/sec of a small pinned
+  ``FLFleet.run_days`` with real on-device training, run in functional
+  then buffered mode (the module-level A/B switch).
+* ``event_loop`` — scheduler throughput under timer-cancel churn (the
+  pace-steering pattern that used to leak cancelled events).
+
+Every functional/buffered pair is asserted byte-identical before it is
+timed; the harness refuses to report a speedup for paths that diverge.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.datasets import ClientDataset
+from repro.core.fedavg import ClientUpdateBuffers, client_update
+from repro.nn.models import LogisticRegression, MLPClassifier, Model
+from repro.nn.optimizers import SGD, SGDConfig
+from repro.nn.parameters import (
+    ParameterAccumulator,
+    Parameters,
+    set_buffered_math,
+)
+from repro.sim.event_loop import EventLoop
+
+SCHEMA = "repro-hotpath-bench/v1"
+
+#: Benchmarks whose speedup the CI perf-smoke job guards against
+#: regression (>30% drop vs the committed reference fails the build).
+GUARDED = ("client_update", "sgd_step", "aggregator_fold", "fleet_run_days")
+
+
+# ---------------------------------------------------------------------------
+# timing utilities
+
+
+def _time_per_call(fn: Callable[[], object], repeats: int, inner: int = 1) -> float:
+    """Best-of-``repeats`` seconds per ``fn()`` call (min is robust to
+    scheduler noise on shared CI runners)."""
+    fn()  # warm-up: allocators, caches, lazy buffers
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best
+
+
+def _time_pair(
+    functional: Callable[[], object],
+    buffered: Callable[[], object],
+    repeats: int,
+    inner: int = 1,
+) -> tuple[float, float]:
+    """Time a functional/buffered pair in interleaved blocks.
+
+    Alternating the two sides within one measurement keeps slow drift in
+    machine or allocator state from landing entirely on one side of the
+    ratio; each side keeps its own best block."""
+    blocks = max(2, repeats // 2)
+    tf = _time_per_call(functional, blocks, inner)
+    tb = _time_per_call(buffered, blocks, inner)
+    tf = min(tf, _time_per_call(functional, blocks, inner))
+    tb = min(tb, _time_per_call(buffered, blocks, inner))
+    return tf, tb
+
+
+def _pair(
+    name: str,
+    unit: str,
+    functional_s: float,
+    buffered_s: float,
+    workload: str,
+) -> dict:
+    return {
+        "workload": workload,
+        "unit": unit,
+        f"functional_{unit}": 1.0 / functional_s,
+        f"buffered_{unit}": 1.0 / buffered_s,
+        "functional_seconds": functional_s,
+        "buffered_seconds": buffered_s,
+        "speedup": functional_s / buffered_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pinned workloads
+
+
+class _PinnedGradientModel(Model):
+    """A model whose gradient *values* are precomputed constants.
+
+    Gradient production keeps each path's real mechanics but pins its
+    cost to one structure-sized write: the functional path gets a fresh
+    allocated copy per step (as a real backward pass produces), the
+    buffered path gets the same values written into its reusable buffer
+    (as the ``loss_and_grad_into`` overrides do).  What remains is the
+    parameter-plane math (step / delta / flatten) that this PR rebuilt —
+    the "allocation churn rather than FLOPs" from the issue.
+    """
+
+    def __init__(self, template: Parameters, rng: np.random.Generator):
+        grads = Parameters(
+            {k: rng.normal(0.0, 1e-2, v.shape) for k, v in template.items()}
+        )
+        # Flat-backed, as a buffered backward pass would produce them.
+        self._grads = template.layout.unflatten(grads.to_vector())
+
+    @property
+    def num_classes(self) -> int:
+        return 2
+
+    def init(self, rng: np.random.Generator) -> Parameters:
+        raise NotImplementedError("pinned model is never initialised")
+
+    def logits(self, params: Parameters, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError("pinned model has no forward pass")
+
+    def loss_and_grad(
+        self, params: Parameters, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, Parameters]:
+        return 1.0, self._grads.copy()
+
+    def loss_and_grad_into(
+        self, params: Parameters, x: np.ndarray, y: np.ndarray, out: Parameters
+    ) -> float:
+        out.copy_from_(self._grads)
+        return 1.0
+
+
+def _ranking_mlp() -> MLPClassifier:
+    """The Sec. 8 on-device item-ranking workload shape (~5.5k params in
+    6 arrays — the small multi-array regime typical of on-device models,
+    where per-array dispatch and allocation dominate the parameter math)."""
+    return MLPClassifier(input_dim=96, hidden_dims=(48, 24), n_classes=8)
+
+
+def _deep_stack_mlp() -> MLPClassifier:
+    """A deep narrow on-device stack (12 arrays, ~7.7k params) — the
+    many-small-arrays regime of layered keyboard models, where the
+    functional path pays per-array dict/allocation churn on every step."""
+    return MLPClassifier(input_dim=64, hidden_dims=(48, 40, 32, 24, 16), n_classes=8)
+
+
+# ---------------------------------------------------------------------------
+# microbenchmarks
+
+
+def bench_sgd_step(repeats: int) -> dict:
+    rng = np.random.default_rng(2019)
+    params = _deep_stack_mlp().init(rng)
+    grads = Parameters({k: rng.normal(0.0, 1e-2, v.shape) for k, v in params.items()})
+    cfg = SGDConfig(learning_rate=0.1, momentum=0.9, weight_decay=1e-4)
+
+    functional_opt = SGD(cfg)
+    state = {"w": params}
+
+    def functional():
+        state["w"] = functional_opt.step(state["w"], grads)
+
+    layout = params.layout
+    flat = params.to_vector()
+    work = layout.unflatten(flat)
+    gflat = layout.unflatten(grads.to_vector())
+    buffered_opt = SGD(cfg)
+
+    def buffered():
+        buffered_opt.step_(work, gflat)
+
+    # Equivalence before timing: run one step of each from the same state.
+    check_w = params.copy()
+    a = SGD(cfg).step(check_w, grads)
+    b = SGD(cfg).step_(layout.unflatten(check_w.to_vector()), gflat)
+    if not np.array_equal(a.to_vector(), b.to_vector()):
+        raise AssertionError("sgd_step paths diverged")
+
+    tf, tb = _time_pair(functional, buffered, repeats, inner=20)
+    return _pair(
+        "sgd_step",
+        "steps_per_sec",
+        tf,
+        tb,
+        "7.7k-param 12-array layered model, momentum 0.9, weight decay 1e-4",
+    )
+
+
+def _client_update_pair(
+    model: Model,
+    params: Parameters,
+    dataset: ClientDataset,
+    steps_hint: int,
+    repeats: int,
+) -> tuple[float, float]:
+    """Seconds per client_update call, functional then buffered."""
+    kwargs = dict(epochs=2, batch_size=16, learning_rate=0.1, clip_update_norm=5.0)
+
+    def functional():
+        return client_update(
+            model, params, dataset, rng=np.random.default_rng(7), **kwargs
+        )
+
+    buffers = ClientUpdateBuffers.for_structure(params)
+
+    def buffered():
+        return client_update(
+            model, params, dataset, rng=np.random.default_rng(7),
+            buffers=buffers, **kwargs,
+        )
+
+    a, b = functional(), buffered()
+    if not np.array_equal(a.delta.to_vector(), b.delta.to_vector()):
+        raise AssertionError("client_update paths diverged")
+    if (a.mean_loss, a.steps) != (b.mean_loss, b.steps):
+        raise AssertionError("client_update metrics diverged")
+    assert a.steps >= steps_hint
+    return _time_pair(functional, buffered, repeats)
+
+
+def bench_client_update(repeats: int) -> dict:
+    """Parameter-plane client update: gradient values pinned, gradient
+    production reduced to one structure write per step in both modes."""
+    rng = np.random.default_rng(2019)
+    params = _deep_stack_mlp().init(rng)
+    model = _PinnedGradientModel(params, rng)
+    n = 320  # 2 epochs x 320/16 -> 40 local steps
+    dataset = ClientDataset("bench", rng.normal(size=(n, 4)), rng.integers(0, 2, n))
+    tf, tb = _client_update_pair(model, params, dataset, 40, repeats)
+    steps = 40
+    out = _pair(
+        "client_update",
+        "updates_per_sec",
+        tf,
+        tb,
+        "40 local steps on a 7.7k-param 12-array layered model, gradient "
+        "production pinned to one structure write per step in both modes "
+        "(isolates the parameter-plane math this PR rebuilt)",
+    )
+    out["functional_steps_per_sec"] = steps / tf
+    out["buffered_steps_per_sec"] = steps / tb
+    return out
+
+
+def bench_client_update_e2e(repeats: int) -> dict:
+    """Whole client update with a real forward/backward included."""
+    rng = np.random.default_rng(2019)
+    model = LogisticRegression(input_dim=1024, n_classes=96)
+    params = model.init(rng)
+    n = 320
+    x = rng.normal(size=(n, 1024))
+    y = rng.integers(0, 96, size=n)
+    dataset = ClientDataset("bench", x, y)
+    tf, tb = _client_update_pair(model, params, dataset, 40, repeats)
+    return _pair(
+        "client_update_e2e",
+        "updates_per_sec",
+        tf,
+        tb,
+        "40 local steps on the 98k-param model incl. real forward/backward "
+        "(FLOPs unchanged by this PR, so the plane speedup is diluted)",
+    )
+
+
+def _make_round_updates(
+    rng: np.random.Generator, structure: Parameters, cohort: int
+) -> list[tuple[Parameters, float]]:
+    updates = []
+    for _ in range(cohort):
+        p = Parameters(
+            {k: rng.normal(0.0, 1e-3, v.shape) for k, v in structure.items()}
+        )
+        updates.append((p, float(rng.integers(10, 200))))
+    return updates
+
+
+def bench_aggregator_fold(repeats: int) -> dict:
+    """Fold one round's accepted deltas into the global aggregate."""
+    rng = np.random.default_rng(2019)
+    structure = _ranking_mlp().init(rng)
+    cohort = 100
+    updates = _make_round_updates(rng, structure, cohort)
+
+    def functional():
+        # Pre-buffering FederatedAveraging.aggregate: Parameters-level
+        # re-allocating chain.
+        delta_sum = updates[0][0].copy()
+        weight_sum = updates[0][1]
+        for p, w in updates[1:]:
+            delta_sum = delta_sum + p
+            weight_sum += w
+        return delta_sum.scale(1.0 / weight_sum).to_vector()
+
+    # The buffered pipeline hands the aggregator flat vectors (clients
+    # emit flat weighted deltas); pre-flattening is not part of the fold.
+    flats = [p.to_vector() for p, _ in updates]
+    weights = [w for _, w in updates]
+    acc = ParameterAccumulator(dim=flats[0].size)
+
+    def buffered():
+        acc.reset()
+        weight_sum = weights[0]
+        acc.add_vector(flats[0], 1.0)
+        for f, w in zip(flats[1:], weights[1:]):
+            acc.add_vector(f, 1.0)
+            weight_sum += w
+        return acc.scaled_sum(1.0 / weight_sum, out=acc.sum_vector)
+
+    if not np.array_equal(functional(), buffered()):
+        raise AssertionError("aggregator_fold paths diverged")
+
+    tf, tb = _time_pair(functional, buffered, repeats)
+    out = _pair(
+        "aggregator_fold",
+        "rounds_per_sec",
+        tf,
+        tb,
+        f"{cohort}-device cohort, 5.5k-param 6-array ranking model "
+        "(per-round fold into the global aggregate)",
+    )
+    out["functional_folds_per_sec"] = cohort / tf
+    out["buffered_folds_per_sec"] = cohort / tb
+    return out
+
+
+def bench_weighted_mean(repeats: int) -> dict:
+    from repro.nn.parameters import weighted_mean
+
+    rng = np.random.default_rng(2019)
+    structure = _ranking_mlp().init(rng)
+    updates = _make_round_updates(rng, structure, 50)
+
+    def functional():
+        acc = updates[0][0].scale(updates[0][1])
+        for p, w in updates[1:]:
+            acc = acc.axpy(w, p)
+        total = sum(w for _, w in updates)
+        return acc.scale(1.0 / total)
+
+    def buffered():
+        return weighted_mean(updates)
+
+    if not np.array_equal(functional().to_vector(), buffered().to_vector()):
+        raise AssertionError("weighted_mean paths diverged")
+    tf, tb = _time_pair(functional, buffered, repeats)
+    return _pair(
+        "weighted_mean", "calls_per_sec", tf, tb,
+        "50 weighted updates, 5.5k-param 6-array structure",
+    )
+
+
+def bench_vector_fold(repeats: int) -> dict:
+    """Leaf-aggregator flat-vector fold (memory-bound; smaller win)."""
+    rng = np.random.default_rng(2019)
+    dim = 98_400
+    vectors = [rng.normal(0.0, 1e-3, dim) for _ in range(50)]
+
+    def functional():
+        delta_sum = vectors[0].copy()
+        for v in vectors[1:]:
+            delta_sum = delta_sum + v
+        return delta_sum
+
+    acc = ParameterAccumulator(dim=dim)
+
+    def buffered():
+        acc.reset()
+        for v in vectors:
+            acc.add_vector(v, 1.0)
+        return acc.sum_vector
+
+    if not np.array_equal(functional(), buffered()):
+        raise AssertionError("vector_fold paths diverged")
+    tf, tb = _time_pair(functional, buffered, repeats)
+    return _pair(
+        "vector_fold", "rounds_per_sec", tf, tb,
+        "50 flat 98k-dim report vectors per round (leaf aggregator)",
+    )
+
+
+def bench_event_loop(repeats: int) -> dict:
+    """Scheduler throughput under pace-steering-style cancel churn."""
+    def churn() -> int:
+        loop = EventLoop()
+        pending = []
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        for i in range(20_000):
+            event = loop.schedule(float(i % 97) + 1.0, tick)
+            pending.append(event)
+            if len(pending) >= 8:
+                # Cancel most of the backlog, as pace steering does when
+                # it reshuffles a device's check-in timer.
+                for e in pending[:7]:
+                    e.cancel()
+                del pending[:7]
+        live = len(loop)
+        loop.run()
+        assert fired[0] == live
+        return loop.events_processed
+
+    t = _time_per_call(churn, max(2, repeats // 2))
+    return {
+        "workload": "20k schedules with 7/8 cancelled (pace-steering churn)",
+        "unit": "ops_per_sec",
+        "ops_per_sec": 20_000 / t,
+        "seconds": t,
+    }
+
+
+# ---------------------------------------------------------------------------
+# fleet benchmark
+
+
+def _build_bench_fleet(seed: int, devices: int):
+    from repro import FLFleet
+    from repro.core.config import ClientTrainingConfig, RoundConfig, TaskConfig
+    from repro.device.example_store import ExampleStore
+    from repro.device.runtime import RealTrainer
+    from repro.device.scheduler import JobSchedule
+    from repro.sim.diurnal import DiurnalModel
+    from repro.sim.population import PopulationConfig
+
+    init_rng = np.random.default_rng(0)
+    init_params = _deep_stack_mlp().init(init_rng)
+    # Gradient production pinned fleet-wide (as in bench_client_update):
+    # run_days then measures the parameter plane plus the full protocol
+    # plumbing — plans, checkpoints, uploads, aggregation — end to end.
+    model = _PinnedGradientModel(init_params, init_rng)
+    data_rng = np.random.default_rng(4242)
+
+    def trainer_factory(profile):
+        store = ExampleStore(ttl_s=None)
+        x = data_rng.normal(size=(96, 4))
+        y = data_rng.integers(0, 2, size=96)
+        store.add_batch(x, y, timestamp_s=0.0)
+        return RealTrainer(model=model, store=store)
+
+    task = TaskConfig(
+        task_id="bench",
+        population_name="pop",
+        round_config=RoundConfig(target_participants=10),
+        # Small on-device batches, as the paper's keyboard workloads use:
+        # 2 epochs x 96/4 -> 48 local steps per session.
+        client_config=ClientTrainingConfig(
+            epochs=2, batch_size=4, learning_rate=0.1
+        ),
+    )
+    return (
+        FLFleet.builder()
+        .seed(seed)
+        .devices(PopulationConfig(num_devices=devices))
+        # Benchmark cadence: frequent check-ins and flat high availability
+        # so the short simulated window is dense with training sessions
+        # (this measures the hot paths, not diurnal dynamics).
+        .job(JobSchedule(600.0, 0.5))
+        .diurnal(DiurnalModel(amplitude=0.0, base_eligible_fraction=0.7,
+                              mean_eligible_minutes=240.0))
+        .population("pop", tasks=[task], model=init_params,
+                    trainer_factory=trainer_factory)
+        .build()
+    )
+
+
+def bench_fleet_run_days(days: float, devices: int, repeats: int = 3) -> dict:
+    def run(buffered: bool):
+        previous = set_buffered_math(buffered)
+        try:
+            fleet = _build_bench_fleet(seed=2019, devices=devices)
+            t0 = time.perf_counter()
+            fleet.run_days(days)
+            elapsed = time.perf_counter() - t0
+            report = fleet.report().to_operational_dict()
+        finally:
+            set_buffered_math(previous)
+        return elapsed, report
+
+    # Interleave modes and keep the best of each: run_days is seconds-long
+    # and a single noisy-neighbour stall would otherwise swamp the ratio.
+    tf = tb = float("inf")
+    report_f = report_b = None
+    for _ in range(repeats):
+        elapsed_f, rep_f = run(False)
+        elapsed_b, rep_b = run(True)
+        tf, tb = min(tf, elapsed_f), min(tb, elapsed_b)
+        report_f = rep_f if report_f is None else report_f
+        report_b = rep_b if report_b is None else report_b
+        if rep_f != report_f or rep_b != report_b:
+            raise AssertionError("fleet runs are not deterministic")
+    if report_f != report_b:
+        raise AssertionError("fleet modes diverged (RunReports differ)")
+    out = _pair(
+        "fleet_run_days",
+        "sim_days_per_sec",
+        tf / days,
+        tb / days,
+        f"{devices}-device fleet, {days} simulated days, 48 steps/session "
+        "on the 7.7k-param 12-array model with gradient production pinned "
+        "(parameter plane + full protocol plumbing; see client_update_e2e "
+        "for the FLOPs-diluted per-client ratio)",
+    )
+    out["identical_run_reports"] = True
+    return out
+
+
+# ---------------------------------------------------------------------------
+# harness entry points
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    repeats: int = 20
+    fleet_days: float = 0.1
+    fleet_devices: int = 60
+
+    @classmethod
+    def quick(cls) -> "HarnessConfig":
+        return cls(repeats=6, fleet_days=0.05, fleet_devices=40)
+
+
+def run_harness(config: HarnessConfig | None = None, include_fleet: bool = True) -> dict:
+    config = config or HarnessConfig()
+    # Allocation-sensitive comparisons run first, before earlier benches
+    # have warmed the allocator's free lists for the functional baseline.
+    results = {
+        "aggregator_fold": bench_aggregator_fold(config.repeats),
+        "sgd_step": bench_sgd_step(config.repeats),
+        "client_update": bench_client_update(config.repeats),
+        "client_update_e2e": bench_client_update_e2e(max(3, config.repeats // 2)),
+        "weighted_mean": bench_weighted_mean(config.repeats),
+        "vector_fold": bench_vector_fold(max(3, config.repeats // 2)),
+        "event_loop": bench_event_loop(max(3, config.repeats // 2)),
+    }
+    if include_fleet:
+        results["fleet_run_days"] = bench_fleet_run_days(
+            config.fleet_days,
+            config.fleet_devices,
+            repeats=3 if config.repeats >= 10 else 2,
+        )
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {
+            "repeats": config.repeats,
+            "fleet_days": config.fleet_days,
+            "fleet_devices": config.fleet_devices,
+        },
+        "guarded": list(GUARDED),
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+
+def check_against_reference(
+    report: dict, reference: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Regression check: guarded speedups may not drop more than
+    ``tolerance`` (relative) below the committed reference.  Speedup
+    ratios are compared — not wall times — so the check is stable across
+    differently-sized CI machines."""
+    failures = []
+    for name in reference.get("guarded", GUARDED):
+        ref = reference["results"].get(name, {}).get("speedup")
+        new = report["results"].get(name, {}).get("speedup")
+        if ref is None or new is None:
+            failures.append(f"{name}: missing from report or reference")
+            continue
+        floor = ref * (1.0 - tolerance)
+        if new < floor:
+            failures.append(
+                f"{name}: speedup {new:.2f}x regressed below {floor:.2f}x "
+                f"(reference {ref:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures

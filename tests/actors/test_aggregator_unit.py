@@ -169,3 +169,87 @@ def test_secagg_flush_with_non_reporting_devices():
     np.testing.assert_allclose(
         partial.delta_sum, sum(vectors.values()), atol=1e-3
     )
+
+
+# -- buffered fold path -------------------------------------------------------
+
+def accept_all(agg, ids):
+    for device_id in ids:
+        agg.ack_device(device_id, accepted=True)
+
+
+def test_fold_buffered_and_functional_byte_identical():
+    from repro.nn.parameters import functional_math
+
+    rng = np.random.default_rng(3)
+    vectors = {i: rng.normal(size=32) for i in range(6)}
+    sums = {}
+    for label, buffered in (("buffered", True), ("functional", False)):
+        loop, system, master, agg, agg_ref = make_harness()
+        with functional_math() if not buffered else _noop():
+            for device_id, vec in vectors.items():
+                system.tell(agg_ref, report(device_id, vec, weight=device_id + 1.0))
+            loop.run()
+            accept_all(agg, vectors)
+            partial = agg.flush(accepted_ids=set(vectors))
+        sums[label] = (np.asarray(partial.delta_sum), partial.weight_sum,
+                       partial.device_count)
+    np.testing.assert_array_equal(sums["buffered"][0], sums["functional"][0])
+    assert sums["buffered"][1] == sums["functional"][1]
+    assert sums["buffered"][2] == sums["functional"][2]
+
+
+class _noop:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def test_copy_pending_stages_report_vectors():
+    """With ``copy_pending`` the aggregator owns staged copies: mutating
+    (reusing) the reporter's buffer after upload cannot corrupt the sum,
+    and resolved stagings return to the per-round scratch pool."""
+    loop, system, master, agg, agg_ref = make_harness()
+    agg.copy_pending = True
+    shared = np.ones(8)
+    system.tell(agg_ref, report(1, shared))
+    loop.run()
+    shared[:] = 999.0  # reporter reuses its buffer before the ack resolves
+    agg.ack_device(1, accepted=True)
+    partial = agg.flush(accepted_ids=set())
+    np.testing.assert_array_equal(partial.delta_sum, np.ones(8))
+    assert len(agg._staging_pool) == 1
+    # Rejected reports also return their staging scratch to the pool.
+    loop2, system2, master2, agg2, agg_ref2 = make_harness()
+    agg2.copy_pending = True
+    system2.tell(agg_ref2, report(4, np.ones(8)))
+    loop2.run()
+    agg2.ack_device(4, accepted=False)
+    assert len(agg2._staging_pool) == 1
+    system2.tell(agg_ref2, report(5, np.full(8, 2.0)))
+    loop2.run()
+    assert len(agg2._staging_pool) == 0  # scratch reused, not re-allocated
+
+
+def test_flush_secagg_stacked_augmentation_matches_per_device_concat():
+    """The (n, dim+1) stacked augmentation must feed the protocol exactly
+    what the per-device np.concatenate construction did."""
+    rng = np.random.default_rng(4)
+    secagg = SecAggConfig(enabled=True, group_size=4, threshold_fraction=0.6)
+    loop, system, master, agg, agg_ref = make_harness(secagg=secagg)
+    vectors = {i: rng.normal(size=12) for i in range(4)}
+    for device_id, vec in vectors.items():
+        device = Sink()
+        agg.register_device(device_id, system.spawn(device, f"d{device_id}"))
+        system.tell(agg_ref, report(device_id, vec, weight=device_id + 5.0))
+    loop.run()
+    accept_all(agg, vectors)
+    partial = agg.flush(accepted_ids=set(vectors))
+    assert partial.device_count == 4
+    # The decoded sum approximates sum of vectors and weights (quantized).
+    expected_sum = np.sum(list(vectors.values()), axis=0)
+    np.testing.assert_allclose(partial.delta_sum, expected_sum, atol=1e-3)
+    expected_weight = sum(i + 5.0 for i in vectors)
+    assert abs(partial.weight_sum - expected_weight) < 1e-3

@@ -107,3 +107,78 @@ def test_len_excludes_cancelled():
     loop.schedule(2.0, lambda: None)
     e1.cancel()
     assert len(loop) == 1
+
+
+def test_cancel_after_fire_is_harmless():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    loop.run()
+    event.cancel()   # fired long ago; must not corrupt the live count
+    event.cancel()   # idempotent
+    assert len(loop) == 0
+
+
+def test_mass_cancellation_compacts_heap():
+    """Cancelled events must not linger until their fire time: once they
+    are the majority, the heap is compacted in place."""
+    loop = EventLoop()
+    keep = [loop.schedule(1e6 + i, lambda: None) for i in range(10)]
+    doomed = [loop.schedule(2e6 + i, lambda: None) for i in range(1000)]
+    assert loop.heap_size == 1010
+    for event in doomed:
+        event.cancel()
+    assert len(loop) == 10          # O(1) live count
+    # Corpses were dropped without being popped; only a sub-floor residue
+    # (heaps smaller than the compaction minimum) may remain.
+    assert loop.heap_size < 64
+    del keep
+
+
+def test_compaction_preserves_firing_order():
+    loop = EventLoop()
+    fired = []
+    events = []
+    for i in range(300):
+        events.append(loop.schedule(float(i % 7) + 1.0, fired.append, i))
+    cancelled = {i for i in range(300) if i % 3 != 0}
+    for i in cancelled:
+        events[i].cancel()
+    loop.run()
+    survivors = [i for i in range(300) if i not in cancelled]
+    expected = sorted(survivors, key=lambda i: (float(i % 7) + 1.0, i))
+    assert fired == expected
+
+
+def test_small_heaps_are_not_compacted():
+    loop = EventLoop()
+    events = [loop.schedule(float(i) + 1.0, lambda: None) for i in range(10)]
+    for event in events[:8]:
+        event.cancel()
+    assert len(loop) == 2
+    assert loop.heap_size == 10  # below the compaction floor: left in place
+    loop.run()
+    assert len(loop) == 0 and loop.heap_size == 0
+
+
+def test_cancel_during_run_keeps_count_consistent():
+    loop = EventLoop()
+    later = [loop.schedule(5.0 + i, lambda: None) for i in range(200)]
+
+    def cancel_most():
+        for event in later[:150]:
+            event.cancel()
+
+    loop.schedule(1.0, cancel_most)
+    processed = loop.run()
+    assert processed == 1 + 50
+    assert len(loop) == 0
+
+
+def test_events_processed_excludes_cancelled():
+    loop = EventLoop()
+    a = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    a.cancel()
+    loop.run()
+    assert loop.events_processed == 1
