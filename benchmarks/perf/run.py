@@ -31,8 +31,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small repeats / tiny fleet (CI smoke)")
+    parser.add_argument("--scale-quick", action="store_true",
+                        help="full classic benches, CI-sized fleet_scale "
+                             "(1k devices only, reference-length window, no profiling)")
     parser.add_argument("--no-fleet", action="store_true",
                         help="skip the fleet_run_days benchmark")
+    parser.add_argument("--no-scale", action="store_true",
+                        help="skip the fleet_scale benchmark")
     parser.add_argument("--out", default=os.path.join(_REPO_ROOT, "BENCH_hotpath.json"),
                         help="where to write the JSON report (default: repo root)")
     parser.add_argument("--no-write", action="store_true",
@@ -44,7 +49,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     config = perf.HarnessConfig.quick() if args.quick else perf.HarnessConfig()
-    report = perf.run_harness(config, include_fleet=not args.no_fleet)
+    if args.scale_quick:
+        config = config.scale_quick()
+    report = perf.run_harness(
+        config,
+        include_fleet=not args.no_fleet,
+        include_scale=not args.no_scale,
+    )
 
     for name, entry in report["results"].items():
         speedup = entry.get("speedup")
@@ -54,6 +65,31 @@ def main(argv: list[str] | None = None) -> int:
         else:
             line += f" {entry.get('ops_per_sec', 0):,.0f} ops/s  ({entry['workload']})"
         print(line)
+
+    scale = report["results"].get("fleet_scale")
+    if scale is not None:
+        print("  fleet_scale scaling curve:")
+        for count, entry in scale["by_devices"].items():
+            line = (
+                f"    {count:>6s} devices: "
+                f"{entry['vectorized_sim_days_per_sec']:8.3f} sim-days/s vectorized"
+            )
+            if "speedup" in entry:
+                line += (
+                    f", {entry['actor_sim_days_per_sec']:8.3f} actor"
+                    f"  ({entry['speedup']:.2f}x)"
+                )
+            print(line)
+        profile = scale.get("profile")
+        if profile is not None:
+            verdict = "IN TOP-3 (!)" if profile["idle_plane_in_top3"] else "not in top-3"
+            print(
+                f"    profile @ {profile['devices']} devices: idle plane "
+                f"{verdict}; hottest: "
+                + ", ".join(
+                    f["frame"] for f in profile["top_frames"][:3]
+                )
+            )
 
     if not args.no_write:
         perf.write_report(report, args.out)

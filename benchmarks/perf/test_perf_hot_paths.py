@@ -45,24 +45,36 @@ def test_aggregator_fold_speedup(micro_results):
 
 
 def test_streaming_paths_no_slower(micro_results):
-    # The leaf vector fold removes an allocation per report and must win;
-    # streaming weighted_mean trades its allocations for a scratch
-    # multiply and is expected to be a wash (weight-1 folds, the system's
-    # hot path, skip the scratch) — just guard against a real regression.
+    # The leaf vector fold removes an allocation per report and must win.
+    # weighted_mean used to pay per-call accumulator setup and lose to
+    # the functional chain for one-shot means (0.9x); with the cached
+    # per-layout accumulators and prebuilt views it must now win too.
     assert micro_results["vector_fold"]["speedup"] >= 1.0
-    assert micro_results["weighted_mean"]["speedup"] >= 0.7
+    assert micro_results["weighted_mean"]["speedup"] >= 1.0
 
 
 def test_harness_report_shape_and_write(tmp_path):
     report = perf.run_harness(
-        perf.HarnessConfig(repeats=2, fleet_days=0.01, fleet_devices=25)
+        perf.HarnessConfig(
+            repeats=2,
+            fleet_days=0.01,
+            fleet_devices=25,
+            scale_days=0.01,
+            scale_counts=(300,),
+            scale_baseline_counts=(300,),
+            scale_profile_devices=None,
+        )
     )
     assert report["schema"] == perf.SCHEMA
     for name in perf.GUARDED:
         assert name in report["results"], name
         assert report["results"][name]["speedup"] > 0
-    # The fleet benchmark proves functional/buffered RunReport identity.
+    # The fleet benchmark proves functional/buffered RunReport identity;
+    # the scale benchmark proves vectorized-plane determinism.
     assert report["results"]["fleet_run_days"]["identical_run_reports"] is True
+    assert report["results"]["fleet_scale"]["identical_run_reports"] is True
+    assert report["results"]["fleet_scale"]["speedup_by_devices"].keys() == {"300"}
+    assert report["environment"]["git_commit"]
     out = tmp_path / "bench.json"
     perf.write_report(report, str(out))
     loaded = json.loads(out.read_text())

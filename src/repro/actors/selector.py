@@ -78,6 +78,18 @@ class PopulationRoute:
     pool: dict[int, _ConnectedDevice] = field(default_factory=dict)
     forwarding: msg.ForwardDevices | None = None
     stats: SelectorStats = field(default_factory=SelectorStats)
+    #: Memoized pace window for the current instant: a batched sweep can
+    #: reject dozens of devices at one timestamp, and the suggestion only
+    #: depends on (now, demand) — each device still samples its own
+    #: reconnect time inside the shared window.
+    window_cache: tuple[float, int, Any] | None = None
+    #: Screen-admitted devices whose check-in message is still in flight.
+    #: Counted against the pool quota so one batched sweep cannot admit a
+    #: whole cohort into the last free slot.
+    pending_admissions: int = 0
+    #: Cached ``runtime_version -> has compatible plan`` verdicts for the
+    #: fast screen (the plan directory is immutable after deployment).
+    plan_compat: dict[int, bool] = field(default_factory=dict)
 
 
 class Selector(Actor):
@@ -149,17 +161,72 @@ class Selector(Actor):
             total += route.stats
         return total
 
-    def _reject(
-        self, route: PopulationRoute, device_ref: ActorRef, reason: str
-    ) -> None:
+    def _suggest_window(self, route: PopulationRoute):
+        needed = route.forwarding.count if route.forwarding is not None else 100
+        cached = route.window_cache
+        if cached is not None and cached[0] == self.now and cached[1] == needed:
+            return cached[2]
         window = route.pace.suggest_reconnect(
             now_s=self.now,
             population_size=route.population_size,
-            needed_per_round=(
-                route.forwarding.count if route.forwarding is not None else 100
-            ),
+            needed_per_round=needed,
         )
+        route.window_cache = (self.now, needed, window)
+        return window
+
+    def _reject(
+        self, route: PopulationRoute, device_ref: ActorRef, reason: str
+    ) -> None:
+        window = self._suggest_window(route)
         self.tell(device_ref, msg.CheckinRejected(window=window, reason=reason))
+
+    # -- vectorized-plane fast path ------------------------------------------------
+    def fast_checkin_decision(
+        self, population_name: str, device, attestation_ok: bool | None = None
+    ):
+        """Screen a check-in synchronously for the vectorized idle plane.
+
+        Runs the same admission policy as :meth:`_on_checkin` in the same
+        order (attestation, plan compatibility, pause/quota) and returns
+        ``None`` when the device should *materialize* — open a real
+        stream and go through the normal message path — or the rejection
+        ``window`` when it bounces.  Reject-branch counters are updated
+        here; admitted devices are counted by the real check-in message,
+        so nothing is double-counted.
+
+        ``attestation_ok`` lets the plane pass a cached verification
+        verdict (token issue/verify is deterministic per device); when
+        ``None`` a real token is issued and verified.
+        """
+        route = self.routes.get(population_name)
+        if route is None:
+            if not self.routes:
+                # Nothing hosted: the classic path silently drops the
+                # check-in, so let the device materialize into that fate.
+                return None
+            fallback = next(iter(self.routes.values()))
+            fallback.stats.checkins += 1
+            fallback.stats.rejected_unknown_population += 1
+            return self._suggest_window(fallback)
+        if attestation_ok is None:
+            token = device.attestation.issue_token(
+                device.device_id, device.profile.genuine
+            )
+            attestation_ok = self.verify_attestation(token)
+        reason = self._admission_verdict(
+            route,
+            attestation_ok,
+            device.profile.runtime_version,
+            # Unlike the message path, a batched sweep screens many
+            # devices at one instant: in-flight admissions count against
+            # the quota so one sweep cannot over-admit into the pool.
+            count_inflight=True,
+        )
+        if reason is not None:
+            route.stats.checkins += 1
+            return self._suggest_window(route)
+        route.pending_admissions += 1
+        return None
 
     # -- message handling ----------------------------------------------------------
     def receive(self, sender: Optional[ActorRef], message: Any) -> None:
@@ -214,6 +281,35 @@ class Selector(Actor):
                 return
 
     # -- check-in path ---------------------------------------------------------
+    def _admission_verdict(
+        self,
+        route: PopulationRoute,
+        attestation_ok: bool,
+        runtime_version: int,
+        count_inflight: bool,
+    ) -> str | None:
+        """The admission policy, shared verbatim by the message path and
+        the vectorized plane's synchronous screen: returns the rejection
+        reason, or ``None`` to admit.  Updates the matching rejection
+        counter (``stats.checkins`` is the caller's job)."""
+        if not attestation_ok:
+            route.stats.rejected_attestation += 1
+            return "attestation_failed"
+        compatible = route.plan_compat.get(runtime_version)
+        if compatible is None:
+            compatible = route.plans.plan_for_runtime(runtime_version) is not None
+            route.plan_compat[runtime_version] = compatible
+        if not compatible:
+            route.stats.rejected_incompatible += 1
+            return "no_compatible_plan"
+        pooled = len(route.pool)
+        if count_inflight:
+            pooled += route.pending_admissions
+        if self._paused or pooled >= route.pool_cap:
+            route.stats.rejected_quota += 1
+            return "over_quota"
+        return None
+
     def _on_checkin(self, checkin: msg.DeviceCheckin) -> None:
         route = self.routes.get(checkin.population_name)
         if route is None:
@@ -226,17 +322,18 @@ class Selector(Actor):
                 self._reject(fallback, checkin.device_ref, "unknown_population")
             return
         route.stats.checkins += 1
-        if not self.verify_attestation(checkin.attestation_token):
-            route.stats.rejected_attestation += 1
-            self._reject(route, checkin.device_ref, "attestation_failed")
-            return
-        if route.plans.plan_for_runtime(checkin.runtime_version) is None:
-            route.stats.rejected_incompatible += 1
-            self._reject(route, checkin.device_ref, "no_compatible_plan")
-            return
-        if self._paused or len(route.pool) >= route.pool_cap:
-            route.stats.rejected_quota += 1
-            self._reject(route, checkin.device_ref, "over_quota")
+        if route.pending_admissions > 0:
+            # One in-flight screen-admitted check-in has landed (whatever
+            # its fate below).
+            route.pending_admissions -= 1
+        reason = self._admission_verdict(
+            route,
+            self.verify_attestation(checkin.attestation_token),
+            checkin.runtime_version,
+            count_inflight=False,
+        )
+        if reason is not None:
+            self._reject(route, checkin.device_ref, reason)
             return
         device = _ConnectedDevice(
             device_id=checkin.device_id,

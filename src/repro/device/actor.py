@@ -1,11 +1,19 @@
-"""The simulated device: an actor driving the full participation lifecycle.
+"""The simulated device: an actor driving the active participation lifecycle.
 
-One :class:`DeviceActor` per phone.  It owns the eligibility process
-(idle/charging/unmetered, diurnally modulated), the periodic job schedule,
-check-in/pace-steering behaviour, plan download, local training, update
-upload, and every Table 1 event along the way.  Interruption semantics
+One :class:`DeviceActor` per phone.  It owns check-in, plan download,
+local training, update upload, and every Table 1 event along the way —
+the WAITING → PARTICIPATING → reporting pipeline.  Interruption semantics
 follow Sec. 3: "Once started, the FL runtime will abort, freeing the
 allocated resources, if these conditions are no longer met."
+
+The *idle* half of the lifecycle — eligibility flips (idle/charging/
+unmetered, diurnally modulated), the periodic job schedule, and the
+pace-steering pending window — lives in an :class:`repro.device.idle.
+IdleDriver`.  By default each device runs its own timer-based
+:class:`~repro.device.idle.ActorIdleDriver`; a fleet may instead enroll
+its devices in the vectorized :class:`~repro.sim.idle_plane.
+VectorizedIdlePlane`, where idle devices are rows in fleet-wide arrays
+and only materialize as actor interactions when they actually check in.
 
 A device may belong to *several* FL populations (Sec. 2's multi-tenancy:
 one fleet, many learning problems).  Each job-scheduler firing enqueues
@@ -136,15 +144,18 @@ class DeviceActor(Actor):
         self._round_id: int | None = None
         self._aggregator: ActorRef | None = None
         self._generation = 0
-        self._checkin_event = None
         #: Stale-guard timers: cancelled eagerly when their session ends so
         #: they are reclaimed by the event loop's compaction instead of
         #: surviving on the heap until their (guarded no-op) fire time.
         self._waiting_timeout_event = None
         self._ack_timeout_event = None
-        self._pending_window_t: float | None = None
         self._last_checkin_t: float | None = None
         self._wait_epoch = 0
+        # The idle half of the lifecycle.  A fleet may install a handle
+        # into the shared vectorized idle plane before spawning the
+        # actor; otherwise ``on_start`` installs the per-device
+        # timer-based default.
+        self.idle = None  # type: ignore[assignment]
 
     # -- helpers -----------------------------------------------------------------
     @property
@@ -189,32 +200,21 @@ class DeviceActor(Actor):
 
     # -- lifecycle ------------------------------------------------------------
     def on_start(self) -> None:
-        self.eligible = self.availability.is_initially_eligible(self.now)
-        self._schedule_eligibility_flip()
-        if self.eligible:
-            self.state = DeviceState.IDLE
-            if self.memberships:
-                # Stagger the fleet's first check-ins across the job interval.
-                self._schedule_checkin(self.rng.uniform(1.0, self.job.base_interval_s))
-        else:
-            self.state = DeviceState.SLEEPING
+        if self.idle is None:
+            # Import deferred: repro.device.idle needs DeviceState from
+            # this module, so a top-level import would be circular.
+            from repro.device.idle import ActorIdleDriver
 
-    def _schedule_eligibility_flip(self) -> None:
-        if self.eligible:
-            delay = self.availability.time_until_ineligible(self.now)
-        else:
-            delay = self.availability.time_until_eligible(self.now)
-        self.schedule(delay, self._flip_eligibility)
+            self.idle = ActorIdleDriver(self)
+        self.idle.start()
 
-    def _flip_eligibility(self) -> None:
-        self.eligible = not self.eligible
-        self._schedule_eligibility_flip()
-        if not self.eligible:
-            self._on_became_ineligible()
-        else:
-            self._on_became_eligible()
+    def on_eligibility_lost(self) -> None:
+        """Eligibility vanished (driver callback): interrupt any session.
 
-    def _on_became_ineligible(self) -> None:
+        The driver has already updated ``self.eligible`` and owns the
+        idle-side rescheduling; this handles only the active-session
+        teardown (Sec. 3's abort semantics).
+        """
         if self.state is DeviceState.WAITING:
             self._cancel_waiting_timer()
         if self.state is DeviceState.WAITING and self._selector is not None:
@@ -229,7 +229,8 @@ class DeviceActor(Actor):
             # its normal cadence instead of the next eligibility window.
             self.scheduler.abort()
             self._active_population = None
-            self._pending_window_t = self.now + self.job.next_delay(self.rng)
+            self.idle.set_pending_window(self.now + self.job.next_delay(self.rng))
+            self.idle.session_ended()
         elif self.state is DeviceState.PARTICIPATING:
             # Sec. 3: the runtime aborts when conditions are no longer met.
             self._log(DeviceEvent.INTERRUPTED, reason="eligibility_change")
@@ -244,29 +245,24 @@ class DeviceActor(Actor):
                     ),
                 )
             self._end_participation()
+            self.idle.session_ended()
         self.state = DeviceState.SLEEPING
 
-    def _on_became_eligible(self) -> None:
-        self.state = DeviceState.IDLE
-        if not self.memberships:
-            return
-        if self._pending_window_t is not None and self._pending_window_t > self.now:
-            self._schedule_checkin(self._pending_window_t - self.now)
-        else:
-            self._schedule_checkin(self.rng.uniform(1.0, 120.0))
-
     # -- check-in ------------------------------------------------------------
-    def _schedule_checkin(self, delay: float) -> None:
-        if self._checkin_event is not None:
-            self._checkin_event.cancel()
-        self._checkin_event = self.schedule(max(delay, 0.0), self._attempt_checkin)
-
     def _attempt_checkin(self) -> None:
+        started = self._begin_checkin()
+        if started is not None:
+            self._materialize_checkin(started)
+
+    def _begin_checkin(self) -> str | None:
+        """The pre-materialization half of a check-in: guards, the
+        on-device worker-queue dance, and the Selector pick.  Returns the
+        population whose session starts, or ``None`` if nothing does."""
         if not self.eligible or self.state is not DeviceState.IDLE:
-            return
+            return None
         if not self.memberships:
-            return
-        self._pending_window_t = None
+            return None
+        self.idle.clear_pending_window()
         # Every membership wants a session; the on-device worker queue
         # (Sec. 11) serializes them and picks who goes first.
         for membership in self.memberships:
@@ -274,11 +270,16 @@ class DeviceActor(Actor):
         started = self.scheduler.try_start()
         if started is None:
             # Another tenant is training; retry after its session.
-            self._schedule_checkin(self.job.next_delay(self.rng))
-            return
+            self.idle.schedule_checkin(self.job.next_delay(self.rng))
+            return None
         self._active_population = started
         self._selector = self.selectors[int(self.rng.integers(len(self.selectors)))]
+        return started
+
+    def _materialize_checkin(self, started: str) -> None:
+        """Open the real device stream: WAITING state, timers, messages."""
         self.state = DeviceState.WAITING
+        self.idle.session_started()
         self._wait_epoch += 1
         # A real check-in stream does not stay open forever: if no round
         # wants this device within the timeout, hang up and retry on the
@@ -305,6 +306,41 @@ class DeviceActor(Actor):
             delay=self.conditions.rtt_s,
         )
 
+    def _attempt_screened_checkin(self, attestation_ok: bool | None) -> bool:
+        """Check in through the vectorized plane's synchronous screen.
+
+        The chosen Selector's admission policy runs inline
+        (:meth:`~repro.actors.selector.Selector.fast_checkin_decision`);
+        a bounced device applies its rejection right here — same health
+        counter, same device-RNG window draw, same whole-device pending
+        window as :meth:`_on_rejected` — and never materializes.  Returns
+        True when the check-in was screened out, False when the device
+        opened a real stream (or no screen was available).
+        """
+        started = self._begin_checkin()
+        if started is None:
+            return False
+        selector = (
+            self.system.actor_of(self._selector)
+            if self._selector is not None
+            else None
+        )
+        screen = getattr(selector, "fast_checkin_decision", None)
+        window = (
+            screen(started, self, attestation_ok) if screen is not None else None
+        )
+        if window is None:
+            self._materialize_checkin(started)
+            return False
+        self.health.checkins += 1
+        self.scheduler.abort()
+        self._active_population = None
+        self._selector = None
+        reconnect_at = window.sample(self.rng)
+        self.idle.set_pending_window(reconnect_at)
+        self.idle.schedule_checkin(max(reconnect_at - self.now, 1.0))
+        return True
+
     def _on_waiting_timeout(self, wait_epoch: int) -> None:
         self._waiting_timeout_event = None
         if self.state is not DeviceState.WAITING or wait_epoch != self._wait_epoch:
@@ -320,8 +356,9 @@ class DeviceActor(Actor):
         self._active_population = None
         self._selector = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        self.idle.session_ended()
         if self.eligible:
-            self._schedule_checkin(self.job.next_delay(self.rng))
+            self.idle.schedule_checkin(self.job.next_delay(self.rng))
 
     # -- message handling ------------------------------------------------------
     def receive(self, sender: Optional[ActorRef], message: Any) -> None:
@@ -343,8 +380,9 @@ class DeviceActor(Actor):
         self._active_population = None
         self._selector = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        self.idle.session_ended()
         if self.eligible:
-            self._schedule_checkin(self.rng.uniform(30.0, 180.0))
+            self.idle.schedule_checkin(self.rng.uniform(30.0, 180.0))
 
     def _on_rejected(self, rejected: msg.CheckinRejected) -> None:
         if self.state is not DeviceState.WAITING:
@@ -354,15 +392,16 @@ class DeviceActor(Actor):
         self._active_population = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
         self._selector = None
+        self.idle.session_ended()
         # Pace steering: "The device attempts to respect this, modulo its
         # eligibility."
         # The window gates the whole device, not just the rejected tenant:
         # pace steering is the server's overload valve, and a multi-tenant
         # device hammering back for its other population would defeat it.
         reconnect_at = rejected.window.sample(self.rng)
-        self._pending_window_t = reconnect_at
+        self.idle.set_pending_window(reconnect_at)
         if self.eligible:
-            self._schedule_checkin(max(reconnect_at - self.now, 1.0))
+            self.idle.schedule_checkin(max(reconnect_at - self.now, 1.0))
 
     # -- participation pipeline ----------------------------------------------------
     def _on_configure(self, configure: msg.ConfigureDevice) -> None:
@@ -539,11 +578,12 @@ class DeviceActor(Actor):
         self._aggregator = None
         self._round_id = None
         self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        self.idle.session_ended()
         if self.eligible:
             if self.scheduler.queue_depth > 0:
                 # A queued tenant is waiting its turn on the worker queue:
                 # check in again promptly for it rather than sleeping a full
                 # job interval (cross-population interleaving, Sec. 11).
-                self._schedule_checkin(1.0)
+                self.idle.schedule_checkin(1.0)
             else:
-                self._schedule_checkin(self.job.next_delay(self.rng))
+                self.idle.schedule_checkin(self.job.next_delay(self.rng))

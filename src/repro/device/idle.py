@@ -1,0 +1,176 @@
+"""The idle half of a device's lifecycle, split out of the actor.
+
+A device spends almost all of its life *not* training: sleeping
+(ineligible), or idle between check-ins.  That half of the state machine
+— eligibility flips, the periodic check-in timer, the pace-steering
+pending window — is owned by an :class:`IdleDriver`, while the
+:class:`~repro.device.actor.DeviceActor` itself only runs the active
+session pipeline (WAITING → PARTICIPATING → reporting).
+
+Two drivers implement the contract:
+
+* :class:`ActorIdleDriver` (this module) — the per-device, timer-based
+  machine: every device owns its own eligibility-flip and check-in
+  timers on the event loop.  This is the measurable baseline plane.
+* ``PlaneIdleDriver`` (:mod:`repro.sim.idle_plane`) — a thin handle into
+  the fleet-wide vectorized idle plane, where the same state lives as
+  rows in numpy arrays advanced by batched sweeps.
+
+The check-in timer uses *lazy rescheduling*: instead of cancelling and
+re-pushing a heap entry on every pace-steering nudge (which used to
+flood the heap with corpses), the driver stores the next-allowed fire
+time and validates it when a timer fires — a stale timer either no-ops
+or re-arms once at the true due time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.device.actor import DeviceState
+
+if TYPE_CHECKING:
+    from repro.device.actor import DeviceActor
+
+_INF = float("inf")
+
+#: Wake-up jitter after regaining eligibility with no pace window
+#: pending: ``rng.uniform(*WAKE_JITTER_S)`` seconds.  Shared by both
+#: idle drivers so the actor baseline and the vectorized plane sample
+#: the same reconnect distribution.
+WAKE_JITTER_S = (1.0, 120.0)
+#: Lower bound of the fleet-start check-in stagger (the upper bound is
+#: the device's job interval).
+FIRST_CHECKIN_MIN_S = 1.0
+
+
+class IdleDriver(Protocol):
+    """What a :class:`DeviceActor` needs from its idle machinery."""
+
+    def start(self) -> None:
+        """Sample initial eligibility, arm the flip process, and schedule
+        the device's first check-in.  Called once from ``on_start``."""
+
+    def schedule_checkin(self, delay: float) -> None:
+        """Attempt a check-in ``delay`` seconds from now (device idle)."""
+
+    def set_pending_window(self, reconnect_at_s: float) -> None:
+        """Record the pace-steering window start: the device should not
+        check in again before ``reconnect_at_s``."""
+
+    def clear_pending_window(self) -> None:
+        """Forget the pending window (consumed by a check-in attempt)."""
+
+    def session_started(self) -> None:
+        """The device materialized: it is WAITING at a Selector (or
+        beyond); the idle machinery must stop firing check-ins."""
+
+    def session_ended(self) -> None:
+        """The device dematerialized back to IDLE/SLEEPING; the idle
+        machinery owns it again."""
+
+
+class ActorIdleDriver:
+    """Per-device timer-based idle machine (the actor-plane baseline).
+
+    Owns the device's eligibility-flip timer and its check-in timer, and
+    keeps ``device.eligible`` / ``device.state`` in sync for the idle
+    states.  Session interruption on eligibility loss is delegated back
+    to the actor (:meth:`DeviceActor.on_eligibility_lost`).
+    """
+
+    __slots__ = ("_device", "_pending_window_t", "_checkin_due_t", "_armed_t")
+
+    def __init__(self, device: "DeviceActor"):
+        self._device = device
+        self._pending_window_t: float | None = None
+        #: When the next check-in attempt should actually happen; ``inf``
+        #: means no attempt is wanted.
+        self._checkin_due_t = _INF
+        #: Earliest fire time among timers we know to be on the heap;
+        #: ``inf`` when none is known.  The invariant is conservative —
+        #: forgotten (stale) timers only ever fire *later* than this, so
+        #: the worst case is one redundant no-op fire, never a missed due.
+        self._armed_t = _INF
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        d = self._device
+        d.eligible = d.availability.is_initially_eligible(d.now)
+        self._schedule_flip()
+        if d.eligible:
+            d.state = DeviceState.IDLE
+            if d.memberships:
+                # Stagger the fleet's first check-ins across the job interval.
+                self.schedule_checkin(
+                    d.rng.uniform(FIRST_CHECKIN_MIN_S, d.job.base_interval_s)
+                )
+        else:
+            d.state = DeviceState.SLEEPING
+
+    # -- eligibility flips ----------------------------------------------------
+    def _schedule_flip(self) -> None:
+        d = self._device
+        if d.eligible:
+            delay = d.availability.time_until_ineligible(d.now)
+        else:
+            delay = d.availability.time_until_eligible(d.now)
+        d.schedule(delay, self._flip)
+
+    def _flip(self) -> None:
+        d = self._device
+        d.eligible = not d.eligible
+        self._schedule_flip()
+        if not d.eligible:
+            self._checkin_due_t = _INF
+            d.on_eligibility_lost()
+        else:
+            d.state = DeviceState.IDLE
+            if d.memberships:
+                if (
+                    self._pending_window_t is not None
+                    and self._pending_window_t > d.now
+                ):
+                    self.schedule_checkin(self._pending_window_t - d.now)
+                else:
+                    self.schedule_checkin(d.rng.uniform(*WAKE_JITTER_S))
+
+    # -- pending window --------------------------------------------------------
+    def set_pending_window(self, reconnect_at_s: float) -> None:
+        self._pending_window_t = reconnect_at_s
+
+    def clear_pending_window(self) -> None:
+        self._pending_window_t = None
+
+    # -- check-in timer (lazy rescheduling) ------------------------------------
+    def schedule_checkin(self, delay: float) -> None:
+        d = self._device
+        due = d.now + max(delay, 0.0)
+        self._checkin_due_t = due
+        if due < self._armed_t:
+            self._armed_t = due
+            d.schedule(due - d.now, self._on_checkin_timer)
+
+    def _on_checkin_timer(self) -> None:
+        # Whichever armed timer fires first invalidates our knowledge of
+        # the rest; stale ones validate against the due time below.
+        self._armed_t = _INF
+        d = self._device
+        due = self._checkin_due_t
+        if due > d.now:
+            if due < _INF:
+                # Fired early (the due moved later after we were armed):
+                # re-arm once at the true due time.
+                self._armed_t = due
+                d.schedule(due - d.now, self._on_checkin_timer)
+            return
+        self._checkin_due_t = _INF
+        d._attempt_checkin()
+
+    def session_started(self) -> None:
+        # The attempt consumed the due time; nothing to stop eagerly —
+        # any still-armed timer validates against due=inf and no-ops.
+        self._checkin_due_t = _INF
+
+    def session_ended(self) -> None:
+        """No-op: the follow-up ``schedule_checkin`` re-arms the timer."""

@@ -39,6 +39,7 @@ Buffer-ownership invariants (see ROADMAP.md "Performance"):
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
 from typing import Callable
@@ -439,7 +440,16 @@ class ParameterAccumulator:
     vector`` aggregation loop.
     """
 
-    __slots__ = ("_layout", "_dim", "_sum", "_scratch", "_weight_sum", "_count")
+    __slots__ = (
+        "_layout",
+        "_dim",
+        "_sum",
+        "_scratch",
+        "_weight_sum",
+        "_count",
+        "_sum_views",
+        "_scratch_views",
+    )
 
     def __init__(self, dim: int | None = None, layout: ParameterLayout | None = None):
         if dim is None and layout is None:
@@ -450,6 +460,10 @@ class ParameterAccumulator:
             raise ValueError(f"dim {dim} != layout size {layout.total_size}")
         self._sum = np.zeros(self._dim, dtype=np.float64)
         self._scratch: np.ndarray | None = None  # allocated on first weighted add
+        #: Prebuilt per-array reshaped views into the sum (and scratch)
+        #: buffers, so the structured fold never re-slices per call.
+        self._sum_views: list[tuple[str, np.ndarray]] | None = None
+        self._scratch_views: list[np.ndarray] | None = None
         self._weight_sum = 0.0
         self._count = 0
 
@@ -481,11 +495,36 @@ class ParameterAccumulator:
         self._weight_sum = 0.0
         self._count = 0
 
+    def restart(self) -> None:
+        """Reset the fold counters *without* clearing the sum buffer.
+
+        The first subsequent fold overwrites the whole buffer, so callers
+        that always fold before reading (``weighted_mean``) skip the
+        ``reset()`` fill; :attr:`sum_vector` is undefined until that
+        first fold lands.
+        """
+        self._weight_sum = 0.0
+        self._count = 0
+
     # -- folding -------------------------------------------------------------
     def _scratch_buffer(self) -> np.ndarray:
         if self._scratch is None:
             self._scratch = np.empty(self._dim, dtype=np.float64)
         return self._scratch
+
+    def _views(self) -> list[tuple[str, np.ndarray]]:
+        if self._sum_views is None:
+            assert self._layout is not None
+            self._sum_views = list(self._layout.views(self._sum).items())
+        return self._sum_views
+
+    def _scr_views(self) -> list[np.ndarray]:
+        if self._scratch_views is None:
+            assert self._layout is not None
+            self._scratch_views = list(
+                self._layout.views(self._scratch_buffer()).values()
+            )
+        return self._scratch_views
 
     def add_vector(self, vector: np.ndarray, weight: float = 1.0) -> None:
         """Fold one flattened update in; ``vector`` is only read."""
@@ -516,27 +555,24 @@ class ParameterAccumulator:
             raise ValueError(
                 "accumulator built without a layout can only fold flat vectors"
             )
-        if params.layout != self._layout:
+        layout = params._layout
+        if layout is not self._layout and params.layout != self._layout:
             raise ValueError("parameter structure does not match accumulator layout")
         first = self._count == 0
-        for name, off, size, shape in zip(
-            self._layout.names,
-            self._layout.offsets,
-            self._layout.sizes,
-            self._layout.shapes,
-        ):
-            arr = params[name]
-            dst = self._sum[off : off + size].reshape(shape)
-            if first:
-                if weight == 1.0:
-                    np.copyto(dst, arr)
-                else:
-                    np.multiply(arr, weight, out=dst)
-            elif weight == 1.0:
-                np.add(dst, arr, out=dst)
+        arrays = params._arrays
+        if first:
+            if weight == 1.0:
+                for name, dst in self._views():
+                    np.copyto(dst, arrays[name])
             else:
-                scr = self._scratch_buffer()[off : off + size].reshape(shape)
-                np.multiply(arr, weight, out=scr)
+                for name, dst in self._views():
+                    np.multiply(arrays[name], weight, out=dst)
+        elif weight == 1.0:
+            for name, dst in self._views():
+                np.add(dst, arrays[name], out=dst)
+        else:
+            for (name, dst), scr in zip(self._views(), self._scr_views()):
+                np.multiply(arrays[name], weight, out=scr)
                 np.add(dst, scr, out=dst)
         self._weight_sum += weight
         self._count += 1
@@ -572,21 +608,48 @@ class ParameterAccumulator:
         return out
 
 
+#: One reusable accumulator per parameter structure (and per thread) for
+#: the one-shot :func:`weighted_mean` entry point: the per-call buffer
+#: setup used to make the streaming path *slower* than the functional
+#: chain for single means, so the buffers are kept hot across calls
+#: instead.  Thread-local so concurrent callers never share a live sum
+#: buffer; bounded by the number of distinct model structures per thread.
+_MEAN_ACCUMULATORS = threading.local()
+_MEAN_ACCUMULATOR_CAP = 64
+
+
 def weighted_mean(
     updates: list[tuple[Parameters, float]]
 ) -> Parameters:
     """``sum_k w_k * p_k / sum_k w_k`` — the FedAvg combination rule.
 
-    Single-pass streaming implementation: one accumulator buffer, one
-    scratch buffer, zero allocations per update — byte-identical to the
-    original functional chain ``acc = p_0.scale(w_0); acc = acc.axpy(w, p)``.
+    Single-pass streaming implementation: one *cached per-structure*
+    accumulator buffer, one scratch buffer, zero allocations per update
+    (and none per call after the first for a given structure) —
+    byte-identical to the original functional chain ``acc =
+    p_0.scale(w_0); acc = acc.axpy(w, p)``.
     """
     if not updates:
         raise ValueError("cannot average an empty update list")
     total_weight = sum(w for _, w in updates)
     if total_weight <= 0:
         raise ValueError(f"total weight must be positive, got {total_weight}")
-    acc = ParameterAccumulator.like(updates[0][0])
+    layout = updates[0][0].layout
+    cache: dict[ParameterLayout, ParameterAccumulator] | None = getattr(
+        _MEAN_ACCUMULATORS, "by_layout", None
+    )
+    if cache is None:
+        cache = _MEAN_ACCUMULATORS.by_layout = {}
+    acc = cache.get(layout)
+    if acc is None:
+        if len(cache) >= _MEAN_ACCUMULATOR_CAP:
+            # Evict the oldest entry only — clearing everything would
+            # also drop the buffers in steady hot use.
+            cache.pop(next(iter(cache)))
+        acc = ParameterAccumulator(layout=layout)
+        cache[layout] = acc
+    else:
+        acc.restart()
     for params, w in updates:
         acc.add(params, w)
     return acc.mean()

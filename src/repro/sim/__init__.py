@@ -8,7 +8,11 @@ either simulated or real time, because all scheduling goes through
 :class:`~repro.sim.event_loop.EventLoop`.
 """
 
-from repro.sim.event_loop import Event, EventLoop, SimulationError
+# NOTE: repro.sim.idle_plane is intentionally not imported here — it
+# depends on repro.device.actor, which transitively imports this package
+# back; import it module-qualified (``from repro.sim.idle_plane import
+# VectorizedIdlePlane``) instead.
+from repro.sim.event_loop import Event, EventLoop, SimulationError, Sweeper
 from repro.sim.rng import RngRegistry
 from repro.sim.diurnal import DiurnalModel, AvailabilityProcess
 from repro.sim.network import NetworkModel, TrafficMeter, TransferDirection
@@ -18,6 +22,7 @@ __all__ = [
     "Event",
     "EventLoop",
     "SimulationError",
+    "Sweeper",
     "RngRegistry",
     "DiurnalModel",
     "AvailabilityProcess",

@@ -189,3 +189,45 @@ class EventLoop:
     def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
         """Run for ``duration`` simulated seconds from the current time."""
         return self.run(until=self._now + duration, max_events=max_events)
+
+
+class Sweeper:
+    """One heap entry driving a *batched* consumer (bucketed scheduling).
+
+    A sweeper owns at most one live event at a time.  ``arm(when)`` keeps
+    the earliest requested wake-up: arming later than the pending wake-up
+    is free (the consumer re-arms after its sweep anyway), arming earlier
+    replaces the pending event.  This is what lets a fleet-wide plane
+    replace tens of thousands of per-device timers with one event per
+    sweep boundary — the heap never holds more than one entry per sweeper.
+    """
+
+    __slots__ = ("_loop", "_fn", "_event")
+
+    def __init__(self, loop: EventLoop, fn: Callable[[], Any]):
+        self._loop = loop
+        self._fn = fn
+        self._event: Event | None = None
+
+    @property
+    def armed_at(self) -> float:
+        """Simulated time of the pending wake-up (``inf`` when disarmed)."""
+        return self._event.time if self._event is not None else float("inf")
+
+    def arm(self, when: float) -> None:
+        """Request a wake-up at ``when``; only the earliest request sticks."""
+        when = max(float(when), self._loop.now)
+        if self._event is not None:
+            if self._event.time <= when:
+                return
+            self._event.cancel()
+        self._event = self._loop.schedule_at(when, self._fire)
+
+    def disarm(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()

@@ -1,0 +1,349 @@
+"""Vectorized idle-device plane: the fleet's idle majority as numpy rows.
+
+The paper's populations are millions of devices of which, at any moment,
+the overwhelming majority are idle — merely flipping eligibility or
+counting down to a check-in.  Simulating that majority as full actors
+costs one timer (plus cancel churn) per device per transition; this
+module instead keeps every idle device as a row in fleet-wide arrays:
+
+* ``next_flip_t``   — absolute time of the next eligibility transition;
+* ``eligible``      — the current eligibility bit;
+* ``next_checkin_t``— absolute time of the next check-in attempt
+  (``inf`` while ineligible, membership-less, or materialized);
+* ``pending_window_t`` — pace-steering window start (device must not
+  check in before it);
+* ``active``        — the device is *materialized*: it is WAITING at a
+  Selector or PARTICIPATING in a round, under actor control.
+
+The plane advances by batched sweeps: one :class:`~repro.sim.event_loop.
+Sweeper` event per sweep boundary (the earliest pending transition
+fleet-wide) instead of one timer per device.  Within a sweep, due
+*flips* are processed before due *check-ins*, so a device that loses
+eligibility exactly at a sweep boundary never checks in at that instant.
+
+A device only materializes as a full :class:`~repro.device.actor.
+DeviceActor` interaction at the moment it actually checks in; when its
+session ends (report, rejection, timeout, interruption), the actor hands
+the device back to the plane.  Determinism: every device keeps its own
+pinned RNG stream and all per-device draws (flip resampling, check-in
+jitter) happen at that device's transitions, in device-index order
+within a sweep — the same seed yields a byte-identical run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.device.actor import DeviceState
+from repro.device.idle import FIRST_CHECKIN_MIN_S, WAKE_JITTER_S
+from repro.sim.event_loop import EventLoop, Sweeper
+
+if TYPE_CHECKING:
+    from repro.device.actor import DeviceActor
+
+_INF = float("inf")
+
+
+class PlaneIdleDriver:
+    """A device's handle into the shared plane (one per enrolled device).
+
+    Implements the :class:`repro.device.idle.IdleDriver` contract by
+    delegating every operation to the plane row ``index``.
+    """
+
+    __slots__ = ("_plane", "_index")
+
+    def __init__(self, plane: "VectorizedIdlePlane", index: int):
+        self._plane = plane
+        self._index = index
+
+    def start(self) -> None:
+        self._plane._start_device(self._index)
+
+    def schedule_checkin(self, delay: float) -> None:
+        self._plane._schedule_checkin(self._index, delay)
+
+    def set_pending_window(self, reconnect_at_s: float) -> None:
+        self._plane.pending_window_t[self._index] = reconnect_at_s
+
+    def clear_pending_window(self) -> None:
+        self._plane.pending_window_t[self._index] = -_INF
+
+    def session_started(self) -> None:
+        self._plane._session_started(self._index)
+
+    def session_ended(self) -> None:
+        self._plane._session_ended(self._index)
+
+
+class VectorizedIdlePlane:
+    """Fleet-wide vectorized idle state, advanced by batched sweeps.
+
+    ``sweep_interval_s`` quantizes sweep boundaries: transitions fire at
+    the next multiple of it at-or-after their exact sampled time (never
+    early).  Coarser buckets batch more devices per sweep — one loop
+    event and one array scan amortized over all of them — at the cost of
+    up to one bucket of added latency per idle transition, which is
+    negligible against the hour-scale idle dynamics.  Set it to ``0`` for
+    exact-time sweeps (one sweep per distinct transition time).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        capacity: int = 0,
+        sweep_interval_s: float = 15.0,
+    ):
+        self._loop = loop
+        self._sweeper = Sweeper(loop, self._sweep)
+        self.sweep_interval_s = float(sweep_interval_s)
+        n = int(capacity)
+        self.next_flip_t = np.full(n, _INF)
+        self.next_checkin_t = np.full(n, _INF)
+        self.pending_window_t = np.full(n, -_INF)
+        #: min(next_flip_t, next_checkin_t) per device, maintained on every
+        #: write so a sweep scans one array, not two.
+        self._next_event_t = np.full(n, _INF)
+        self.eligible = np.zeros(n, dtype=bool)
+        self.active = np.zeros(n, dtype=bool)
+        self._has_memberships = np.zeros(n, dtype=bool)
+        #: Cached attestation verdict per device (-1 unknown, 0 fail,
+        #: 1 pass): token issue/verify is deterministic per device, so the
+        #: screen only pays the hashing once.
+        self._attestation_ok = np.full(n, -1, dtype=np.int8)
+        self._devices: list["DeviceActor"] = []
+        self._availability: list = []
+        #: True while a sweep is running: per-device touches skip re-arming
+        #: the sweeper (the sweep's final rearm covers them all at once).
+        self._sweeping = False
+        # -- counters (observability; see ROADMAP.md "Performance") ----------
+        self.sweeps = 0
+        self.flips = 0
+        self.checkins_dispatched = 0
+        self.checkins_fast_rejected = 0
+        self.materializations = 0
+
+    # -- enrollment ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def adopt(self, device: "DeviceActor") -> PlaneIdleDriver:
+        """Enroll a device; returns the driver to install as ``device.idle``.
+
+        Must be called before the device actor is spawned (the driver's
+        ``start`` hook runs from ``DeviceActor.on_start``).
+        """
+        index = len(self._devices)
+        self._devices.append(device)
+        self._availability.append(device.availability)
+        if index >= self.next_flip_t.size:
+            self._grow(index + 1)
+        self._has_memberships[index] = bool(device.memberships)
+        # One real token round per device, at enrollment: the verdict is
+        # deterministic, so every screen reuses it instead of re-hashing.
+        # The service's verified/rejected counters are restored so they
+        # keep counting *check-ins* (the screen bumps them per screened
+        # attempt, the message path per arrival), not enrollments.
+        service = device.attestation
+        counters = (service.verified_count, service.rejected_count)
+        token = service.issue_token(device.device_id, device.profile.genuine)
+        self._attestation_ok[index] = int(service.verify(token))
+        service.verified_count, service.rejected_count = counters
+        driver = PlaneIdleDriver(self, index)
+        device.idle = driver
+        return driver
+
+    def _grow(self, minimum: int) -> None:
+        size = max(minimum, 2 * max(self.next_flip_t.size, 16))
+
+        def extend(arr: np.ndarray, fill) -> np.ndarray:
+            out = np.full(size, fill, dtype=arr.dtype)
+            out[: arr.size] = arr
+            return out
+
+        self.next_flip_t = extend(self.next_flip_t, _INF)
+        self.next_checkin_t = extend(self.next_checkin_t, _INF)
+        self.pending_window_t = extend(self.pending_window_t, -_INF)
+        self._next_event_t = extend(self._next_event_t, _INF)
+        self.eligible = extend(self.eligible, False)
+        self.active = extend(self.active, False)
+        self._has_memberships = extend(self._has_memberships, False)
+        self._attestation_ok = extend(self._attestation_ok, -1)
+
+    # -- per-device transitions (driver entry points) ---------------------------
+    def _quantize(self, t: float) -> float:
+        """The sweep boundary at-or-after ``t`` (never before it)."""
+        q = self.sweep_interval_s
+        if q <= 0.0 or t == _INF:
+            return t
+        return -(-t // q) * q  # ceil(t / q) * q without an import
+
+    def _touch(self, i: int) -> None:
+        """Refresh the combined next-event time for row ``i`` and keep the
+        sweeper armed no later than its sweep boundary."""
+        t = min(self.next_flip_t[i], self.next_checkin_t[i])
+        self._next_event_t[i] = t
+        if t < _INF and not self._sweeping:
+            self._sweeper.arm(self._quantize(t))
+
+    def _start_device(self, i: int) -> None:
+        d = self._devices[i]
+        now = self._loop.now
+        eligible = d.availability.is_initially_eligible(now)
+        self.eligible[i] = eligible
+        d.eligible = eligible
+        if eligible:
+            self.next_flip_t[i] = now + d.availability.time_until_ineligible(
+                now, fast=True
+            )
+            d.state = DeviceState.IDLE
+            if self._has_memberships[i]:
+                # Stagger the fleet's first check-ins across the job interval.
+                self.next_checkin_t[i] = now + d.rng.uniform(
+                    FIRST_CHECKIN_MIN_S, d.job.base_interval_s
+                )
+        else:
+            self.next_flip_t[i] = now + d.availability.time_until_eligible(
+                now, fast=True
+            )
+            d.state = DeviceState.SLEEPING
+        self._touch(i)
+
+    def _schedule_checkin(self, i: int, delay: float) -> None:
+        self.next_checkin_t[i] = self._loop.now + max(delay, 0.0)
+        self._touch(i)
+
+    def _session_started(self, i: int) -> None:
+        self.active[i] = True
+        self.materializations += 1
+        self.next_checkin_t[i] = _INF
+        self._touch(i)
+
+    def _session_ended(self, i: int) -> None:
+        """The actor handed the device back; the device schedules its next
+        check-in (if eligible) right after this call."""
+        self.active[i] = False
+        self.next_checkin_t[i] = _INF
+        self._touch(i)
+
+    # -- the sweep ---------------------------------------------------------------
+    def _sweep(self) -> None:
+        now = self._loop.now
+        self.sweeps += 1
+        self._sweeping = True
+        try:
+            self._run_sweep(now)
+        finally:
+            self._sweeping = False
+        self._rearm()
+
+    def _run_sweep(self, now: float) -> None:
+        due = np.nonzero(self._next_event_t <= now)[0].tolist()
+        # Flips first: a device that loses eligibility exactly at a sweep
+        # boundary must not also check in at that boundary.  The flip is
+        # split so the per-device hazard resampling (the irreducible RNG
+        # work, owned by the availability process) happens here and the
+        # plane's own bookkeeping stays in ``_apply_flip``.
+        flip_t = self.next_flip_t
+        eligible_arr = self.eligible
+        availability = self._availability
+        for i in due:
+            if flip_t[i] <= now:
+                self.flips += 1
+                now_eligible = not eligible_arr[i]
+                eligible_arr[i] = now_eligible
+                if now_eligible:
+                    next_flip = now + availability[i].time_until_ineligible(
+                        now, fast=True
+                    )
+                else:
+                    next_flip = now + availability[i].time_until_eligible(
+                        now, fast=True
+                    )
+                self._apply_flip(i, now, now_eligible, next_flip)
+        checkin_t = self.next_checkin_t
+        active = self.active
+        devices = self._devices
+        attestation_ok = self._attestation_ok
+        for i in due:
+            if checkin_t[i] <= now:
+                checkin_t[i] = _INF
+                self._next_event_t[i] = flip_t[i]
+                if eligible_arr[i] and not active[i]:
+                    self.checkins_dispatched += 1
+                    verdict = bool(attestation_ok[i]) if attestation_ok[i] >= 0 else None
+                    if devices[i]._attempt_screened_checkin(verdict):
+                        self.checkins_fast_rejected += 1
+                        if verdict is not None:
+                            # Keep AttestationService counters per
+                            # check-in (as the message path does) without
+                            # re-hashing: the cached verdict stands in
+                            # for the verify() this screen skipped.
+                            # Admitted devices are counted at arrival.
+                            service = devices[i].attestation
+                            if verdict:
+                                service.verified_count += 1
+                            else:
+                                service.rejected_count += 1
+
+    def _rearm(self) -> None:
+        t = self._next_event_t.min() if self._next_event_t.size else _INF
+        if t < _INF:
+            self._sweeper.arm(self._quantize(t))
+
+    def _apply_flip(self, i: int, now: float, eligible: bool, flip_t: float) -> None:
+        """Plane bookkeeping for one resampled eligibility transition.
+
+        The draw order per device matches the ActorIdleDriver: flip
+        resample first (done by the caller), then the wake-up jitter.
+        """
+        d = self._devices[i]
+        self.next_flip_t[i] = flip_t
+        checkin_t = self.next_checkin_t[i]
+        if self.active[i]:
+            # Materialized device: the actor interrupts its session and
+            # hands the row back via session_ended.
+            d.eligible = eligible
+            if not eligible:
+                d.on_eligibility_lost()
+            checkin_t = self.next_checkin_t[i]
+        else:
+            d.eligible = eligible
+            if eligible:
+                d.state = DeviceState.IDLE
+                if self._has_memberships[i]:
+                    window = self.pending_window_t[i]
+                    if window > now:
+                        checkin_t = window
+                    else:
+                        checkin_t = now + d.rng.uniform(*WAKE_JITTER_S)
+                    self.next_checkin_t[i] = checkin_t
+            else:
+                d.state = DeviceState.SLEEPING
+                checkin_t = _INF
+                self.next_checkin_t[i] = _INF
+        self._next_event_t[i] = flip_t if flip_t < checkin_t else checkin_t
+
+    # -- observability -----------------------------------------------------------
+    def state_counts(self) -> dict[DeviceState, int]:
+        """Fleet state census without touching idle device objects.
+
+        Idle/sleeping counts come straight from the arrays; only the
+        (few) materialized devices are consulted for their actor state.
+        """
+        n = len(self._devices)
+        eligible = self.eligible[:n]
+        active = self.active[:n]
+        counts = {state: 0 for state in DeviceState}
+        counts[DeviceState.SLEEPING] = int((~eligible).sum())
+        counts[DeviceState.IDLE] = int((eligible & ~active).sum())
+        for i in np.nonzero(active)[0]:
+            counts[self._devices[int(i)].state] += 1
+        return counts
+
+    def active_devices(self) -> list["DeviceActor"]:
+        """The currently materialized devices (WAITING/PARTICIPATING)."""
+        n = len(self._devices)
+        return [self._devices[int(i)] for i in np.nonzero(self.active[:n])[0]]

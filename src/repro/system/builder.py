@@ -156,12 +156,24 @@ class FleetBuilder:
         self._config.coordinator = config
         return self
 
+    def idle_plane(self, mode: str) -> "FleetBuilder":
+        """How idle devices are simulated: ``"vectorized"`` (fleet-wide
+        arrays swept in batch, the default) or ``"actor"`` (per-device
+        timers, the measurable baseline)."""
+        self._config.idle_plane = str(mode)
+        return self
+
     def sample_interval(self, seconds: float) -> "FleetBuilder":
         self._config.sample_interval_s = float(seconds)
         return self
 
     def compute_error_prob(self, prob: float) -> "FleetBuilder":
         self._config.compute_error_prob = float(prob)
+        return self
+
+    def waiting_timeout(self, seconds: float) -> "FleetBuilder":
+        """How long a checked-in device waits unselected before hanging up."""
+        self._config.waiting_timeout_s = float(seconds)
         return self
 
     # -- populations -----------------------------------------------------------

@@ -47,10 +47,21 @@ class FleetConfig:
     #: hanging up and retrying on the job cadence (Sec. 2.3's bounded
     #: selection wait).
     waiting_timeout_s: float = 1800.0
+    #: How idle devices are simulated: ``"vectorized"`` (default) keeps
+    #: them as rows in the fleet-wide :class:`repro.sim.idle_plane.
+    #: VectorizedIdlePlane`, advanced by batched sweeps; ``"actor"`` gives
+    #: every device its own eligibility/check-in timers (the measurable
+    #: baseline plane, mirroring the buffered-math A/B lever).
+    idle_plane: str = "vectorized"
 
     def validate(self) -> None:
         if self.num_selectors < 1:
             raise ValueError("num_selectors must be >= 1")
+        if self.idle_plane not in ("vectorized", "actor"):
+            raise ValueError(
+                f"idle_plane must be 'vectorized' or 'actor', "
+                f"got {self.idle_plane!r}"
+            )
         if self.sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
         if not 0.0 <= self.compute_error_prob <= 1.0:

@@ -39,6 +39,7 @@ from repro.nn.parameters import Parameters
 from repro.nn.serialization import checkpoint_nbytes
 from repro.sim.diurnal import AvailabilityProcess
 from repro.sim.event_loop import SECONDS_PER_DAY, EventLoop
+from repro.sim.idle_plane import VectorizedIdlePlane
 from repro.sim.population import DeviceProfile, build_population
 from repro.sim.rng import RngRegistry
 from repro.system.builder import FleetBuilder, FleetValidationError, PopulationSpec
@@ -98,6 +99,13 @@ class FLFleet:
         self.round_results: list[RoundResult] = []
         self.devices: list[DeviceActor] = []
         self.profiles = build_population(self.config.population, self.rngs)
+        #: The vectorized idle plane, when ``config.idle_plane`` selects it
+        #: (``None`` under the per-device actor baseline).
+        self.idle_plane: VectorizedIdlePlane | None = (
+            VectorizedIdlePlane(self.loop, capacity=len(self.profiles))
+            if self.config.idle_plane == "vectorized"
+            else None
+        )
         self.selectors: list[ActorRef] = []
         self._populations: dict[str, _PopulationRuntime] = {}
         self._installed = False
@@ -241,6 +249,10 @@ class FLFleet:
                 compute_error_prob=self.config.compute_error_prob,
                 waiting_timeout_s=self.config.waiting_timeout_s,
             )
+            if self.idle_plane is not None:
+                # Enroll the device in the shared vectorized plane before
+                # spawn, replacing its default per-device timer driver.
+                self.idle_plane.adopt(device)
             self.devices.append(device)
             self.actors.spawn(device, profile.name)
 
@@ -343,10 +355,18 @@ class FLFleet:
 
     def _sample_fleet(self) -> None:
         now = self.loop.now
-        counts = {state: 0 for state in DeviceState}
         participating: dict[str, int] = {name: 0 for name in self._populations}
-        for device in self.devices:
-            counts[device.state] += 1
+        if self.idle_plane is not None:
+            # Census from the plane arrays: only materialized devices are
+            # consulted individually (O(active), not O(fleet)).
+            counts = self.idle_plane.state_counts()
+            sampled = self.idle_plane.active_devices()
+        else:
+            counts = {state: 0 for state in DeviceState}
+            sampled = self.devices
+            for device in sampled:
+                counts[device.state] += 1
+        for device in sampled:
             if (
                 device.state is DeviceState.PARTICIPATING
                 and device._active_population in participating

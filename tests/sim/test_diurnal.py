@@ -80,3 +80,39 @@ def test_more_devices_eligible_at_night(rng):
     )
     day_count = sum(process.is_initially_eligible(day) for _ in range(2000))
     assert night_count > 2.0 * day_count
+
+
+def test_tabulated_sampler_matches_thinning_in_distribution(rng):
+    """The idle plane's fast sampler draws from the same law as thinning
+    (up to the per-minute hazard discretisation): compare mean delays
+    from many samples at several times of day, both transitions."""
+    model = DiurnalModel()
+    for attr in ("time_until_ineligible", "time_until_eligible"):
+        for t0 in (0.0, 6 * SECONDS_PER_HOUR, 15 * SECONDS_PER_HOUR):
+            slow_p = AvailabilityProcess(
+                model, tz_offset_hours=-8.0, rng=np.random.default_rng(1)
+            )
+            fast_p = AvailabilityProcess(
+                model, tz_offset_hours=-8.0, rng=np.random.default_rng(2)
+            )
+            slow = np.mean([getattr(slow_p, attr)(t0) for _ in range(1500)])
+            fast = np.mean(
+                [getattr(fast_p, attr)(t0, fast=True) for _ in range(1500)]
+            )
+            assert 0.85 < fast / slow < 1.18, (attr, t0, slow, fast)
+
+
+def test_tabulated_sampler_is_strictly_positive_and_deterministic(rng):
+    process = AvailabilityProcess(DiurnalModel(), tz_offset_hours=3.0, rng=rng)
+    for t in (0.0, 12_345.0, 5 * SECONDS_PER_DAY + 17.0):
+        assert process.time_until_eligible(t, fast=True) > 0
+        assert process.time_until_ineligible(t, fast=True) > 0
+    a = AvailabilityProcess(
+        DiurnalModel(), tz_offset_hours=3.0, rng=np.random.default_rng(9)
+    )
+    b = AvailabilityProcess(
+        DiurnalModel(), tz_offset_hours=3.0, rng=np.random.default_rng(9)
+    )
+    draws_a = [a.time_until_eligible(float(t), fast=True) for t in range(5)]
+    draws_b = [b.time_until_eligible(float(t), fast=True) for t in range(5)]
+    assert draws_a == draws_b

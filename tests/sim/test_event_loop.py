@@ -182,3 +182,58 @@ def test_events_processed_excludes_cancelled():
     a.cancel()
     loop.run()
     assert loop.events_processed == 1
+
+
+# ---------------------------------------------------------------------------
+# Sweeper: one heap entry per batched consumer
+
+
+def test_sweeper_keeps_only_earliest_wakeup():
+    from repro.sim.event_loop import Sweeper
+
+    loop = EventLoop()
+    fired = []
+    sweeper = Sweeper(loop, lambda: fired.append(loop.now))
+    sweeper.arm(50.0)
+    sweeper.arm(100.0)   # later: free no-op, the 50.0 wake-up stands
+    assert sweeper.armed_at == 50.0
+    sweeper.arm(10.0)    # earlier: replaces the pending entry
+    assert sweeper.armed_at == 10.0
+    assert len(loop) == 1  # never more than one live entry
+    loop.run()
+    assert fired == [10.0]
+
+
+def test_sweeper_rearms_after_fire_and_disarms():
+    from repro.sim.event_loop import Sweeper
+
+    loop = EventLoop()
+    fired = []
+
+    def on_sweep():
+        fired.append(loop.now)
+        if len(fired) < 3:
+            sweeper.arm(loop.now + 5.0)
+
+    sweeper = Sweeper(loop, on_sweep)
+    sweeper.arm(5.0)
+    loop.run()
+    assert fired == [5.0, 10.0, 15.0]
+    assert sweeper.armed_at == float("inf")
+    sweeper.arm(100.0)
+    sweeper.disarm()
+    loop.run()
+    assert fired == [5.0, 10.0, 15.0]
+
+
+def test_sweeper_never_arms_into_the_past():
+    from repro.sim.event_loop import Sweeper
+
+    loop = EventLoop()
+    loop.schedule(10.0, lambda: None)
+    loop.run()
+    fired = []
+    sweeper = Sweeper(loop, lambda: fired.append(loop.now))
+    sweeper.arm(3.0)  # in the past: clamped to now
+    loop.run()
+    assert fired == [10.0]

@@ -1,0 +1,282 @@
+"""Vectorized idle-plane edge cases and cross-plane compatibility."""
+
+import numpy as np
+import pytest
+
+from repro import FLFleet
+from repro.actors.kernel import Actor, ActorSystem
+from repro.actors import messages as msg
+from repro.analytics.events import EventLog
+from repro.core.config import ClientTrainingConfig, RoundConfig, TaskConfig
+from repro.core.pace import ReconnectWindow
+from repro.device.actor import DeviceActor, DeviceState
+from repro.device.attestation import AttestationService
+from repro.device.runtime import ComputeModel, SyntheticTrainer
+from repro.device.scheduler import JobSchedule
+from repro.nn.models import MLPClassifier
+from repro.sim.event_loop import EventLoop
+from repro.sim.idle_plane import VectorizedIdlePlane
+from repro.sim.network import NetworkModel
+from repro.sim.population import DeviceProfile, PopulationConfig
+from repro.sim.rng import RngRegistry
+
+
+class StubServer(Actor):
+    """Collects whatever devices send (no fast check-in screen)."""
+
+    def __init__(self):
+        self.checkins = []
+        self.reports = []
+        self.disconnects = []
+
+    def receive(self, sender, message):
+        if isinstance(message, msg.DeviceCheckin):
+            self.checkins.append(message)
+        elif isinstance(message, msg.DeviceReport):
+            self.reports.append(message)
+        elif isinstance(message, msg.DeviceDisconnect):
+            self.disconnects.append(message)
+
+
+class RejectingServer(StubServer):
+    """A selector stand-in whose fast screen always bounces devices."""
+
+    def __init__(self, window: ReconnectWindow):
+        super().__init__()
+        self.window = window
+        self.screened = 0
+
+    def fast_checkin_decision(self, population_name, device, attestation_ok=None):
+        self.screened += 1
+        return self.window
+
+
+class ScriptedAvailability:
+    """Deterministic eligibility: alternates on a fixed schedule."""
+
+    def __init__(self, eligible=True, until=None, off_for=1e9, on_for=1e9):
+        self._eligible = eligible
+        self._until = until
+        self._off_for = off_for
+        self._on_for = on_for
+
+    def is_initially_eligible(self, wall_time_s):
+        return self._eligible
+
+    def time_until_ineligible(self, wall_time_s, fast=False):
+        if self._until is not None:
+            return max(self._until - wall_time_s, 0.001)
+        return self._on_for
+
+    def time_until_eligible(self, wall_time_s, fast=False):
+        return self._off_for
+
+
+@pytest.fixture
+def harness():
+    loop = EventLoop()
+    rngs = RngRegistry(0)
+    system = ActorSystem(loop, rngs.stream("lat"), mean_latency_s=0.001)
+    plane = VectorizedIdlePlane(loop, capacity=4)
+    server = StubServer()
+    server_ref = system.spawn(server, "stub")
+    return loop, system, plane, server, server_ref, rngs
+
+
+def make_device(
+    system, plane, server_ref, availability, rngs, memberships=("pop",), **kwargs
+):
+    profile = DeviceProfile(
+        device_id=len(plane), tz_offset_hours=0.0, speed_factor=1.0,
+        memory_mb=4096, os_version=28, runtime_version=10, genuine=True,
+    )
+    network = NetworkModel(transfer_failure_prob=0.0)
+    rng = rngs.stream(f"dev/{profile.device_id}")
+    device = DeviceActor(
+        profile=profile,
+        availability=availability,
+        network=network,
+        conditions=network.sample_conditions(rng),
+        selectors=[server_ref],
+        memberships=memberships,
+        trainers={name: SyntheticTrainer(num_parameters=10) for name in memberships},
+        compute=ComputeModel(examples_per_second=100.0, setup_overhead_s=1.0),
+        attestation=AttestationService(),
+        event_log=EventLog(),
+        rng=rng,
+        job=JobSchedule(600.0, 0.1),
+        compute_error_prob=0.0,
+        **kwargs,
+    )
+    plane.adopt(device)
+    system.spawn(device, profile.name)
+    return device
+
+
+def test_flip_to_ineligible_exactly_at_sweep_boundary_suppresses_checkin(harness):
+    loop, system, plane, server, server_ref, rngs = harness
+    plane.sweep_interval_s = 15.0
+    boundary = 600.0  # a multiple of the sweep interval
+    device = make_device(
+        system, plane, server_ref,
+        ScriptedAvailability(eligible=True, until=boundary), rngs,
+    )
+    # Force the check-in due time onto the same boundary as the flip.
+    device.idle.schedule_checkin(boundary - loop.now)
+    loop.run(until=boundary + 60.0)
+    # The flip is processed first within the sweep: the device went
+    # ineligible at the boundary, so the simultaneous check-in never fires.
+    assert server.checkins == []
+    assert device.state is DeviceState.SLEEPING
+    assert not plane.eligible[0]
+    assert plane.next_checkin_t[0] == float("inf")
+    assert plane.flips >= 1 and plane.checkins_dispatched == 0
+
+
+def test_zero_membership_device_never_checks_in_but_keeps_flipping(harness):
+    loop, system, plane, server, server_ref, rngs = harness
+    device = make_device(
+        system, plane, server_ref,
+        ScriptedAvailability(eligible=True, on_for=300.0, off_for=300.0),
+        rngs, memberships=(),
+    )
+    loop.run(until=3000.0)
+    assert plane.flips >= 8           # kept flipping on the 300s schedule
+    assert plane.checkins_dispatched == 0
+    assert server.checkins == []
+    assert plane.next_checkin_t[0] == float("inf")
+    assert device.state in (DeviceState.IDLE, DeviceState.SLEEPING)
+
+
+def make_configure(round_id, agg_ref):
+    from repro.core.checkpoint import FLCheckpoint
+    from repro.core.config import SecAggConfig, TaskKind
+    from repro.core.plan import generate_plan
+    from repro.nn.models import LogisticRegression
+
+    plan = generate_plan(
+        task_id="t", kind=TaskKind.TRAINING,
+        client_config=ClientTrainingConfig(), secagg=SecAggConfig(),
+        model_nbytes=100,
+    )
+    model = LogisticRegression(input_dim=2, n_classes=2)
+    ckpt = FLCheckpoint.from_params(
+        model.init(np.random.default_rng(0)), "pop", "t", 0
+    )
+    return msg.ConfigureDevice(
+        round_id=round_id, task_id="t", plan=plan, checkpoint=ckpt,
+        aggregator=agg_ref, report_deadline_s=1e9, participation_cap_s=600.0,
+    )
+
+
+def test_stale_waiting_timer_does_not_break_rematerialized_device(harness):
+    loop, system, plane, server, server_ref, rngs = harness
+    device = make_device(
+        system, plane, server_ref, ScriptedAvailability(eligible=True), rngs,
+    )
+    loop.run(until=700.0)
+    assert device.state is DeviceState.WAITING
+    first_epoch = device._wait_epoch
+    # Run a full session so the device hands itself back to the plane...
+    system.tell(device.ref, make_configure(5, server_ref))
+    while not server.reports and loop.now < 5000.0:
+        loop.run(until=loop.now + 5.0)
+    system.tell(device.ref, msg.ReportAck(round_id=5, accepted=True))
+    loop.run(until=loop.now + 10.0)
+    assert device.rounds_completed == 1
+    # ... then re-materialize promptly.
+    device.idle.schedule_checkin(1.0)
+    loop.run(until=loop.now + 120.0)
+    assert device.state is DeviceState.WAITING
+    assert plane.active[0]
+    # A stale timer from the first session fires with the old epoch: it
+    # must not tear down the new session.
+    device._on_waiting_timeout(first_epoch)
+    assert device.state is DeviceState.WAITING
+    assert plane.active[0]
+    assert server.disconnects == []
+    assert device.scheduler.running == "pop"
+
+
+def test_fast_rejected_device_never_materializes(harness):
+    loop, system, plane, server, _ref, rngs = harness
+    window = ReconnectWindow(5000.0, 5100.0)
+    rejecting = RejectingServer(window)
+    rejecting_ref = system.spawn(rejecting, "rejecting")
+    device = make_device(
+        system, plane, rejecting_ref, ScriptedAvailability(eligible=True), rngs,
+    )
+    loop.run(until=700.0)
+    assert rejecting.screened == 1
+    assert rejecting.checkins == []          # no stream was ever opened
+    assert device.state is DeviceState.IDLE  # never left the plane
+    assert not plane.active[0]
+    assert plane.checkins_fast_rejected == 1
+    assert device.health.checkins == 1       # the attempt still counts
+    # The pace window gates the retry.
+    assert 5000.0 <= plane.next_checkin_t[0] <= 5101.0
+    assert plane.pending_window_t[0] >= 5000.0
+
+
+# ---------------------------------------------------------------------------
+# fleet-level: cross-plane compatibility and determinism
+
+
+def build_fleet(plane: str, seed: int = 11, devices: int = 200):
+    model = MLPClassifier(input_dim=8, hidden_dims=(16,), n_classes=4)
+    params = model.init(np.random.default_rng(0))
+    task = TaskConfig(
+        task_id="t",
+        population_name="pop",
+        round_config=RoundConfig(target_participants=15),
+        client_config=ClientTrainingConfig(epochs=1, batch_size=8),
+    )
+    return (
+        FLFleet.builder()
+        .seed(seed)
+        .devices(PopulationConfig(num_devices=devices))
+        .idle_plane(plane)
+        .population("pop", tasks=[task], model=params)
+        .build()
+    )
+
+
+def test_cross_plane_round_completion_rates_compatible():
+    """Vectorized and actor planes are different discretisations of the
+    same fleet dynamics: same seed, statistically compatible throughput."""
+    reports = {}
+    for plane in ("vectorized", "actor"):
+        fleet = build_fleet(plane)
+        fleet.run_days(0.3)
+        reports[plane] = fleet.report()
+    vec, act = reports["vectorized"], reports["actor"]
+    assert vec.rounds_committed >= 1 and act.rounds_committed >= 1
+    assert 0.5 <= vec.rounds_committed / act.rounds_committed <= 2.0
+    vec_sessions = sum(p.device_sessions for p in vec.populations)
+    act_sessions = sum(p.device_sessions for p in act.populations)
+    assert 0.5 <= vec_sessions / act_sessions <= 2.0
+    # Round health is comparable too, not just volume.
+    assert abs(vec.mean_drop_rate - act.mean_drop_rate) < 0.25
+
+
+def test_vectorized_plane_is_deterministic():
+    runs = []
+    for _ in range(2):
+        fleet = build_fleet("vectorized", seed=7, devices=150)
+        fleet.run_days(0.15)
+        runs.append(
+            (fleet.report().to_operational_dict(),
+             fleet.health_report().to_dict())
+        )
+    assert runs[0] == runs[1]
+
+
+def test_plane_state_counts_match_device_states():
+    fleet = build_fleet("vectorized", seed=3, devices=120)
+    fleet.run_days(0.07)
+    counts = fleet.idle_plane.state_counts()
+    truth = {state: 0 for state in DeviceState}
+    for device in fleet.devices:
+        truth[device.state] += 1
+    assert counts == truth
+    assert sum(counts.values()) == 120
