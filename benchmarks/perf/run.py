@@ -46,6 +46,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="compare speedups against a committed reference JSON")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed relative speedup regression (default 0.30)")
+    parser.add_argument("--history",
+                        default=os.path.join(_REPO_ROOT, "BENCH_history.jsonl"),
+                        help="perf-trajectory JSONL a full run appends its "
+                             "headline speedups to (default: repo root)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the perf trajectory")
     args = parser.parse_args(argv)
 
     config = perf.HarnessConfig.quick() if args.quick else perf.HarnessConfig()
@@ -103,8 +109,17 @@ def main(argv: list[str] | None = None) -> int:
             print("PERF REGRESSION:")
             for failure in failures:
                 print(f"  {failure}")
+            # A regressed run never pollutes the perf trajectory.
             return 1
         print(f"perf check ok (tolerance {args.tolerance:.0%} vs {args.check})")
+
+    # The perf trajectory records one line per *full* run (quick modes
+    # measure reduced workloads whose ratios aren't comparable across
+    # PRs, so they never pollute the history).
+    full_run = not (args.quick or args.scale_quick or args.no_fleet or args.no_scale)
+    if full_run and not args.no_write and not args.no_history:
+        line = perf.append_history(report, args.history)
+        print(f"appended speedups for {line['git_commit']} to {args.history}")
     return 0
 
 

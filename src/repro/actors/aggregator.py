@@ -20,6 +20,15 @@ aggregation pipeline only ever reads them.  An aggregator built with
 ``copy_pending=True`` additionally stages pending reports into a pool of
 per-round scratch vectors, for report sources that may reuse their
 upload buffers.
+
+Cohort fold: under the cohort training plane, a round's report vectors
+arrive as row *views* of one stacked ``(K, dim)`` delta matrix (minted
+by the population's :class:`~repro.device.cohort.CohortExecutionPlane`,
+one allocation per executed cohort instead of K report vectors).  The
+immutability contract covers them unchanged, each row view keeps the
+matrix alive for exactly as long as any consumer (pending window, SecAgg
+retention) needs it, and ``add_vector`` folds a row straight into the
+round's accumulator without ever materializing a per-device copy.
 """
 
 from __future__ import annotations

@@ -6,6 +6,13 @@ Aggregator per round, and instructs the Selectors how many devices to
 forward.  If it dies, the Selector layer respawns it (see
 :mod:`repro.actors.selector`); a replacement recovers its round counter
 from the checkpoint store, so commits stay monotonic.
+
+The round lifecycle is identical under both training planes: the cohort
+execution plane only changes *how* admitted devices' local SGD executes
+numerically (batched, on demand), never *when* simulated events fire —
+each device still reports at its own network/compute-sampled completion
+time, so selection gates, pacing, straggler discard, and the
+accept/reject state machine behave byte-for-byte the same.
 """
 
 from __future__ import annotations

@@ -23,9 +23,13 @@ from repro.core.checkpoint import FLCheckpoint, CheckpointStore
 from repro.core.plan import DevicePlan, ServerPlan, FLPlan
 from repro.core.fedavg import (
     ClientUpdateResult,
+    CohortUpdateBuffers,
+    CohortUpdateResult,
     FedAvgConfig,
     FederatedAveraging,
+    LocalStepSchedule,
     client_update,
+    client_update_cohort,
 )
 from repro.core.fedsgd import FedSGD
 from repro.core.pace import PaceConfig, PaceSteering
@@ -53,9 +57,13 @@ __all__ = [
     "ServerPlan",
     "FLPlan",
     "ClientUpdateResult",
+    "CohortUpdateBuffers",
+    "CohortUpdateResult",
     "FedAvgConfig",
     "FederatedAveraging",
+    "LocalStepSchedule",
     "client_update",
+    "client_update_cohort",
     "FedSGD",
     "PaceConfig",
     "PaceSteering",

@@ -14,9 +14,11 @@ from repro.device.example_store import Example, ExampleStore, ExampleStoreRegist
 from repro.device.eligibility import DeviceConditions, EligibilityPolicy
 from repro.device.attestation import AttestationService, AttestationToken
 from repro.device.scheduler import JobSchedule, MultiTenantScheduler
+from repro.device.cohort import CohortExecutionPlane, PendingCohortResult
 from repro.device.runtime import (
     ComputeModel,
     LocalTrainer,
+    PendingTrainResult,
     RealTrainer,
     SyntheticTrainer,
     TrainResult,
@@ -33,8 +35,11 @@ __all__ = [
     "AttestationToken",
     "JobSchedule",
     "MultiTenantScheduler",
+    "CohortExecutionPlane",
+    "PendingCohortResult",
     "ComputeModel",
     "LocalTrainer",
+    "PendingTrainResult",
     "RealTrainer",
     "SyntheticTrainer",
     "TrainResult",

@@ -39,7 +39,9 @@ from repro.core.config import TaskKind
 from repro.core.datasets import ClientDataset
 from repro.core.fedavg import ClientUpdateBuffers, client_update
 from repro.core.plan import FLPlan
+from repro.device.cohort import CohortExecutionPlane, PendingCohortResult
 from repro.device.example_store import ExampleStore
+from repro.nn.losses import softmax_cross_entropy
 from repro.nn.models import Model
 from repro.nn.parameters import Parameters, buffered_math_enabled
 
@@ -53,6 +55,47 @@ class TrainResult:
     metrics: dict[str, float]
     upload_nbytes: int
     train_compute_units: float     # example-epochs of work performed
+
+
+@dataclass
+class PendingTrainResult:
+    """A deferred plan execution: simulated cost now, numbers later.
+
+    Produced by :meth:`RealTrainer.defer` when the trainer is enrolled in
+    a cohort execution plane.  The quantities a device needs *before* the
+    numbers exist — example count and compute units, which set the
+    simulated training duration and health accounting — are available
+    immediately; :meth:`resolve` (called when the simulated training
+    completes) executes the plane's pending cohort if this workload
+    hasn't run yet and builds the final :class:`TrainResult`.
+    """
+
+    pending: PendingCohortResult
+    epochs: int
+    update_compression_ratio: float
+
+    @property
+    def num_examples(self) -> int:
+        return self.pending.num_examples
+
+    @property
+    def train_compute_units(self) -> float:
+        return float(self.pending.num_examples * self.epochs)
+
+    def resolve(self) -> TrainResult:
+        part = self.pending.resolve()
+        raw_nbytes = part.delta_vector.size * 8
+        return TrainResult(
+            delta_vector=part.delta_vector,
+            weight=part.weight,
+            num_examples=part.num_examples,
+            metrics={"loss": part.mean_loss, "num_examples": part.num_examples},
+            upload_nbytes=int(raw_nbytes / max(self.update_compression_ratio, 1.0)),
+            train_compute_units=self.train_compute_units,
+        )
+
+    def cancel(self) -> None:
+        self.pending.cancel()
 
 
 @dataclass(frozen=True)
@@ -109,6 +152,61 @@ class RealTrainer:
         self._params_cache_key: tuple[str, str, int] | None = None
         self._params_cache: Parameters | None = None
         self._zero_delta: np.ndarray | None = None
+        self._cohort_plane: CohortExecutionPlane | None = None
+
+    def attach_cohort_plane(self, plane: CohortExecutionPlane) -> None:
+        """Enroll this trainer in its population's cohort execution plane.
+
+        Once enrolled, training plans are *deferred* via :meth:`defer`
+        instead of executed inline (evaluation plans, and everything in
+        functional-math mode, still run inline)."""
+        self._cohort_plane = plane
+
+    def defer(
+        self,
+        plan: FLPlan,
+        checkpoint: FLCheckpoint,
+        now_s: float,
+        rng: np.random.Generator,
+    ) -> PendingTrainResult | None:
+        """Enqueue this session's training with the cohort plane.
+
+        Returns ``None`` when the session should run inline instead (no
+        plane attached, functional-math mode, or an evaluation plan).
+        The store query and every RNG draw the inline path would make
+        happen *here*, at the session's own simulated time, so deferring
+        never perturbs the device's stream or the simulated timeline.
+        """
+        if self._cohort_plane is None or not buffered_math_enabled():
+            return None
+        if plan.device.kind is not TaskKind.TRAINING:
+            return None
+        # Deferral pays off only when the model ships a true batched
+        # kernel; the base fallback executes rows serially, so a model
+        # without one trains cheaper inline than through the plane.
+        if type(self.model).loss_and_grad_cohort is Model.loss_and_grad_cohort:
+            return None
+        x, y = self.store.query(plan.device.selection_criteria, now_s)
+        if x.shape[0] == 0:
+            raise RuntimeError("example store returned no data for the plan")
+        params = self._checkpoint_params(checkpoint)
+        round_key = (
+            checkpoint.population_name,
+            checkpoint.task_id,
+            checkpoint.round_number,
+        )
+        pending = self._cohort_plane.enqueue(
+            ClientDataset("local", x, y),
+            params,
+            plan.device.training,
+            rng,
+            round_key,
+        )
+        return PendingTrainResult(
+            pending=pending,
+            epochs=plan.device.training.epochs,
+            update_compression_ratio=self.update_compression_ratio,
+        )
 
     def _checkpoint_params(self, checkpoint: FLCheckpoint) -> Parameters:
         if not buffered_math_enabled():
@@ -178,13 +276,17 @@ class RealTrainer:
 
     def _evaluate(self, params, dataset: ClientDataset) -> TrainResult:
         """Held-out metrics: "analogous to the validation step in data
-        center training" (Sec. 3)."""
+        center training" (Sec. 3).
+
+        One forward pass serves both metrics: the loss is derived from
+        the same logits the accuracy needs (every bundled model's
+        ``loss`` is softmax cross-entropy over its ``logits``), instead
+        of running ``model.loss`` and ``model.logits`` back to back —
+        halving an eval session's compute."""
         n = dataset.num_examples
-        loss = self.model.loss(params, dataset.x, dataset.y)
-        logits = self.model.logits(params, dataset.x)
-        accuracy = float(
-            (np.asarray(logits).argmax(axis=-1) == dataset.y).mean()
-        )
+        logits = np.asarray(self.model.logits(params, dataset.x))
+        loss, _ = softmax_cross_entropy(logits, dataset.y)
+        accuracy = float((logits.argmax(axis=-1) == dataset.y).mean())
         return TrainResult(
             delta_vector=self._zero_vector(params.num_parameters),
             weight=float(n),

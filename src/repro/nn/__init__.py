@@ -14,8 +14,12 @@ actually interacts with:
   the object FL plans embed and version transforms rewrite (Sec. 7.3).
 """
 
-from repro.nn.parameters import Parameters
-from repro.nn.losses import softmax_cross_entropy, softmax
+from repro.nn.parameters import Parameters, StackedParameters
+from repro.nn.losses import (
+    softmax,
+    softmax_cross_entropy,
+    softmax_cross_entropy_cohort,
+)
 from repro.nn.metrics import accuracy, top_k_recall, perplexity
 from repro.nn.optimizers import SGD, SGDConfig
 from repro.nn.models import (
@@ -30,7 +34,9 @@ from repro.nn.graph import GraphDef, OpSpec, build_training_graph, build_eval_gr
 
 __all__ = [
     "Parameters",
+    "StackedParameters",
     "softmax_cross_entropy",
+    "softmax_cross_entropy_cohort",
     "softmax",
     "accuracy",
     "top_k_recall",

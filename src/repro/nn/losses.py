@@ -41,6 +41,60 @@ def softmax_cross_entropy(
     return loss, dlogits
 
 
+def softmax_cross_entropy_cohort(
+    logits: np.ndarray, labels: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Masked :func:`softmax_cross_entropy` over a leading cohort axis.
+
+    Parameters
+    ----------
+    logits: ``(K, B, C)`` float array — row ``k`` holds client ``k``'s
+        padded minibatch; entries beyond ``counts[k]`` may be arbitrary
+        (finite) values and contribute nothing.
+    labels: ``(K, B)`` integer array; padding labels must be valid class
+        ids (any value in ``[0, C)``).
+    counts: ``(K,)`` integer array of valid examples per row; a count of
+        zero marks an inactive client (loss 0, zero gradient row).
+
+    Returns
+    -------
+    ``(losses, dlogits)`` — per-client mean losses ``(K,)`` and the
+    gradient ``(K, B, C)`` with the per-client ``1/count`` mean factor
+    applied and padding rows exactly zero.  For full rows
+    (``counts[k] == B``) both are computed by the same elementwise ops in
+    the same order as the per-client function, so values match it
+    bitwise; ragged rows differ only in float summation order.
+
+    ``logits`` is consumed: the gradient is computed in place on it.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    counts = np.asarray(counts)
+    k, b, _ = logits.shape
+    if labels.shape != (k, b):
+        raise ValueError(f"labels shape {labels.shape} != {(k, b)}")
+    if counts.shape != (k,):
+        raise ValueError(f"counts shape {counts.shape} != {(k,)}")
+    rows = np.arange(k)[:, None]
+    cols = np.arange(b)[None, :]
+    mask = cols < counts[:, None]                      # (K, B) valid slots
+    safe = np.maximum(counts, 1).astype(np.float64)
+    shifted = logits
+    np.subtract(shifted, shifted.max(axis=-1, keepdims=True), out=shifted)
+    probs = np.exp(shifted, out=shifted)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    eps = 1e-12
+    logp = np.log(probs[rows, cols, labels] + eps)     # (K, B)
+    np.multiply(logp, mask, out=logp)
+    losses = -(logp.sum(axis=1) / safe)
+    losses[counts == 0] = 0.0
+    dlogits = probs
+    dlogits[rows, cols, labels] -= 1.0
+    dlogits /= safe[:, None, None]
+    dlogits *= mask[:, :, None]
+    return losses, dlogits
+
+
 def l2_regularization(
     weight_decay: float, arrays: list[np.ndarray]
 ) -> tuple[float, list[np.ndarray]]:

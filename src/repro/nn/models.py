@@ -22,8 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.losses import softmax, softmax_cross_entropy
-from repro.nn.parameters import Parameters
+from repro.nn.losses import (
+    softmax,
+    softmax_cross_entropy,
+    softmax_cross_entropy_cohort,
+)
+from repro.nn.parameters import Parameters, StackedParameters
 
 
 class Model(abc.ABC):
@@ -61,6 +65,44 @@ class Model(abc.ABC):
         value, grads = self.loss_and_grad(params, x, y)
         out.copy_from_(grads)
         return value
+
+    def loss_and_grad_cohort(
+        self,
+        params: StackedParameters,
+        x: np.ndarray,
+        y: np.ndarray,
+        counts: np.ndarray,
+        out: StackedParameters,
+    ) -> np.ndarray:
+        """Batched :meth:`loss_and_grad` across a leading cohort axis.
+
+        ``params`` and ``out`` stack ``K`` clients' weights/gradients;
+        ``x`` is ``(K, B, ...)`` padded minibatches, ``y`` is ``(K, B)``,
+        and ``counts`` gives each row's valid example count (0 marks an
+        inactive client: loss 0, gradient row zeroed).  Padding entries
+        must be finite (and integer inputs in-vocabulary) — they are
+        masked to contribute exactly nothing.
+
+        Returns per-client mean losses ``(K,)``.  The default executes
+        row by row through :meth:`loss_and_grad`, so every model supports
+        the cohort execution plane; the bundled models override it with
+        true batched kernels (einsum/matmul with a cohort axis) that are
+        bitwise-identical per row when all rows are full (the per-row
+        GEMM shapes then match the per-client call exactly) and equal to
+        float summation order otherwise.
+        """
+        k = params.rows
+        losses = np.zeros(k, dtype=np.float64)
+        for i in range(k):
+            c = int(counts[i])
+            row_out = out.row(i)
+            if c == 0:
+                row_out.zero_()
+                continue
+            loss, grads = self.loss_and_grad(params.row(i), x[i][:c], y[i][:c])
+            row_out.copy_from_(grads)
+            losses[i] = loss
+        return losses
 
     @property
     @abc.abstractmethod
@@ -107,6 +149,24 @@ class LogisticRegression(Model):
         np.matmul(x.T, dlogits, out=out["W"])
         np.sum(dlogits, axis=0, out=out["b"])
         return loss
+
+    def loss_and_grad_cohort(
+        self,
+        params: StackedParameters,
+        x: np.ndarray,
+        y: np.ndarray,
+        counts: np.ndarray,
+        out: StackedParameters,
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        logits = np.matmul(x, params["W"])
+        logits += params["b"][:, None, :]
+        losses, dl = softmax_cross_entropy_cohort(logits, y, counts)
+        # Padded rows of dl are exactly zero, so summing over the full
+        # padded batch adds only exact zeros to each gradient entry.
+        np.matmul(x.transpose(0, 2, 1), dl, out=out["W"])
+        np.sum(dl, axis=1, out=out["b"])
+        return losses
 
 
 @dataclass
@@ -184,6 +244,36 @@ class MLPClassifier(Model):
             if i > 0:
                 delta = (delta @ params[f"W{i}"].T) * (h_in > 0)
         return loss
+
+    def loss_and_grad_cohort(
+        self,
+        params: StackedParameters,
+        x: np.ndarray,
+        y: np.ndarray,
+        counts: np.ndarray,
+        out: StackedParameters,
+    ) -> np.ndarray:
+        h = np.asarray(x, dtype=np.float64)
+        cache = [h]
+        n_layers = len(self._layer_dims())
+        for i in range(n_layers):
+            z = np.matmul(h, params[f"W{i}"])
+            z += params[f"b{i}"][:, None, :]
+            if i < n_layers - 1:
+                h = np.maximum(z, 0.0, out=z)
+                cache.append(h)
+            else:
+                logits = z
+        losses, dl = softmax_cross_entropy_cohort(logits, y, counts)
+        delta = dl
+        for i in reversed(range(n_layers)):
+            h_in = cache[i]
+            np.matmul(h_in.transpose(0, 2, 1), delta, out=out[f"W{i}"])
+            np.sum(delta, axis=1, out=out[f"b{i}"])
+            if i > 0:
+                delta = np.matmul(delta, params[f"W{i}"].transpose(0, 2, 1))
+                delta *= h_in > 0
+        return losses
 
 
 @dataclass
@@ -283,6 +373,58 @@ class RNNLanguageModel(Model):
     def predict_proba(self, params: Parameters, x: np.ndarray) -> np.ndarray:
         return softmax(self.logits(params, x))
 
+    def loss_and_grad_cohort(
+        self,
+        params: StackedParameters,
+        x: np.ndarray,
+        y: np.ndarray,
+        counts: np.ndarray,
+        out: StackedParameters,
+    ) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 3:
+            raise ValueError(f"cohort RNN input must be (K, B, T), got {x.shape}")
+        k, b, t_max = x.shape
+        embed, w_xh, w_hh = params["embed"], params["W_xh"], params["W_hh"]
+        b_h, w_hy, b_y = params["b_h"], params["W_hy"], params["b_y"]
+        kidx = np.arange(k)[:, None]
+        h = np.zeros((k, b, self.hidden_dim))
+        hiddens = [h]
+        embeds = []
+        for t in range(t_max):
+            e = embed[kidx, x[:, :, t]]                   # (K, B, D)
+            embeds.append(e)
+            z = np.matmul(e, w_xh)
+            z += np.matmul(h, w_hh)
+            z += b_h[:, None, :]
+            h = np.tanh(z, out=z)
+            hiddens.append(h)
+        logits = np.matmul(h, w_hy)
+        logits += b_y[:, None, :]
+        losses, dl = softmax_cross_entropy_cohort(logits, y, counts)
+
+        g_embed, g_wxh, g_whh = out["embed"], out["W_xh"], out["W_hh"]
+        g_bh, g_why, g_by = out["b_h"], out["W_hy"], out["b_y"]
+        g_embed.fill(0.0)
+        g_wxh.fill(0.0)
+        g_whh.fill(0.0)
+        g_bh.fill(0.0)
+        np.matmul(hiddens[-1].transpose(0, 2, 1), dl, out=g_why)
+        np.sum(dl, axis=1, out=g_by)
+
+        dh = np.matmul(dl, w_hy.transpose(0, 2, 1))
+        for t in reversed(range(t_max)):
+            h_t = hiddens[t + 1]
+            h_prev = hiddens[t]
+            dz = np.multiply(dh, 1.0 - h_t * h_t, out=dh)
+            g_wxh += np.matmul(embeds[t].transpose(0, 2, 1), dz)
+            g_whh += np.matmul(h_prev.transpose(0, 2, 1), dz)
+            g_bh += dz.sum(axis=1)
+            de = np.matmul(dz, w_xh.transpose(0, 2, 1))
+            np.add.at(g_embed, (kidx, x[:, :, t]), de)
+            dh = np.matmul(dz, w_hh.transpose(0, 2, 1))
+        return losses
+
 
 @dataclass
 class BagOfWordsLanguageModel(Model):
@@ -330,3 +472,31 @@ class BagOfWordsLanguageModel(Model):
         for t in range(t_max):
             np.add.at(g_embed, x[:, t], dctx)
         return loss, Parameters({"embed": g_embed, "W": g_w, "b": g_b})
+
+    def loss_and_grad_cohort(
+        self,
+        params: StackedParameters,
+        x: np.ndarray,
+        y: np.ndarray,
+        counts: np.ndarray,
+        out: StackedParameters,
+    ) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 3:
+            raise ValueError(f"cohort BoW input must be (K, B, T), got {x.shape}")
+        k, b, t_max = x.shape
+        kidx = np.arange(k)[:, None]
+        embed, w, bias = params["embed"], params["W"], params["b"]
+        ctx = embed[kidx[:, :, None], x].mean(axis=2)     # (K, B, D)
+        logits = np.matmul(ctx, w)
+        logits += bias[:, None, :]
+        losses, dl = softmax_cross_entropy_cohort(logits, y, counts)
+        np.matmul(ctx.transpose(0, 2, 1), dl, out=out["W"])
+        np.sum(dl, axis=1, out=out["b"])
+        dctx = np.matmul(dl, w.transpose(0, 2, 1))
+        dctx /= t_max
+        g_embed = out["embed"]
+        g_embed.fill(0.0)
+        for t in range(t_max):
+            np.add.at(g_embed, (kidx, x[:, :, t]), dctx)
+        return losses

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.parameters import Parameters
+from repro.nn.parameters import Parameters, StackedParameters
 
 @dataclass(frozen=True)
 class SGDConfig:
@@ -56,17 +56,22 @@ class SGD:
         self._scratch: dict[str, np.ndarray] | None = None
         self._flat_scratch: np.ndarray | None = None
         self._flat_velocity: np.ndarray | None = None
+        self._stack_velocity: dict[str, np.ndarray] | None = None
 
     def reset(self) -> None:
         self._velocity = None
         self._flat_velocity = None
+        self._stack_velocity = None
 
     def _require_no_flat_velocity(self) -> None:
-        if self.config.momentum > 0 and self._flat_velocity is not None:
+        if self.config.momentum > 0 and (
+            self._flat_velocity is not None or self._stack_velocity is not None
+        ):
             raise RuntimeError(
-                "momentum state was accumulated by the flat step_ fast "
-                "path; mixing calling conventions mid-run would silently "
-                "restart momentum from zero (call reset() to start over)"
+                "momentum state was accumulated by the flat or stacked "
+                "step_ fast path; mixing calling conventions mid-run would "
+                "silently restart momentum from zero (call reset() to "
+                "start over)"
             )
 
     def step(self, params: Parameters, grads: Parameters) -> Parameters:
@@ -125,6 +130,51 @@ class SGD:
                 g = v
             np.multiply(g, cfg.learning_rate, out=scratch)
             np.subtract(w, scratch, out=w)
+        return params
+
+    def step_stack_(
+        self, params: StackedParameters, grads: StackedParameters
+    ) -> StackedParameters:
+        """Vectorized :meth:`step_` advancing ``K`` stacked working copies.
+
+        Every row receives the same elementwise float ops as a per-client
+        :meth:`step_` call (``w -= lr * g`` with optional weight decay and
+        momentum), so row ``i`` is bitwise-identical to stepping client
+        ``i`` alone.  ``grads`` is *consumed* — its arrays are used as the
+        update scratch — which is the contract the cohort execution plane
+        wants (gradient stacks are rewritten by the next batched backward
+        pass anyway).  Momentum state is kept as per-array stacked
+        velocity buffers keyed to this calling convention; as with the
+        flat fast path, don't mix conventions on one live optimizer.
+        """
+        cfg = self.config
+        if cfg.momentum > 0:
+            if self._velocity is not None or self._flat_velocity is not None:
+                raise RuntimeError(
+                    "momentum state was accumulated by another calling "
+                    "convention; mixing in stacked steps would silently "
+                    "restart momentum (call reset() to start over)"
+                )
+            if self._stack_velocity is None:
+                self._stack_velocity = {
+                    name: np.zeros_like(a) for name, a in params.items()
+                }
+        for name, w in params.items():
+            g = grads[name]
+            if cfg.weight_decay > 0:
+                # g <- g + wd * w (bitwise-commutative add, matching the
+                # functional `g + wd * w`).
+                np.add(g, cfg.weight_decay * w, out=g)
+            if cfg.momentum > 0:
+                v = self._stack_velocity[name]
+                np.multiply(v, cfg.momentum, out=v)
+                np.add(v, g, out=v)
+                # Scale the update into the (consumable) gradient buffer,
+                # never the live velocity.
+                np.multiply(v, cfg.learning_rate, out=g)
+            else:
+                np.multiply(g, cfg.learning_rate, out=g)
+            np.subtract(w, g, out=w)
         return params
 
     def _step_flat(self, w: np.ndarray, g: np.ndarray) -> None:

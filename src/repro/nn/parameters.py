@@ -157,6 +157,11 @@ class ParameterLayout:
         """Concatenate ``params`` into ``out`` (allocated when ``None``)."""
         return params.to_vector(out=out)
 
+    def stacked(self, rows: int) -> "StackedParameters":
+        """``rows`` zero-initialised parameter sets stacked along a
+        leading cohort axis (see :class:`StackedParameters`)."""
+        return StackedParameters(self, rows)
+
 
 class Parameters(Mapping[str, np.ndarray]):
     """Ordered mapping ``name -> float64 array``.
@@ -427,6 +432,128 @@ class Parameters(Mapping[str, np.ndarray]):
                 f"{self.num_parameters}"
             )
         return self.layout.unflatten(vector)
+
+
+class StackedParameters:
+    """``K`` parameter sets stacked along a leading cohort axis.
+
+    One contiguous ``(K, *shape)`` array per parameter array, all sharing
+    one :class:`ParameterLayout` — the in-memory form the cohort execution
+    plane trains a whole round's clients in.  Ownership rules:
+
+    * the stack owns its arrays; :meth:`head` returns a *view* stack over
+      the first ``k`` rows (no copy — the owner's buffers are reused
+      across cohorts of different sizes);
+    * :meth:`row` returns a ``Parameters`` whose arrays are views of row
+      ``i`` — valid only while the stack is not rewritten;
+    * :meth:`write_rows` copies the rows out into a caller-owned
+      ``(K, dim)`` matrix in layout order — the only way stacked state
+      escapes the buffers (the cohort plane does this once per execution
+      to mint the round's immutable report vectors).
+    """
+
+    __slots__ = ("layout", "rows", "_arrays")
+
+    def __init__(
+        self,
+        layout: ParameterLayout,
+        rows: int,
+        _arrays: dict[str, np.ndarray] | None = None,
+    ):
+        if rows <= 0:
+            raise ValueError(f"rows must be positive, got {rows}")
+        self.layout = layout
+        self.rows = rows
+        if _arrays is not None:
+            self._arrays = _arrays
+        else:
+            # Zero-initialised (not np.empty): padding rows of gather
+            # buffers and never-written rows must stay finite so masked
+            # kernels can multiply them by zero safely.
+            self._arrays = {
+                name: np.zeros((rows, *shape), dtype=np.float64)
+                for name, shape in zip(layout.names, layout.shapes)
+            }
+
+    # -- Mapping-ish access ---------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def items(self):
+        return self._arrays.items()
+
+    def __repr__(self) -> str:
+        return f"StackedParameters({self.rows} rows, {self.layout!r})"
+
+    # -- views ----------------------------------------------------------------
+    def head(self, k: int) -> "StackedParameters":
+        """A view stack over the first ``k`` rows (no copy)."""
+        if k == self.rows:
+            return self
+        if not 0 < k <= self.rows:
+            raise ValueError(f"head of {k} rows from a {self.rows}-row stack")
+        return StackedParameters(
+            self.layout, k, _arrays={n: a[:k] for n, a in self._arrays.items()}
+        )
+
+    def row(self, i: int) -> Parameters:
+        """Row ``i`` as structured ``Parameters`` (views, no copy)."""
+        return Parameters({name: a[i] for name, a in self._arrays.items()})
+
+    # -- whole-stack ops ------------------------------------------------------
+    def broadcast_(self, params: Parameters) -> "StackedParameters":
+        """Copy one parameter set into every row."""
+        for name, a in self._arrays.items():
+            a[...] = params[name]
+        return self
+
+    def sub_broadcast_(self, params: Parameters) -> "StackedParameters":
+        """``row_i -= params`` for every row."""
+        for name, a in self._arrays.items():
+            np.subtract(a, params[name], out=a)
+        return self
+
+    def scale_rows_(self, factors: np.ndarray) -> "StackedParameters":
+        """``row_i *= factors[i]`` (masked row-wise weighting)."""
+        for name, a in self._arrays.items():
+            shaped = factors.reshape((self.rows,) + (1,) * (a.ndim - 1))
+            np.multiply(a, shaped, out=a)
+        return self
+
+    def row_norms(self) -> np.ndarray:
+        """Per-row l2 norms across all arrays.
+
+        Row ``i`` is bitwise-identical to ``self.row(i).l2_norm()``: the
+        per-array squared sums reduce over the same element order (a
+        row-contiguous pairwise sum) and accumulate in the same array
+        order, so cohort-side norm clipping matches the per-client path
+        exactly.
+        """
+        total = np.zeros(self.rows, dtype=np.float64)
+        for a in self._arrays.values():
+            squares = a * a
+            total += squares.reshape(self.rows, -1).sum(axis=1)
+        return np.sqrt(total)
+
+    def zero_(self) -> "StackedParameters":
+        for a in self._arrays.values():
+            a.fill(0.0)
+        return self
+
+    def write_rows(self, out: np.ndarray) -> np.ndarray:
+        """Copy every row into ``out`` (``(rows, dim)``) in layout order."""
+        layout = self.layout
+        if out.shape != (self.rows, layout.total_size):
+            raise ValueError(
+                f"out has shape {out.shape}, need "
+                f"{(self.rows, layout.total_size)}"
+            )
+        for name, off, size in zip(layout.names, layout.offsets, layout.sizes):
+            out[:, off : off + size] = self._arrays[name].reshape(self.rows, size)
+        return out
 
 
 class ParameterAccumulator:

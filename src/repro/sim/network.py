@@ -80,19 +80,40 @@ class NetworkModel:
     transfer_failure_prob: float = 0.01
     meter: TrafficMeter = field(default_factory=TrafficMeter)
 
-    def sample_conditions(self, rng: np.random.Generator) -> NetworkConditions:
+    def sample_conditions_batch(
+        self, n: int, rng: np.random.Generator
+    ) -> list[NetworkConditions]:
+        """Sample ``n`` devices' link conditions in three vectorized draws.
+
+        The per-device scalar sampler made 3 RNG calls per device, which
+        dominated fleet construction at 20k+ devices; here each
+        log-normal field is one ``size=n`` draw.  Fields are drawn in the
+        same order as :meth:`sample_conditions` (down, up, rtt), so
+        ``sample_conditions_batch(1, rng)`` consumes the stream exactly
+        like one scalar call.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
         down = self.median_downlink_bytes_per_s * np.exp(
-            rng.normal(0.0, self.bandwidth_sigma)
+            rng.normal(0.0, self.bandwidth_sigma, size=n)
         )
         up = self.median_uplink_bytes_per_s * np.exp(
-            rng.normal(0.0, self.bandwidth_sigma)
+            rng.normal(0.0, self.bandwidth_sigma, size=n)
         )
-        rtt = self.median_rtt_s * np.exp(rng.normal(0.0, self.rtt_sigma))
-        return NetworkConditions(
-            downlink_bytes_per_s=float(down),
-            uplink_bytes_per_s=float(up),
-            rtt_s=float(rtt),
-        )
+        rtt = self.median_rtt_s * np.exp(rng.normal(0.0, self.rtt_sigma, size=n))
+        return [
+            NetworkConditions(
+                downlink_bytes_per_s=float(d),
+                uplink_bytes_per_s=float(u),
+                rtt_s=float(r),
+            )
+            for d, u, r in zip(down, up, rtt)
+        ]
+
+    def sample_conditions(self, rng: np.random.Generator) -> NetworkConditions:
+        """One device's link conditions (delegates to the batch sampler,
+        so scalar and batch paths stay stream-compatible)."""
+        return self.sample_conditions_batch(1, rng)[0]
 
     def transfer_fails(self, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.transfer_failure_prob)

@@ -163,6 +163,15 @@ class FleetBuilder:
         self._config.idle_plane = str(mode)
         return self
 
+    def training_plane(self, mode: str) -> "FleetBuilder":
+        """How admitted devices' local training executes: ``"cohort"``
+        (a round's sessions batched into stacked tensor ops on the
+        population's cohort execution plane, the default) or
+        ``"per_device"`` (inline per-session SGD, the measurable
+        baseline).  Simulated time is identical either way."""
+        self._config.training_plane = str(mode)
+        return self
+
     def sample_interval(self, seconds: float) -> "FleetBuilder":
         self._config.sample_interval_s = float(seconds)
         return self

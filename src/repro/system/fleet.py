@@ -34,6 +34,7 @@ from repro.core.rounds import RoundResult
 from repro.core.task import FLPopulation, FLTask, TaskScheduler
 from repro.device.actor import DeviceActor, DeviceState
 from repro.device.attestation import AttestationService
+from repro.device.cohort import CohortExecutionPlane
 from repro.device.runtime import LocalTrainer, SyntheticTrainer
 from repro.nn.parameters import Parameters
 from repro.nn.serialization import checkpoint_nbytes
@@ -106,6 +107,10 @@ class FLFleet:
             if self.config.idle_plane == "vectorized"
             else None
         )
+        #: One cohort execution plane per population whose trainers can
+        #: defer (built lazily while spawning the device fleet; empty
+        #: under ``training_plane="per_device"`` or synthetic trainers).
+        self.cohort_planes: dict[str, CohortExecutionPlane] = {}
         self.selectors: list[ActorRef] = []
         self._populations: dict[str, _PopulationRuntime] = {}
         self._installed = False
@@ -223,13 +228,24 @@ class FLFleet:
         trainer_factories = {
             spec.name: self._resolve_trainer_factory(spec) for spec in specs
         }
-        for profile in self.profiles:
+        # Per-device link conditions in one vectorized draw (the scalar
+        # sampler consumed 3 RNG calls per device, which dominated fleet
+        # construction at 20k+ devices).
+        conditions_by_device = self.config.network.sample_conditions_batch(
+            len(self.profiles), self.rngs.stream("network/conditions")
+        )
+        for profile, conditions in zip(self.profiles, conditions_by_device):
             device_memberships = memberships[profile.device_id]
             device_rng = self.rngs.stream(f"device/{profile.device_id}")
             availability = AvailabilityProcess(
                 self.config.diurnal, profile.tz_offset_hours, device_rng
             )
-            conditions = self.config.network.sample_conditions(device_rng)
+            device_trainers = {
+                name: trainer_factories[name](profile)
+                for name in device_memberships
+            }
+            if self.config.training_plane == "cohort":
+                self._enroll_cohort_trainers(device_trainers)
             device = DeviceActor(
                 profile=profile,
                 availability=availability,
@@ -237,10 +253,7 @@ class FLFleet:
                 conditions=conditions,
                 selectors=list(self.selectors),
                 memberships=device_memberships,
-                trainers={
-                    name: trainer_factories[name](profile)
-                    for name in device_memberships
-                },
+                trainers=device_trainers,
                 compute=self.config.compute,
                 attestation=self.attestation,
                 event_log=self.event_log,
@@ -300,6 +313,22 @@ class FLFleet:
             )
             for p in self.profiles
         }
+
+    def _enroll_cohort_trainers(
+        self, device_trainers: Mapping[str, LocalTrainer]
+    ) -> None:
+        """Attach deferral-capable trainers to their population's cohort
+        execution plane (created on first enrollment from the trainer's
+        own model, so custom trainer factories keep working)."""
+        for name, trainer in device_trainers.items():
+            attach = getattr(trainer, "attach_cohort_plane", None)
+            if attach is None:
+                continue
+            plane = self.cohort_planes.get(name)
+            if plane is None:
+                plane = CohortExecutionPlane(trainer.model)
+                self.cohort_planes[name] = plane
+            attach(plane)
 
     def _resolve_trainer_factory(self, spec: PopulationSpec):
         if spec.trainer_factory is not None:

@@ -27,6 +27,13 @@ What is measured (see ROADMAP.md "Performance" for how to read it):
   leaf-aggregator flat-vector fold on its own.
 * ``weighted_mean`` — the FedAvg combination rule, old functional chain
   vs the streaming implementation.
+* ``cohort_round`` — one round's local training for a 50-device cohort:
+  per-device plane (K buffered ``client_update`` calls) vs the cohort
+  execution plane (one ``client_update_cohort`` over stacked buffers),
+  on the small on-device ranking model where per-step dispatch dominates
+  FLOPs.  ``cohort_round_98k`` reports (unguarded) the same A/B on the
+  98k-param model, where single-core GEMM/memory costs are
+  plane-independent and the honest ratio is ~1x.
 * ``fleet_run_days`` — simulated days/sec of a small pinned
   ``FLFleet.run_days`` with real on-device training, run in functional
   then buffered mode (the module-level A/B switch).
@@ -68,9 +75,11 @@ SCHEMA = "repro-hotpath-bench/v1"
 #: so a quick CI run at 1k devices checks against the committed 1k ratio.
 GUARDED = (
     "client_update",
+    "client_update_e2e",
     "sgd_step",
     "aggregator_fold",
     "weighted_mean",
+    "cohort_round",
     "fleet_run_days",
     "fleet_scale",
 )
@@ -305,6 +314,141 @@ def bench_client_update_e2e(repeats: int) -> dict:
         "40 local steps on the 98k-param model incl. real forward/backward "
         "(FLOPs unchanged by this PR, so the plane speedup is diluted)",
     )
+
+
+def _cohort_round_pair(
+    model: Model,
+    datasets: list[ClientDataset],
+    epochs: int,
+    batch_size: int,
+    repeats: int,
+    seed: int = 4100,
+) -> tuple[float, float]:
+    """Seconds per full round of local training: per-device plane (K
+    buffered ``client_update`` calls) vs cohort plane (one
+    ``client_update_cohort``).  Equivalence is asserted before timing."""
+    from repro.core.fedavg import CohortUpdateBuffers, client_update_cohort
+
+    rng = np.random.default_rng(2019)
+    params = model.init(rng)
+    kwargs = dict(
+        epochs=epochs, batch_size=batch_size, learning_rate=0.1,
+        clip_update_norm=5.0,
+    )
+    buffers = ClientUpdateBuffers.for_structure(params)
+
+    def per_device():
+        # As the device runtime does: the update's delta aliases the
+        # shared session buffers, so it is copied out per session.
+        out = []
+        for i, d in enumerate(datasets):
+            update = client_update(
+                model, params, d, rng=np.random.default_rng(seed + i),
+                buffers=buffers, **kwargs,
+            )
+            out.append(
+                (update.delta.to_vector(), update.mean_loss, update.steps)
+            )
+        return out
+
+    cohort_buffers = CohortUpdateBuffers(params.layout, capacity=len(datasets))
+
+    def cohort():
+        return client_update_cohort(
+            model, params,
+            datasets=datasets,
+            rngs=[np.random.default_rng(seed + i) for i in range(len(datasets))],
+            buffers=cohort_buffers,
+            **kwargs,
+        )
+
+    singles, stacked = per_device(), cohort()
+    for i, (vector, mean_loss, steps) in enumerate(singles):
+        if not np.array_equal(vector, stacked.delta_row(i)):
+            raise AssertionError(f"cohort_round deltas diverged for client {i}")
+        if (mean_loss, steps) != (
+            float(stacked.mean_losses[i]), int(stacked.steps[i])
+        ):
+            raise AssertionError(f"cohort_round metrics diverged for client {i}")
+    return _time_pair(per_device, cohort, repeats)
+
+
+def bench_cohort_round(repeats: int) -> dict:
+    """One round's local training, per-device plane vs cohort plane.
+
+    The workload is the overhead-bound regime the cohort plane exists
+    for: 50 devices each running 40 local steps (2 epochs x 80/4) on
+    the Sec. 8 on-device ranking MLP, whose per-step tensors are so
+    small that the per-device plane's time is dominated by dispatch
+    rather than FLOPs.  The companion ``cohort_round_98k`` entry reports
+    (unguarded) the same comparison on the 98k-param e2e model, where a
+    single core is GEMM/memory-bound and batching is honestly ~neutral.
+    """
+    rng = np.random.default_rng(77)
+    model = _ranking_mlp()
+    n = 80
+    datasets = [
+        ClientDataset(
+            f"c{i}", rng.normal(size=(n, 96)), rng.integers(0, 8, size=n)
+        )
+        for i in range(50)
+    ]
+    tf, tb = _cohort_round_pair(model, datasets, epochs=2, batch_size=4,
+                                repeats=repeats)
+    out = {
+        "workload": (
+            "50-device cohort, 40 local steps each (2 epochs x 80/4, the "
+            "small on-device batches the paper's keyboard workloads use) "
+            "on the 5.5k-param 6-array Sec. 8 ranking MLP; cohort plane "
+            "runs the round as stacked (K, ...) tensor ops, per-device "
+            "plane runs 50 buffered client_update calls (deltas asserted "
+            "byte-identical before timing)"
+        ),
+        "unit": "rounds_per_sec",
+        "per_device_rounds_per_sec": 1.0 / tf,
+        "cohort_rounds_per_sec": 1.0 / tb,
+        "per_device_seconds": tf,
+        "cohort_seconds": tb,
+        "per_device_updates_per_sec": 50 / tf,
+        "cohort_updates_per_sec": 50 / tb,
+        "speedup": tf / tb,
+    }
+    return out
+
+
+def bench_cohort_round_98k(repeats: int) -> dict:
+    """Transparency companion to ``cohort_round``: the same plane A/B on
+    the 98k-param e2e model (LogisticRegression 1024->96, batch 16).
+
+    On a single core this workload is bound by dgemm FLOPs and the
+    98k-parameter SGD memory traffic, both identical under either plane,
+    so the honest cohort speedup here is modest — which is exactly why
+    it is reported but not guarded."""
+    rng = np.random.default_rng(77)
+    model = LogisticRegression(input_dim=1024, n_classes=96)
+    n = 320
+    datasets = [
+        ClientDataset(
+            f"c{i}", rng.normal(size=(n, 1024)), rng.integers(0, 96, size=n)
+        )
+        for i in range(50)
+    ]
+    tf, tb = _cohort_round_pair(model, datasets, epochs=2, batch_size=16,
+                                repeats=repeats)
+    return {
+        "workload": (
+            "50-device cohort, 40 local steps each on the 98k-param model "
+            "(real forward/backward; dgemm + full-dim SGD memory traffic "
+            "dominate and are plane-independent, so this ratio is "
+            "informational, not guarded)"
+        ),
+        "unit": "rounds_per_sec",
+        "per_device_seconds": tf,
+        "cohort_seconds": tb,
+        "per_device_updates_per_sec": 50 / tf,
+        "cohort_updates_per_sec": 50 / tb,
+        "speedup": tf / tb,
+    }
 
 
 def _make_round_updates(
@@ -855,6 +999,8 @@ def run_harness(
         "sgd_step": bench_sgd_step(config.repeats),
         "client_update": bench_client_update(config.repeats),
         "client_update_e2e": bench_client_update_e2e(max(3, config.repeats // 2)),
+        "cohort_round": bench_cohort_round(max(3, config.repeats // 2)),
+        "cohort_round_98k": bench_cohort_round_98k(max(2, config.repeats // 4)),
         "weighted_mean": bench_weighted_mean(config.repeats),
         "vector_fold": bench_vector_fold(max(3, config.repeats // 2)),
         "event_loop": bench_event_loop(max(3, config.repeats // 2)),
@@ -900,6 +1046,44 @@ def write_report(report: dict, path: str) -> None:
     with open(path, "w") as f:
         json.dump(report, f, indent=2, sort_keys=False)
         f.write("\n")
+
+
+def history_line(report: dict) -> dict:
+    """One compact perf-trajectory record for ``BENCH_history.jsonl``.
+
+    Captures the run's headline speedups (per device count for
+    ``fleet_scale``) plus the commit the run was made from, so the
+    repo-root history file accumulates one line per full harness run and
+    the trajectory across PRs can be plotted without re-running
+    anything."""
+    speedups = {
+        name: round(entry["speedup"], 4)
+        for name, entry in report["results"].items()
+        if isinstance(entry.get("speedup"), float)
+    }
+    line = {
+        "created_unix": report.get("created_unix"),
+        "git_commit": report.get("environment", {}).get("git_commit"),
+        "guarded": list(report.get("guarded", ())),
+        "speedups": speedups,
+    }
+    by_devices = (
+        report["results"].get("fleet_scale", {}).get("speedup_by_devices")
+    )
+    if by_devices:
+        line["fleet_scale_by_devices"] = {
+            count: round(ratio, 4) for count, ratio in by_devices.items()
+        }
+    return line
+
+
+def append_history(report: dict, path: str) -> dict:
+    """Append this run's :func:`history_line` to the JSONL trajectory."""
+    line = history_line(report)
+    with open(path, "a") as f:
+        json.dump(line, f, sort_keys=False)
+        f.write("\n")
+    return line
 
 
 def check_against_reference(

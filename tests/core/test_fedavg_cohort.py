@@ -1,0 +1,225 @@
+"""client_update_cohort vs K independent client_update calls.
+
+The cohort path must consume identical RNG draws (subset, then one
+shuffle per epoch), produce bitwise-identical deltas for models whose
+kernels are row-exact, and handle ragged cohorts (different per-client
+example counts, hence different local step counts) by masking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import ClientDataset
+from repro.core.fedavg import (
+    ClientUpdateBuffers,
+    CohortUpdateBuffers,
+    LocalStepSchedule,
+    client_update,
+    client_update_cohort,
+)
+from repro.nn.models import (
+    BagOfWordsLanguageModel,
+    LogisticRegression,
+    MLPClassifier,
+    RNNLanguageModel,
+)
+
+EXACT_MODELS = {
+    "logreg": LogisticRegression(input_dim=10, n_classes=4),
+    "mlp": MLPClassifier(input_dim=10, hidden_dims=(8,), n_classes=4),
+}
+TOKEN_MODELS = {
+    "rnn": RNNLanguageModel(vocab_size=13, embed_dim=4, hidden_dim=6),
+    "bow": BagOfWordsLanguageModel(vocab_size=13, embed_dim=4),
+}
+
+
+def make_datasets(name, sizes, seed=5):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i, n in enumerate(sizes):
+        if name in TOKEN_MODELS:
+            x = rng.integers(0, 13, size=(n, 3))
+            y = rng.integers(0, 13, size=n)
+        else:
+            x = rng.normal(size=(n, 10))
+            y = rng.integers(0, 4, size=n)
+        out.append(ClientDataset(f"c{i}", x, y))
+    return out
+
+
+def run_both(model, datasets, exact, **kwargs):
+    """Per-device results (copied out per session) and the cohort result."""
+    params = model.init(np.random.default_rng(1))
+    buffers = ClientUpdateBuffers.for_structure(params)
+    singles = []
+    for i, d in enumerate(datasets):
+        u = client_update(
+            model, params, d, rng=np.random.default_rng(400 + i),
+            buffers=buffers, **kwargs,
+        )
+        singles.append((u.delta.to_vector(), u.mean_loss, u.steps, u.weight))
+    stacked = client_update_cohort(
+        model, params,
+        datasets=datasets,
+        rngs=[np.random.default_rng(400 + i) for i in range(len(datasets))],
+        **kwargs,
+    )
+    for i, (vector, mean_loss, steps, weight) in enumerate(singles):
+        assert stacked.client_ids[i] == datasets[i].client_id
+        assert float(stacked.weights[i]) == weight
+        assert int(stacked.steps[i]) == steps
+        if exact:
+            assert np.array_equal(stacked.delta_row(i), vector), i
+            assert float(stacked.mean_losses[i]) == mean_loss
+        else:
+            np.testing.assert_allclose(
+                stacked.delta_row(i), vector, rtol=1e-8, atol=1e-11
+            )
+            assert float(stacked.mean_losses[i]) == pytest.approx(
+                mean_loss, rel=1e-10
+            )
+    return stacked
+
+
+@pytest.mark.parametrize("name", sorted(EXACT_MODELS))
+def test_uniform_cohort_bitwise_exact(name):
+    """Equal-sized clients with batch-divisible data: every minibatch is
+    full, so the cohort path is bitwise-identical per client."""
+    model = EXACT_MODELS[name]
+    datasets = make_datasets(name, [32] * 6)
+    run_both(model, datasets, exact=True,
+             epochs=2, batch_size=8, learning_rate=0.2)
+
+
+@pytest.mark.parametrize("name", sorted(TOKEN_MODELS))
+def test_token_models_close(name):
+    model = TOKEN_MODELS[name]
+    datasets = make_datasets(name, [24] * 4)
+    run_both(model, datasets, exact=False,
+             epochs=1, batch_size=8, learning_rate=0.1)
+
+
+def test_ragged_cohort_close():
+    """Different example counts => different step counts; stragglers of
+    the *numeric* schedule fall inactive instead of perturbing others."""
+    model = EXACT_MODELS["mlp"]
+    datasets = make_datasets("mlp", [40, 17, 8, 3, 1])
+    stacked = run_both(model, datasets, exact=False,
+                       epochs=2, batch_size=8, learning_rate=0.1)
+    assert list(stacked.steps) == [10, 6, 2, 2, 2]
+
+
+def test_clipping_matches_per_client():
+    model = EXACT_MODELS["logreg"]
+    datasets = make_datasets("logreg", [16] * 4)
+    # A clip bound tight enough that rows actually clip.
+    run_both(model, datasets, exact=True,
+             epochs=1, batch_size=8, learning_rate=2.0,
+             clip_update_norm=1e-3)
+
+
+def test_max_examples_subset_matches():
+    model = EXACT_MODELS["logreg"]
+    datasets = make_datasets("logreg", [64] * 3)
+    run_both(model, datasets, exact=True,
+             epochs=1, batch_size=8, learning_rate=0.1, max_examples=24)
+
+
+def test_schedule_draw_consumes_stream_like_client_update():
+    """After drawing a schedule, the RNG sits exactly where client_update
+    would have left it."""
+    d = make_datasets("logreg", [40])[0]
+    model = EXACT_MODELS["logreg"]
+    params = model.init(np.random.default_rng(1))
+    rng_a = np.random.default_rng(9)
+    client_update(model, params, d, epochs=2, batch_size=8,
+                  learning_rate=0.1, rng=rng_a, max_examples=24)
+    rng_b = np.random.default_rng(9)
+    LocalStepSchedule.draw(d, epochs=2, batch_size=8, rng=rng_b,
+                           max_examples=24)
+    assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)
+
+
+def test_prebuilt_schedules_equal_datasets_path():
+    model = EXACT_MODELS["mlp"]
+    datasets = make_datasets("mlp", [24, 24])
+    params = model.init(np.random.default_rng(1))
+    schedules = [
+        LocalStepSchedule.draw(d, epochs=1, batch_size=8,
+                               rng=np.random.default_rng(400 + i))
+        for i, d in enumerate(datasets)
+    ]
+    a = client_update_cohort(model, params, schedules, learning_rate=0.1)
+    b = client_update_cohort(
+        model, params, datasets=datasets,
+        rngs=[np.random.default_rng(400 + i) for i in range(2)],
+        epochs=1, batch_size=8, learning_rate=0.1,
+    )
+    assert np.array_equal(a.delta_matrix, b.delta_matrix)
+    assert np.array_equal(a.mean_losses, b.mean_losses)
+
+
+def test_buffers_reused_across_cohort_sizes():
+    model = EXACT_MODELS["logreg"]
+    params = model.init(np.random.default_rng(1))
+    buffers = CohortUpdateBuffers(params.layout)
+    for sizes in ([16] * 3, [16] * 7, [16] * 2):
+        datasets = make_datasets("logreg", sizes)
+        stacked = client_update_cohort(
+            model, params, datasets=datasets,
+            rngs=[np.random.default_rng(i) for i in range(len(sizes))],
+            epochs=1, batch_size=8, learning_rate=0.1, buffers=buffers,
+        )
+        assert stacked.cohort_size == len(sizes)
+        single = client_update(
+            model, params, datasets[0], epochs=1, batch_size=8,
+            learning_rate=0.1, rng=np.random.default_rng(0),
+        )
+        assert np.array_equal(stacked.delta_row(0), single.delta.to_vector())
+    assert buffers.capacity == 7
+
+
+def test_delta_matrix_is_freshly_owned():
+    model = EXACT_MODELS["logreg"]
+    params = model.init(np.random.default_rng(1))
+    buffers = CohortUpdateBuffers(params.layout)
+    datasets = make_datasets("logreg", [16, 16])
+    a = client_update_cohort(
+        model, params, datasets=datasets,
+        rngs=[np.random.default_rng(i) for i in range(2)],
+        epochs=1, batch_size=8, learning_rate=0.1, buffers=buffers,
+    )
+    kept = a.delta_matrix.copy()
+    # A second execution with the same buffers must not touch the first
+    # execution's delta matrix (its rows are live report vectors).
+    client_update_cohort(
+        model, params, datasets=make_datasets("logreg", [16, 16], seed=77),
+        rngs=[np.random.default_rng(50 + i) for i in range(2)],
+        epochs=1, batch_size=8, learning_rate=0.1, buffers=buffers,
+    )
+    assert np.array_equal(a.delta_matrix, kept)
+
+
+def test_result_accessor_round_trips():
+    model = EXACT_MODELS["logreg"]
+    params = model.init(np.random.default_rng(1))
+    datasets = make_datasets("logreg", [16, 16])
+    stacked = client_update_cohort(
+        model, params, datasets=datasets,
+        rngs=[np.random.default_rng(i) for i in range(2)],
+        epochs=1, batch_size=8, learning_rate=0.1,
+    )
+    single = stacked.result(1)
+    assert single.client_id == "c1"
+    assert single.weight == 16.0
+    assert np.array_equal(single.delta.to_vector(), stacked.delta_row(1))
+
+
+def test_empty_cohort_rejected():
+    model = EXACT_MODELS["logreg"]
+    params = model.init(np.random.default_rng(1))
+    with pytest.raises(ValueError, match="empty cohort"):
+        client_update_cohort(model, params, datasets=[], rngs=[])
+    with pytest.raises(ValueError, match="schedules"):
+        client_update_cohort(model, params)

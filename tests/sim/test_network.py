@@ -80,3 +80,39 @@ def test_sampled_conditions_are_heterogeneous(rng):
     assert 0.5 * model.median_downlink_bytes_per_s < np.median(downs) < 2.0 * (
         model.median_downlink_bytes_per_s
     )
+
+
+def test_batch_sampler_shapes_and_positivity():
+    model = NetworkModel()
+    conditions = model.sample_conditions_batch(200, np.random.default_rng(5))
+    assert len(conditions) == 200
+    for cond in conditions:
+        assert cond.downlink_bytes_per_s > 0
+        assert cond.uplink_bytes_per_s > 0
+        assert cond.rtt_s > 0
+    # log-normal heterogeneity: a real spread, not a constant
+    downs = np.array([c.downlink_bytes_per_s for c in conditions])
+    assert downs.std() > 0
+    with pytest.raises(ValueError):
+        model.sample_conditions_batch(0, np.random.default_rng(5))
+
+
+def test_scalar_sampler_delegates_to_batch():
+    """sample_conditions(rng) must be stream-compatible with
+    sample_conditions_batch(1, rng): same draws, same values."""
+    model = NetworkModel()
+    a = model.sample_conditions(np.random.default_rng(9))
+    b = model.sample_conditions_batch(1, np.random.default_rng(9))[0]
+    assert a == b
+    # and the stream positions agree afterwards
+    rng_a, rng_b = np.random.default_rng(9), np.random.default_rng(9)
+    model.sample_conditions(rng_a)
+    model.sample_conditions_batch(1, rng_b)
+    assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)
+
+
+def test_batch_sampler_median_scales():
+    fast = NetworkModel(median_downlink_bytes_per_s=1e9, bandwidth_sigma=0.0)
+    conditions = fast.sample_conditions_batch(8, np.random.default_rng(1))
+    for cond in conditions:
+        assert cond.downlink_bytes_per_s == pytest.approx(1e9)
