@@ -61,8 +61,10 @@ from repro.system import (
     FleetBuilder,
     FleetConfig,
     FleetValidationError,
+    PopulationLifecycleReport,
     PopulationReport,
     PopulationSpec,
+    PopulationState,
     RunReport,
 )
 
@@ -84,8 +86,10 @@ __all__ = [
     "FleetBuilder",
     "FleetConfig",
     "FleetValidationError",
+    "PopulationLifecycleReport",
     "PopulationReport",
     "PopulationSpec",
+    "PopulationState",
     "RunReport",
     "__version__",
 ]

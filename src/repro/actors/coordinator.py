@@ -83,6 +83,10 @@ class Coordinator(Actor):
         self.last_round_ended_at_s: float | None = None
         self.rounds_finished = 0
         self.rounds_committed = 0
+        #: Set by the fleet's population lifecycle plane when this tenant
+        #: begins draining: no new round may start; the active round (if
+        #: any) runs to its own completion or timeout.
+        self.draining = False
 
     # -- lifecycle -----------------------------------------------------------
     def on_start(self) -> None:
@@ -138,7 +142,7 @@ class Coordinator(Actor):
         return max(goals) if goals else 1
 
     def _maybe_start_round(self) -> None:
-        if self.active_master is not None:
+        if self.draining or self.active_master is not None:
             return
         if (
             self.config.max_rounds is not None

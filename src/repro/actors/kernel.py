@@ -78,13 +78,15 @@ class Actor:
     def tell(self, target: ActorRef, message: Any, delay: float = 0.0) -> None:
         self.system.tell(target, message, sender=self.ref, extra_delay=delay)
 
+    def _run_if_alive(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Guard for scheduled work (a bound method rather than a closure,
+        so pending events survive a fleet snapshot's pickling)."""
+        if self.system.is_alive(self.ref):
+            fn(*args)
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any):
         """Schedule work for this actor; silently dropped if it died."""
-        def guarded(*inner_args: Any) -> None:
-            if self.system.is_alive(self.ref):
-                fn(*inner_args)
-
-        return self.loop.schedule(delay, guarded, *args)
+        return self.loop.schedule(delay, self._run_if_alive, fn, *args)
 
     @property
     def now(self) -> float:
@@ -109,7 +111,11 @@ class ActorSystem:
         self.rng = rng
         self.mean_latency_s = mean_latency_s
         self._actors: dict[int, Actor] = {}
-        self._watchers: dict[int, set[ActorRef]] = {}
+        #: watched actor id -> {watcher actor id -> watcher ref}.  An
+        #: insertion-ordered dict rather than a set so DeathNotice
+        #: delivery order is deterministic and survives a snapshot's
+        #: pickle round-trip (set iteration order does not).
+        self._watchers: dict[int, dict[int, ActorRef]] = {}
         self._next_id = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -150,7 +156,7 @@ class ActorSystem:
         for hook in self._lock_release_hooks:
             hook(ref)
         actor.on_stop(crashed)
-        for watcher in self._watchers.pop(ref.actor_id, set()):
+        for watcher in self._watchers.pop(ref.actor_id, {}).values():
             self.tell(watcher, DeathNotice(ref=ref, crashed=crashed), sender=None)
 
     # -- supervision ------------------------------------------------------------
@@ -159,10 +165,10 @@ class ActorSystem:
         if not self.is_alive(watched):
             self.tell(watcher, DeathNotice(ref=watched, crashed=True), sender=None)
             return
-        self._watchers.setdefault(watched.actor_id, set()).add(watcher)
+        self._watchers.setdefault(watched.actor_id, {})[watcher.actor_id] = watcher
 
     def unwatch(self, watcher: ActorRef, watched: ActorRef) -> None:
-        self._watchers.get(watched.actor_id, set()).discard(watcher)
+        self._watchers.get(watched.actor_id, {}).pop(watcher.actor_id, None)
 
     def on_actor_terminated(self, hook: Callable[[ActorRef], None]) -> None:
         """Register a hook run at every termination (lock auto-release)."""

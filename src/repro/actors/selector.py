@@ -42,6 +42,7 @@ class SelectorStats:
     rejected_attestation: int = 0
     rejected_incompatible: int = 0
     rejected_unknown_population: int = 0
+    rejected_draining: int = 0
     forwarded: int = 0
     disconnects: int = 0
 
@@ -90,6 +91,10 @@ class PopulationRoute:
     #: Cached ``runtime_version -> has compatible plan`` verdicts for the
     #: fast screen (the plan directory is immutable after deployment).
     plan_compat: dict[int, bool] = field(default_factory=dict)
+    #: The population is being drained from the fleet: admission is
+    #: closed (new check-ins bounce with a pace window) while in-flight
+    #: rounds wind down; the route is removed once the tenant retires.
+    draining: bool = False
 
 
 class Selector(Actor):
@@ -124,11 +129,42 @@ class Selector(Actor):
     def route_of(self, population_name: str) -> PopulationRoute:
         return self.routes[population_name]
 
-    def _lookup(self, population_name: str) -> PopulationRoute | None:
+    def begin_drain(self, population_name: str) -> None:
+        """Close admission for a draining population (lifecycle phase 1):
+        stop offering pooled devices to its rounds, bounce the pool, and
+        reject every subsequent check-in with a pace window.  Devices
+        already forwarded to the in-flight round are untouched."""
         route = self.routes.get(population_name)
-        if route is None and len(self.routes) == 1:
+        if route is None:
+            return
+        route.draining = True
+        route.forwarding = None
+        self._flush_pool(route, "draining")
+
+    def remove_route(self, population_name: str) -> PopulationRoute | None:
+        """Retire a drained population's route entirely.
+
+        Any device still pooled (a check-in that raced the drain) has its
+        stream reset so it retries — by which point its membership is gone
+        and it will never announce this population again.
+        """
+        route = self.routes.pop(population_name, None)
+        if route is None:
+            return None
+        if route.coordinator is not None:
+            self.system.unwatch(self.ref, route.coordinator)
+        for device in route.pool.values():
+            self.tell(device.ref, msg.ConnectionReset())
+        route.pool.clear()
+        return route
+
+    def _lookup(self, population_name: str | None) -> PopulationRoute | None:
+        route = self.routes.get(population_name)
+        if route is None and not population_name and len(self.routes) == 1:
             # Single-tenant deployments tolerate legacy messages that omit
-            # the population name.
+            # the population name.  A message that *names* an unknown
+            # population (e.g. a late in-flight check-in for a tenant that
+            # was just drained) must not be misrouted to the survivor.
             return next(iter(self.routes.values()))
         return route
 
@@ -292,6 +328,9 @@ class Selector(Actor):
         the vectorized plane's synchronous screen: returns the rejection
         reason, or ``None`` to admit.  Updates the matching rejection
         counter (``stats.checkins`` is the caller's job)."""
+        if route.draining:
+            route.stats.rejected_draining += 1
+            return "draining"
         if not attestation_ok:
             route.stats.rejected_attestation += 1
             return "attestation_failed"
@@ -418,8 +457,8 @@ class Selector(Actor):
             return
         route.coordinator = None
         route.forwarding = None
-        if not notice.crashed or route.coordinator_factory is None:
-            return
+        if not notice.crashed or route.coordinator_factory is None or route.draining:
+            return  # a draining tenant's coordinator is never respawned
         # "Because the Coordinators are registered in a shared locking
         # service, this will happen exactly once": the respawn key embeds
         # the dead incarnation's actor id, so exactly one selector wins.

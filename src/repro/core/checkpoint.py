@@ -92,10 +92,22 @@ class CheckpointStore:
         return list(self._history.get(population_name, []))
 
     def initialize(
-        self, params: Parameters, population_name: str, task_id: str
+        self,
+        params: Parameters,
+        population_name: str,
+        task_id: str,
+        round_number: int = 0,
     ) -> FLCheckpoint:
-        """Write the round-0 model for a fresh population."""
-        ckpt = FLCheckpoint.from_params(params, population_name, task_id, 0)
+        """Write the initial model for a fresh population (incarnation).
+
+        ``round_number`` is the incarnation's round-id base — 0 for a
+        first-time population, the new disjoint base when a drained name
+        re-attaches, so the store's history stays monotonic and the old
+        incarnation's final committed model is never rewound over.
+        """
+        ckpt = FLCheckpoint.from_params(
+            params, population_name, task_id, round_number
+        )
         self._latest[population_name] = ckpt
         self._history.setdefault(population_name, []).append(ckpt)
         self.write_count += 1

@@ -91,6 +91,13 @@ class ClientUpdateBuffers:
     def for_structure(cls, params: Parameters) -> "ClientUpdateBuffers":
         return cls(params.layout)
 
+    def __reduce__(self):
+        # Buffer contents are per-session scratch (every ``client_update``
+        # call rewrites the working copy before reading it), but the
+        # flat-buffer/structured-view aliasing would not survive a naive
+        # pickle — so a snapshotted trainer simply restores fresh buffers.
+        return (ClientUpdateBuffers, (self.layout,))
+
     def matches(self, params: Parameters) -> bool:
         return self.layout == params.layout
 
@@ -251,6 +258,12 @@ class CohortUpdateBuffers:
         self._batch_y: np.ndarray | None = None
         if capacity:
             self.ensure(capacity)
+
+    def __reduce__(self):
+        # Same contract as ClientUpdateBuffers: contents are per-execution
+        # scratch (stale rows only ever serve as masked padding), so a
+        # snapshot restores empty stacks at the same capacity.
+        return (CohortUpdateBuffers, (self.layout, self.capacity))
 
     def ensure(self, k: int) -> None:
         """Grow the stacks to hold at least ``k`` rows."""

@@ -104,6 +104,7 @@ class DeviceActor(Actor):
         compute_error_prob: float = 0.005,
         ack_timeout_s: float = 60.0,
         waiting_timeout_s: float = 1800.0,
+        scheduler_policy: str = "fifo",
     ):
         self.profile = profile
         self.availability = availability
@@ -139,7 +140,7 @@ class DeviceActor(Actor):
 
         self.state = DeviceState.SLEEPING
         self.eligible = False
-        self.scheduler = MultiTenantScheduler()
+        self.scheduler = MultiTenantScheduler(policy=scheduler_policy)
         self.health = DeviceHealthStats()
         self.rounds_completed = 0
         self.rounds_rejected_report = 0
@@ -242,20 +243,96 @@ class DeviceActor(Actor):
             self.idle.session_ended()
         elif self.state is DeviceState.PARTICIPATING:
             # Sec. 3: the runtime aborts when conditions are no longer met.
-            self._log(DeviceEvent.INTERRUPTED, reason="eligibility_change")
-            self.rounds_interrupted += 1
-            if self._aggregator is not None and self._round_id is not None:
-                self.tell(
-                    self._aggregator,
-                    msg.DeviceDropped(
-                        device_id=self.device_id,
-                        round_id=self._round_id,
-                        reason="eligibility_change",
-                    ),
-                )
-            self._end_participation()
+            self._abort_participation("eligibility_change")
             self.idle.session_ended()
         self.state = DeviceState.SLEEPING
+
+    def _abort_participation(self, reason: str) -> None:
+        """The PARTICIPATING-session abort core, shared by eligibility
+        loss and server-driven interrupts: log, count, notify the round's
+        aggregator, and invalidate in-flight work."""
+        self._log(DeviceEvent.INTERRUPTED, reason=reason)
+        self.rounds_interrupted += 1
+        if self._aggregator is not None and self._round_id is not None:
+            self.tell(
+                self._aggregator,
+                msg.DeviceDropped(
+                    device_id=self.device_id,
+                    round_id=self._round_id,
+                    reason=reason,
+                ),
+            )
+        self._end_participation()
+
+    # -- membership lifecycle (population attach/drain) -------------------------
+    def enroll(self, population_name: str, trainer: LocalTrainer) -> None:
+        """Join an FL population: install its trainer and membership.
+
+        The caller (the fleet's population lifecycle plane) owns the
+        idle-side follow-up — refreshing the idle driver's membership view
+        and scheduling a first check-in where one is needed.
+        """
+        if population_name in self.memberships:
+            raise ValueError(
+                f"device {self.device_id} already enrolled in "
+                f"{population_name!r}"
+            )
+        self.trainers[population_name] = trainer
+        self.memberships = (*self.memberships, population_name)
+
+    def leave_population(self, population_name: str) -> None:
+        """Drain phase 1: stop *requesting* sessions for a population —
+        drop its membership and any queued session request — while
+        letting a session already running for it finish on its own clock
+        (the trainer stays installed until :meth:`withdraw`)."""
+        self.scheduler.remove(population_name)
+        if population_name in self.memberships:
+            self.memberships = tuple(
+                m for m in self.memberships if m != population_name
+            )
+
+    def withdraw(self, population_name: str) -> None:
+        """Leave an FL population entirely (drain completed or forced).
+
+        Any session still running for the population is interrupted, its
+        queued work is dropped, and the trainer is discarded.  Idempotent
+        for non-members.
+        """
+        if self._active_population == population_name:
+            self.interrupt_session("population_drained")
+        self.leave_population(population_name)
+        self.trainers.pop(population_name, None)
+
+    def interrupt_session(self, reason: str) -> None:
+        """Server-driven session teardown (tenant drain past its deadline):
+        the same abort semantics as eligibility loss, except the device
+        keeps its eligibility and resumes its normal idle cadence."""
+        if self.state is DeviceState.WAITING:
+            self._cancel_waiting_timer()
+            if self._selector is not None:
+                self.tell(
+                    self._selector,
+                    msg.DeviceDisconnect(
+                        self.device_id, population_name=self._active_population
+                    ),
+                )
+            self.scheduler.abort()
+            self._active_population = None
+            self._selector = None
+        elif self.state is DeviceState.PARTICIPATING:
+            self._abort_participation(reason)
+        else:
+            return
+        self.state = DeviceState.IDLE if self.eligible else DeviceState.SLEEPING
+        self.idle.session_ended()
+        if self.eligible:
+            if self.scheduler.queue_depth > 0:
+                # Another tenant's session request is already queued:
+                # interleave promptly (same fast path as a normal session
+                # end) instead of sleeping a full job interval.
+                self.idle.schedule_checkin(1.0)
+            else:
+                self.idle.schedule_checkin(self.job.next_delay(self.rng))
 
     # -- check-in ------------------------------------------------------------
     def _attempt_checkin(self) -> None:

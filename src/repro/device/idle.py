@@ -44,6 +44,20 @@ WAKE_JITTER_S = (1.0, 120.0)
 FIRST_CHECKIN_MIN_S = 1.0
 
 
+def first_checkin_delay(device: "DeviceActor") -> float:
+    """The first-check-in stagger law: uniform over one job interval,
+    drawn from the device's own pinned stream.
+
+    The single definition shared by the actor idle driver, the
+    vectorized idle plane, and the population lifecycle plane's
+    attach-time kick — cross-plane byte-identity requires all three to
+    make exactly this draw.
+    """
+    return float(
+        device.rng.uniform(FIRST_CHECKIN_MIN_S, device.job.base_interval_s)
+    )
+
+
 class IdleDriver(Protocol):
     """What a :class:`DeviceActor` needs from its idle machinery."""
 
@@ -68,6 +82,17 @@ class IdleDriver(Protocol):
     def session_ended(self) -> None:
         """The device dematerialized back to IDLE/SLEEPING; the idle
         machinery owns it again."""
+
+    def membership_changed(self) -> None:
+        """The device's population membership set changed (a tenant was
+        attached to or drained from a live fleet): refresh any membership
+        view the driver keeps, and stop pending check-ins when the device
+        no longer belongs to any population.  The caller schedules the
+        first check-in for a newly-enrolled device."""
+
+    def has_scheduled_checkin(self) -> bool:
+        """Whether a future check-in attempt is already on the books."""
+        ...
 
 
 class ActorIdleDriver:
@@ -102,9 +127,7 @@ class ActorIdleDriver:
             d.state = DeviceState.IDLE
             if d.memberships:
                 # Stagger the fleet's first check-ins across the job interval.
-                self.schedule_checkin(
-                    d.rng.uniform(FIRST_CHECKIN_MIN_S, d.job.base_interval_s)
-                )
+                self.schedule_checkin(first_checkin_delay(d))
         else:
             d.state = DeviceState.SLEEPING
 
@@ -174,3 +197,16 @@ class ActorIdleDriver:
 
     def session_ended(self) -> None:
         """No-op: the follow-up ``schedule_checkin`` re-arms the timer."""
+
+    def membership_changed(self) -> None:
+        # Eligibility flips consult ``device.memberships`` directly; only
+        # a pending check-in needs retiring when the last tenant left (the
+        # armed heap timer then validates against due=inf and no-ops).
+        # The pace window dies with the last membership too — it steered
+        # check-ins this device no longer makes.
+        if not self._device.memberships:
+            self._checkin_due_t = _INF
+            self._pending_window_t = None
+
+    def has_scheduled_checkin(self) -> bool:
+        return self._checkin_due_t < _INF

@@ -196,6 +196,17 @@ class Parameters(Mapping[str, np.ndarray]):
         shapes = ", ".join(f"{k}:{v.shape}" for k, v in self._arrays.items())
         return f"Parameters({shapes})"
 
+    def __reduce__(self):
+        # A naive pickle of a flat-backed instance would copy the backing
+        # vector and each view separately, silently severing the aliasing
+        # the in-place op set relies on.  Rebuild through the layout so
+        # restored instances are flat-backed again — and instances that
+        # shared one backing vector still share it (pickle memoizes the
+        # vector object).
+        if self._flat is not None:
+            return (_restore_flat_parameters, (self.layout, self._flat))
+        return (Parameters, (self._arrays,))
+
     # -- structure ----------------------------------------------------------
     @property
     def layout(self) -> ParameterLayout:
@@ -434,6 +445,14 @@ class Parameters(Mapping[str, np.ndarray]):
         return self.layout.unflatten(vector)
 
 
+def _restore_flat_parameters(
+    layout: ParameterLayout, vector: np.ndarray
+) -> Parameters:
+    """Unpickle hook for flat-backed :class:`Parameters` (see
+    ``Parameters.__reduce__``)."""
+    return layout.unflatten(vector)
+
+
 class StackedParameters:
     """``K`` parameter sets stacked along a leading cohort axis.
 
@@ -597,6 +616,28 @@ class ParameterAccumulator:
     @classmethod
     def like(cls, params: Parameters) -> "ParameterAccumulator":
         return cls(layout=params.layout)
+
+    def __getstate__(self):
+        # Scratch and the prebuilt views alias the owned buffers; a naive
+        # pickle would sever that aliasing.  Persist only the owned state
+        # (mid-fold sums included) and rebuild views/scratch lazily.
+        return {
+            "layout": self._layout,
+            "dim": self._dim,
+            "sum": self._sum,
+            "weight_sum": self._weight_sum,
+            "count": self._count,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._layout = state["layout"]
+        self._dim = state["dim"]
+        self._sum = state["sum"]
+        self._scratch = None
+        self._sum_views = None
+        self._scratch_views = None
+        self._weight_sum = state["weight_sum"]
+        self._count = state["count"]
 
     # -- state ---------------------------------------------------------------
     @property

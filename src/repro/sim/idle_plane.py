@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.device.actor import DeviceState
-from repro.device.idle import FIRST_CHECKIN_MIN_S, WAKE_JITTER_S
+from repro.device.idle import WAKE_JITTER_S, first_checkin_delay
 from repro.sim.event_loop import EventLoop, Sweeper
 
 if TYPE_CHECKING:
@@ -76,6 +76,12 @@ class PlaneIdleDriver:
 
     def session_ended(self) -> None:
         self._plane._session_ended(self._index)
+
+    def membership_changed(self) -> None:
+        self._plane._membership_changed(self._index)
+
+    def has_scheduled_checkin(self) -> bool:
+        return self._plane.next_checkin_t[self._index] < _INF
 
 
 class VectorizedIdlePlane:
@@ -201,9 +207,7 @@ class VectorizedIdlePlane:
             d.state = DeviceState.IDLE
             if self._has_memberships[i]:
                 # Stagger the fleet's first check-ins across the job interval.
-                self.next_checkin_t[i] = now + d.rng.uniform(
-                    FIRST_CHECKIN_MIN_S, d.job.base_interval_s
-                )
+                self.next_checkin_t[i] = now + first_checkin_delay(d)
         else:
             self.next_flip_t[i] = now + d.availability.time_until_eligible(
                 now, fast=True
@@ -227,6 +231,21 @@ class VectorizedIdlePlane:
         self.active[i] = False
         self.next_checkin_t[i] = _INF
         self._touch(i)
+
+    def _membership_changed(self, i: int) -> None:
+        """Refresh row ``i``'s membership bit after an attach/drain.
+
+        A device whose last tenant left stops counting down to a check-in
+        (its row stays swept only for eligibility flips); a device that
+        just gained its first tenant is kicked by the lifecycle plane via
+        ``schedule_checkin`` — the membership-array update contract.
+        """
+        has = bool(self._devices[i].memberships)
+        self._has_memberships[i] = has
+        if not has:
+            self.next_checkin_t[i] = _INF
+            self.pending_window_t[i] = -_INF
+            self._touch(i)
 
     # -- the sweep ---------------------------------------------------------------
     def _sweep(self) -> None:

@@ -8,6 +8,11 @@ multi-tenant fleet.
   topology (populations, tasks, memberships) before spawning anything.
 * :class:`RunReport` / :class:`PopulationReport` — typed, comparable run
   results replacing the legacy summary dicts.
+* :class:`PopulationLifecycle` (:mod:`repro.system.lifecycle`) — the
+  population lifecycle plane: tenants attach to and drain from a *live*
+  fleet (``fleet.attach_population`` / ``fleet.drain_population``), and
+  whole fleets checkpoint and resume byte-identically
+  (``fleet.snapshot`` / ``FLFleet.restore``).
 * :class:`FLSystem` — the original single-population API, kept as a thin
   shim over a one-population fleet.
 """
@@ -19,9 +24,19 @@ from repro.system.builder import (
 )
 from repro.system.compat import FLSystem
 from repro.system.config import FleetConfig, FLSystemConfig, TrainerFactory
-from repro.system.fleet import FLFleet
+from repro.system.fleet import FLFleet, SyntheticTrainerFactory
+from repro.system.lifecycle import (
+    FleetSnapshotManifest,
+    PopulationLifecycle,
+    PopulationRuntime,
+    PopulationSnapshotEntry,
+    PopulationState,
+    SnapshotError,
+    read_manifest,
+)
 from repro.system.reports import (
     FleetHealthReport,
+    PopulationLifecycleReport,
     PopulationReport,
     RunReport,
     TaskReport,
@@ -34,10 +49,19 @@ __all__ = [
     "FleetConfig",
     "FLSystemConfig",
     "FleetHealthReport",
+    "FleetSnapshotManifest",
     "FleetValidationError",
+    "PopulationLifecycle",
+    "PopulationLifecycleReport",
     "PopulationReport",
+    "PopulationRuntime",
+    "PopulationSnapshotEntry",
     "PopulationSpec",
+    "PopulationState",
     "RunReport",
+    "SnapshotError",
+    "SyntheticTrainerFactory",
     "TaskReport",
     "TrainerFactory",
+    "read_manifest",
 ]

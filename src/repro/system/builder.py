@@ -172,6 +172,14 @@ class FleetBuilder:
         self._config.training_plane = str(mode)
         return self
 
+    def device_scheduler(self, policy: str) -> "FleetBuilder":
+        """On-device multi-tenant arbitration: ``"fifo"`` (arrival order,
+        the default) or ``"fair_share"`` (round-robin across populations
+        by least-recently-started — see
+        :class:`repro.device.scheduler.MultiTenantScheduler`)."""
+        self._config.device_scheduler = str(policy)
+        return self
+
     def sample_interval(self, seconds: float) -> "FleetBuilder":
         self._config.sample_interval_s = float(seconds)
         return self

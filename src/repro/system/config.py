@@ -15,7 +15,7 @@ from typing import Callable
 from repro.actors.coordinator import CoordinatorConfig
 from repro.core.pace import PaceConfig
 from repro.device.runtime import ComputeModel, LocalTrainer
-from repro.device.scheduler import JobSchedule
+from repro.device.scheduler import SCHEDULER_POLICIES, JobSchedule
 from repro.sim.diurnal import DiurnalModel
 from repro.sim.network import NetworkModel
 from repro.sim.population import DeviceProfile, PopulationConfig
@@ -62,10 +62,20 @@ class FleetConfig:
     #: with row-exact cohort kernels — the numbers themselves are
     #: identical across the two planes.
     training_plane: str = "cohort"
+    #: On-device multi-tenant arbitration (Sec. 11 "Device Scheduling"):
+    #: ``"fifo"`` (default) serves queued session requests in arrival
+    #: order; ``"fair_share"`` round-robins across populations by
+    #: least-recently-started, so a chatty tenant cannot lead every burst.
+    device_scheduler: str = "fifo"
 
     def validate(self) -> None:
         if self.num_selectors < 1:
             raise ValueError("num_selectors must be >= 1")
+        if self.device_scheduler not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"device_scheduler must be one of {SCHEDULER_POLICIES}, "
+                f"got {self.device_scheduler!r}"
+            )
         if self.idle_plane not in ("vectorized", "actor"):
             raise ValueError(
                 f"idle_plane must be 'vectorized' or 'actor', "

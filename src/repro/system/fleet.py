@@ -8,6 +8,14 @@ concurrent training sessions").  :class:`FLFleet` realizes that: one
 Selectors routing check-ins by the device's announced population and one
 Coordinator spawned per population.
 
+The server is also *long-lived*: populations come and go while the fleet
+keeps running.  All population wiring lives in the fleet's **population
+lifecycle plane** (:class:`repro.system.lifecycle.PopulationLifecycle`):
+builder-declared populations are attached through the same code path as
+:meth:`attach_population` on a live fleet, :meth:`drain_population`
+retires a tenant from a running fleet, and :meth:`snapshot` /
+:meth:`restore` freeze and resume the whole simulation byte-identically.
+
 Construction goes through :class:`repro.system.builder.FleetBuilder`
 (``FLFleet.builder()``), which validates the declared topology before a
 single actor is spawned.  Results come back as typed
@@ -16,28 +24,23 @@ single actor is spawned.  Results come back as typed
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
-from repro.actors.coordinator import Coordinator
 from repro.actors.kernel import ActorRef, ActorSystem
 from repro.actors.locking import LockService
-from repro.actors.selector import PopulationRoute, Selector
-from repro.analytics.dashboard import Dashboard, ScopedDashboard
+from repro.actors.selector import Selector
+from repro.analytics.dashboard import Dashboard
 from repro.analytics.events import EventLog
 from repro.analytics.metrics_store import ModelMetricsStore
 from repro.analytics.session_shapes import shape_distribution
 from repro.core.checkpoint import CheckpointStore
-from repro.core.pace import PaceSteering
-from repro.core.plan import generate_plan
 from repro.core.rounds import RoundResult
-from repro.core.task import FLPopulation, FLTask, TaskScheduler
 from repro.device.actor import DeviceActor, DeviceState
 from repro.device.attestation import AttestationService
 from repro.device.cohort import CohortExecutionPlane
 from repro.device.runtime import LocalTrainer, SyntheticTrainer
 from repro.nn.parameters import Parameters
-from repro.nn.serialization import checkpoint_nbytes
 from repro.sim.diurnal import AvailabilityProcess
 from repro.sim.event_loop import SECONDS_PER_DAY, EventLoop
 from repro.sim.idle_plane import VectorizedIdlePlane
@@ -45,41 +48,34 @@ from repro.sim.population import DeviceProfile, build_population
 from repro.sim.rng import RngRegistry
 from repro.system.builder import FleetBuilder, FleetValidationError, PopulationSpec
 from repro.system.config import FleetConfig
+from repro.system.lifecycle import (
+    ROUND_ID_STRIDE,
+    FleetSnapshotManifest,
+    PopulationLifecycle,
+    PopulationRuntime,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.system.reports import (
     FleetHealthReport,
+    PopulationLifecycleReport,
     PopulationReport,
     RunReport,
     TaskReport,
     summarize_rounds,
 )
-from repro.tools.versioning import PlanDirectory, PlanRepository, default_transforms
-
-#: Disjoint round-id ranges per population so (device, round) session keys
-#: in the event log never collide across tenants.
-ROUND_ID_STRIDE = 1_000_000
 
 
-@dataclass
-class _PopulationRuntime:
-    """Everything the fleet tracks for one hosted population."""
+@dataclass(frozen=True)
+class SyntheticTrainerFactory:
+    """The default per-device trainer: structurally faithful, numerically
+    trivial updates (a picklable callable, so fleets that rely on it can
+    be snapshotted)."""
 
-    spec: PopulationSpec
-    index: int
-    fl_population: FLPopulation
-    plan_directory: PlanDirectory
-    pace: PaceSteering
-    scope: ScopedDashboard
-    member_ids: set[int] = field(default_factory=set)
-    coordinator_ref: ActorRef | None = None
-    results: list[RoundResult] = field(default_factory=list)
+    num_parameters: int
 
-    @property
-    def name(self) -> str:
-        return self.spec.name
-
-    @property
-    def round_id_base(self) -> int:
-        return self.index * ROUND_ID_STRIDE
+    def __call__(self, profile: DeviceProfile) -> LocalTrainer:
+        return SyntheticTrainer(num_parameters=self.num_parameters)
 
 
 class FLFleet:
@@ -108,12 +104,17 @@ class FLFleet:
             else None
         )
         #: One cohort execution plane per population whose trainers can
-        #: defer (built lazily while spawning the device fleet; empty
-        #: under ``training_plane="per_device"`` or synthetic trainers).
+        #: defer (built by the lifecycle plane at attach; empty under
+        #: ``training_plane="per_device"`` or synthetic trainers).
         self.cohort_planes: dict[str, CohortExecutionPlane] = {}
         self.selectors: list[ActorRef] = []
-        self._populations: dict[str, _PopulationRuntime] = {}
+        #: The population lifecycle plane: tenant registry plus the
+        #: attach/drain state machine (see :mod:`repro.system.lifecycle`).
+        self.lifecycle = PopulationLifecycle(self)
         self._installed = False
+        #: True once the device fleet is spawned (devices run their idle
+        #: machinery); a later attach must kick enrolled devices itself.
+        self.started = False
 
     @staticmethod
     def builder() -> FleetBuilder:
@@ -122,21 +123,38 @@ class FLFleet:
     # -- introspection -----------------------------------------------------------
     @property
     def population_names(self) -> tuple[str, ...]:
-        return tuple(self._populations)
+        """Currently hosted (attached or draining) populations."""
+        return tuple(self.lifecycle.active)
 
     @property
     def coordinators(self) -> dict[str, ActorRef | None]:
         return {
             name: runtime.coordinator_ref
-            for name, runtime in self._populations.items()
+            for name, runtime in self.lifecycle.active.items()
         }
 
     def members_of(self, population_name: str) -> set[int]:
-        """Device ids enrolled in a population."""
-        return set(self._populations[population_name].member_ids)
+        """Device ids enrolled in a population (the last enrolled set,
+        for a drained one)."""
+        runtime = self.lifecycle.find(population_name)
+        if runtime is None:
+            raise KeyError(f"no population {population_name!r}")
+        return set(runtime.member_ids)
 
     def results_for(self, population_name: str) -> list[RoundResult]:
-        return list(self._populations[population_name].results)
+        runtime = self.lifecycle.find(population_name)
+        if runtime is None:
+            raise KeyError(f"no population {population_name!r}")
+        return list(runtime.results)
+
+    def selector_actors(self) -> list[Selector]:
+        """The live Selector actor objects (lifecycle plane plumbing)."""
+        actors = []
+        for ref in self.selectors:
+            actor = self.actors.actor_of(ref)
+            if isinstance(actor, Selector):
+                actors.append(actor)
+        return actors
 
     # -- deployment --------------------------------------------------------------
     def _install(
@@ -144,59 +162,27 @@ class FLFleet:
         specs: Sequence[PopulationSpec],
         membership_overrides: Mapping[int, tuple[str, ...]] | None = None,
     ) -> None:
-        """Spawn the declared topology.  Called by :class:`FleetBuilder`
+        """Spawn the fleet substrate, then attach the declared populations
+        through the lifecycle plane — the same path a live
+        :meth:`attach_population` takes.  Called by :class:`FleetBuilder`
         (or the legacy ``FLSystem.deploy`` shim) exactly once."""
         if self._installed:
             raise RuntimeError("fleet already deployed")
         if not specs:
             raise FleetValidationError("fleet declares no populations")
+        self._build_substrate()
+        overrides = membership_overrides or {}
+        for spec in specs:
+            self.lifecycle.attach(spec, membership_overrides=overrides)
+        self._spawn_devices()
+        self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
+        self._installed = True
 
-        # 1. Per-population server state: round-0 checkpoint, plan
-        #    directory, task registry, pace steering.
-        for index, spec in enumerate(specs):
-            self.store.initialize(
-                spec.initial_params, spec.name, spec.tasks[0].task_id
-            )
-            model_nbytes = checkpoint_nbytes(spec.initial_params)
-            plan_directory = PlanDirectory()
-            fl_population = FLPopulation(name=spec.name)
-            for i, task_config in enumerate(spec.tasks):
-                # An explicitly supplied plan applies to the first task (the
-                # one the model engineer built it for); the rest are generated.
-                task_plan = (
-                    spec.plan
-                    if spec.plan is not None and i == 0
-                    else generate_plan(
-                        task_id=task_config.task_id,
-                        kind=task_config.kind,
-                        client_config=task_config.client_config,
-                        secagg=task_config.secagg,
-                        model_nbytes=model_nbytes,
-                    )
-                )
-                plan_directory.add(
-                    task_config.task_id,
-                    PlanRepository.build(
-                        task_plan,
-                        list(self.config.population.runtime_versions),
-                        default_transforms(),
-                    ),
-                )
-                fl_population.add_task(FLTask(config=task_config, plan=task_plan))
-            self._populations[spec.name] = _PopulationRuntime(
-                spec=spec,
-                index=index,
-                fl_population=fl_population,
-                plan_directory=plan_directory,
-                pace=PaceSteering(spec.pace or self.config.pace, self.config.diurnal),
-                scope=self.dashboard.scoped(f"pop/{spec.name}"),
-            )
-
-        # 2. Memberships: deterministic fraction sampling, then explicit
-        #    per-device overrides.
-        memberships = self._assign_memberships(specs, membership_overrides or {})
-
-        # 3. Selectors, shared by every population: one route per tenant.
+    def _build_substrate(self) -> None:
+        """The population-independent fleet: Selectors (routes come and go
+        with tenants) and the device fleet (memberships come and go with
+        tenants; devices are constructed here but spawned only after the
+        builder's populations have attached)."""
         for i in range(self.config.num_selectors):
             selector = Selector(
                 locks=self.locks,
@@ -204,30 +190,7 @@ class FLFleet:
                 checkpoint_store=self.store,
                 rng=self.rngs.stream(f"selector/{i}"),
             )
-            for runtime in self._populations.values():
-                selector.add_route(
-                    PopulationRoute(
-                        population_name=runtime.name,
-                        pace=runtime.pace,
-                        plans=runtime.plan_directory,
-                        population_size=len(runtime.member_ids),
-                        pool_cap=runtime.spec.pool_cap,
-                        coordinator_factory=self._coordinator_factory(runtime),
-                    )
-                )
             self.selectors.append(self.actors.spawn(selector, f"selector/{i}"))
-
-        # 4. One Coordinator per population.
-        for runtime in self._populations.values():
-            runtime.coordinator_ref = self.actors.spawn(
-                self._coordinator_factory(runtime)(),
-                f"coordinator/{runtime.name}/0",
-            )
-
-        # 5. The shared device fleet.
-        trainer_factories = {
-            spec.name: self._resolve_trainer_factory(spec) for spec in specs
-        }
         # Per-device link conditions in one vectorized draw (the scalar
         # sampler consumed 3 RNG calls per device, which dominated fleet
         # construction at 20k+ devices).
@@ -235,25 +198,18 @@ class FLFleet:
             len(self.profiles), self.rngs.stream("network/conditions")
         )
         for profile, conditions in zip(self.profiles, conditions_by_device):
-            device_memberships = memberships[profile.device_id]
             device_rng = self.rngs.stream(f"device/{profile.device_id}")
             availability = AvailabilityProcess(
                 self.config.diurnal, profile.tz_offset_hours, device_rng
             )
-            device_trainers = {
-                name: trainer_factories[name](profile)
-                for name in device_memberships
-            }
-            if self.config.training_plane == "cohort":
-                self._enroll_cohort_trainers(device_trainers)
             device = DeviceActor(
                 profile=profile,
                 availability=availability,
                 network=self.config.network,
                 conditions=conditions,
                 selectors=list(self.selectors),
-                memberships=device_memberships,
-                trainers=device_trainers,
+                memberships=(),
+                trainers={},
                 compute=self.config.compute,
                 attestation=self.attestation,
                 event_log=self.event_log,
@@ -261,113 +217,110 @@ class FLFleet:
                 job=self.config.job,
                 compute_error_prob=self.config.compute_error_prob,
                 waiting_timeout_s=self.config.waiting_timeout_s,
+                scheduler_policy=self.config.device_scheduler,
             )
             if self.idle_plane is not None:
                 # Enroll the device in the shared vectorized plane before
                 # spawn, replacing its default per-device timer driver.
                 self.idle_plane.adopt(device)
             self.devices.append(device)
-            self.actors.spawn(device, profile.name)
 
-        self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
-        self._installed = True
+    def _spawn_devices(self) -> None:
+        for device in self.devices:
+            self.actors.spawn(device, device.profile.name)
+        self.started = True
 
-    def _assign_memberships(
+    # -- population lifecycle ----------------------------------------------------
+    def attach_population(
         self,
-        specs: Sequence[PopulationSpec],
-        overrides: Mapping[int, tuple[str, ...]],
-    ) -> dict[int, tuple[str, ...]]:
-        """Device id -> population names (spec order), deterministic."""
-        enrolled: dict[str, set[int]] = {}
-        for spec in specs:
-            if spec.membership_fraction >= 1.0:
-                members = {p.device_id for p in self.profiles}
-            else:
-                rng = self.rngs.stream(f"membership/{spec.name}")
-                draws = rng.random(len(self.profiles))
-                members = {
-                    p.device_id
-                    for p, draw in zip(self.profiles, draws)
-                    if draw < spec.membership_fraction
-                }
-            enrolled[spec.name] = members
-        for device_id, names in overrides.items():
-            for spec in specs:
-                if spec.name in names:
-                    enrolled[spec.name].add(device_id)
-                else:
-                    enrolled[spec.name].discard(device_id)
-        for spec in specs:
-            if not enrolled[spec.name]:
-                raise FleetValidationError(
-                    f"population {spec.name!r} has no member devices "
-                    f"(fraction {spec.membership_fraction}, "
-                    f"{len(self.profiles)} devices)"
-                )
-            self._populations[spec.name].member_ids = enrolled[spec.name]
-        return {
-            p.device_id: tuple(
-                spec.name
-                for spec in specs
-                if p.device_id in enrolled[spec.name]
-            )
-            for p in self.profiles
-        }
+        spec: PopulationSpec,
+        membership: float | None = None,
+        member_ids: Iterable[int] | None = None,
+    ) -> PopulationRuntime:
+        """Attach a new FL population to the *running* fleet.
 
-    def _enroll_cohort_trainers(
-        self, device_trainers: Mapping[str, LocalTrainer]
-    ) -> None:
-        """Attach deferral-capable trainers to their population's cohort
+        Spawns the tenant's Coordinator, registers its route on every
+        Selector, samples memberships from the tenant's pinned stream
+        (``membership`` overrides the spec's fraction; ``member_ids``
+        pins the set explicitly), installs per-member trainers, and kicks
+        newly-enrolled idle devices so their first check-in lands within
+        one job interval.  New rounds start as soon as enough members
+        pool at the Selectors.
+        """
+        if not self._installed:
+            raise RuntimeError(
+                "no fleet deployed: build the fleet before attaching "
+                "populations mid-run (builder populations attach at build)"
+            )
+        return self.lifecycle.attach(
+            spec, membership=membership, member_ids=member_ids
+        )
+
+    def drain_population(
+        self, population_name: str, deadline_s: float = 7200.0
+    ) -> PopulationLifecycleReport:
+        """Retire a population from the running fleet.
+
+        Stops admission immediately, lets the in-flight round and device
+        sessions wind down (advancing simulated time, other tenants
+        unaffected), then retires the Coordinator, removes every
+        Selector route, and strips memberships and on-device scheduler
+        queues.  Sessions still alive ``deadline_s`` simulated seconds
+        in are forcibly interrupted.  The tenant's final committed
+        checkpoint stays readable via :meth:`global_model` and the
+        checkpoint store.
+        """
+        return self.lifecycle.drain(population_name, deadline_s=deadline_s)
+
+    def snapshot(self, path) -> FleetSnapshotManifest:
+        """Freeze the whole fleet to ``path`` (a pure read; the running
+        fleet is not perturbed).  See :func:`repro.system.lifecycle.
+        write_snapshot`."""
+        return write_snapshot(self, path)
+
+    @classmethod
+    def restore(cls, path) -> "FLFleet":
+        """Resume a fleet frozen by :meth:`snapshot`.
+
+        The restored fleet continues byte-identically to the original:
+        same pending events, same RNG stream cursors, same per-tenant
+        round counters — ``restore(p).run_days(d)`` reports exactly what
+        the uninterrupted fleet would have reported.
+        """
+        fleet = read_snapshot(path)
+        if not isinstance(fleet, cls):
+            raise TypeError(
+                f"snapshot holds {type(fleet).__name__}, not {cls.__name__}"
+            )
+        return fleet
+
+    # -- population plumbing (lifecycle plane entry points) ----------------------
+    def enroll_cohort_trainer(self, name: str, trainer: LocalTrainer) -> None:
+        """Attach a deferral-capable trainer to its population's cohort
         execution plane (created on first enrollment from the trainer's
         own model, so custom trainer factories keep working)."""
-        for name, trainer in device_trainers.items():
-            attach = getattr(trainer, "attach_cohort_plane", None)
-            if attach is None:
-                continue
-            plane = self.cohort_planes.get(name)
-            if plane is None:
-                plane = CohortExecutionPlane(trainer.model)
-                self.cohort_planes[name] = plane
-            attach(plane)
+        attach = getattr(trainer, "attach_cohort_plane", None)
+        if attach is None:
+            return
+        plane = self.cohort_planes.get(name)
+        if plane is None:
+            plane = CohortExecutionPlane(trainer.model)
+            self.cohort_planes[name] = plane
+        attach(plane)
 
-    def _resolve_trainer_factory(self, spec: PopulationSpec):
+    def retire_cohort_plane(self, name: str) -> None:
+        self.cohort_planes.pop(name, None)
+
+    def resolve_trainer_factory(self, spec: PopulationSpec):
         if spec.trainer_factory is not None:
             return spec.trainer_factory
-        num_params = spec.initial_params.num_parameters
-
-        def synthetic_factory(profile: DeviceProfile) -> LocalTrainer:
-            return SyntheticTrainer(num_parameters=num_params)
-
-        return synthetic_factory
-
-    def _coordinator_factory(self, runtime: _PopulationRuntime):
-        """A zero-arg Coordinator builder for initial spawn and the
-        Sec. 4.4 selector-driven respawn path."""
-        name = runtime.name
-
-        def make_coordinator() -> Coordinator:
-            return Coordinator(
-                population_name=name,
-                scheduler=TaskScheduler(
-                    runtime.fl_population,
-                    runtime.spec.strategy,
-                    self.rngs.stream(f"scheduler/{name}"),
-                ),
-                selectors=list(self.selectors),
-                locks=self.locks,
-                store=self.store,
-                rng=self.rngs.stream(f"coordinator/{name}"),
-                config=runtime.spec.coordinator or self.config.coordinator,
-                round_listener=lambda result: self._on_round_result(name, result),
-                metrics_store=self.metrics,
-                round_id_base=runtime.round_id_base,
-            )
-
-        return make_coordinator
+        return SyntheticTrainerFactory(spec.initial_params.num_parameters)
 
     # -- telemetry ------------------------------------------------------------
     def _on_round_result(self, population_name: str, result: RoundResult) -> None:
-        runtime = self._populations[population_name]
+        runtime = self.lifecycle.find(population_name)
+        if runtime is None:
+            return
         self.round_results.append(result)
         runtime.results.append(result)
         t = result.ended_at_s
@@ -384,7 +337,8 @@ class FLFleet:
 
     def _sample_fleet(self) -> None:
         now = self.loop.now
-        participating: dict[str, int] = {name: 0 for name in self._populations}
+        hosted = self.lifecycle.active
+        participating: dict[str, int] = {name: 0 for name in hosted}
         if self.idle_plane is not None:
             # Census from the plane arrays: only materialized devices are
             # consulted individually (O(active), not O(fleet)).
@@ -404,9 +358,7 @@ class FLFleet:
         for state, count in counts.items():
             self.dashboard.record(f"devices/{state.value}", now, count)
         for name, count in participating.items():
-            self._populations[name].scope.record(
-                "devices/participating", now, count
-            )
+            hosted[name].scope.record("devices/participating", now, count)
         self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
 
     # -- running ------------------------------------------------------------
@@ -430,12 +382,22 @@ class FLFleet:
 
     def global_model(self, population_name: str | None = None) -> Parameters:
         if population_name is None:
-            if len(self._populations) != 1:
+            # Implicit resolution covers the single-tenant case; hosted
+            # populations only, so a long-retired tenant never blocks it
+            # (drained models stay reachable by name).
+            names = list(self.lifecycle.active)
+            if not names:
+                retired = [r.name for r in self.lifecycle.retired]
+                raise ValueError(
+                    "fleet hosts no populations; drained tenants' final "
+                    f"models remain reachable by name (one of {retired})"
+                )
+            if len(names) > 1:
                 raise ValueError(
                     "fleet hosts several populations; name the one whose "
-                    f"model you want (one of {list(self._populations)})"
+                    f"model you want (one of {names})"
                 )
-            population_name = next(iter(self._populations))
+            population_name = names[0]
         return self.store.latest(population_name).to_params()
 
     def health_report(self) -> FleetHealthReport:
@@ -448,7 +410,9 @@ class FLFleet:
         sessions = MetricSummary.empty()
         errors: dict[str, int] = {}
         by_os: dict[int, int] = {}
-        by_population: dict[str, int] = {name: 0 for name in self._populations}
+        by_population: dict[str, int] = {
+            runtime.name: 0 for runtime in self.lifecycle.runtimes()
+        }
         for device in self.devices:
             train_seconds.update(device.health.train_seconds)
             sessions.update(device.health.sessions_started)
@@ -467,12 +431,13 @@ class FLFleet:
         )
 
     def report(self) -> RunReport:
-        """The structured results of the run so far."""
+        """The structured results of the run so far (drained populations
+        included — their rounds happened on this fleet)."""
         total, committed, drop, completed, run_time = summarize_rounds(
             self.round_results
         )
         populations = []
-        for runtime in self._populations.values():
+        for runtime in self.lifecycle.runtimes():
             p_total, p_committed, p_drop, p_completed, p_run_time = (
                 summarize_rounds(runtime.results)
             )

@@ -47,6 +47,36 @@ class PopulationReport:
 
 
 @dataclass(frozen=True)
+class PopulationLifecycleReport:
+    """Outcome of draining one population from a live fleet.
+
+    ``clean`` means the tenant wound down inside its deadline: the
+    in-flight round finished (or none was running) and every device-side
+    session ended on its own; otherwise the deadline forced
+    ``forced_session_interrupts`` device aborts and — when a round was
+    still open — ``forced_round_abort``.  The tenant's final committed
+    checkpoint (round ``final_round_number``) remains in the fleet's
+    checkpoint store after the drain.
+    """
+
+    population: str
+    attached_at_s: float
+    drain_started_at_s: float
+    drained_at_s: float
+    rounds_total: int
+    rounds_committed: int
+    final_round_number: int
+    member_devices: int
+    forced_session_interrupts: int
+    forced_round_abort: bool
+    clean: bool
+
+    @property
+    def drain_duration_s(self) -> float:
+        return self.drained_at_s - self.drain_started_at_s
+
+
+@dataclass(frozen=True)
 class FleetHealthReport:
     """Fleet-wide device-health telemetry (Sec. 5): PII-free aggregates
     of per-device counters."""
@@ -88,7 +118,9 @@ class RunReport:
     health: FleetHealthReport
 
     def population(self, name: str) -> PopulationReport:
-        for report in self.populations:
+        """The named population's report — the *latest* incarnation when a
+        drained name was re-attached (entries are in attach order)."""
+        for report in reversed(self.populations):
             if report.name == name:
                 return report
         raise KeyError(f"no population {name!r} in this report")
