@@ -104,12 +104,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         with open(args.check) as f:
             reference = json.load(f)
+        if not isinstance(reference.get("results"), dict):
+            print(
+                f"PERF CHECK ERROR: {args.check} is not a benchmark "
+                "reference (no 'results' section) — pass the committed "
+                "BENCH_hotpath.json"
+            )
+            return 1
         failures = perf.check_against_reference(report, reference, args.tolerance)
         if failures:
-            print("PERF REGRESSION:")
+            # Mismatched benchmark sets (renamed/new guarded benchmarks)
+            # and genuine regressions both land here: never exit 0 when
+            # any guarded benchmark went unchecked.
+            print("PERF CHECK FAILED:")
             for failure in failures:
                 print(f"  {failure}")
-            # A regressed run never pollutes the perf trajectory.
+            # A failed check never pollutes the perf trajectory.
             return 1
         print(f"perf check ok (tolerance {args.tolerance:.0%} vs {args.check})")
 

@@ -91,3 +91,33 @@ def test_check_against_reference_flags_regressions():
     assert perf.check_against_reference(good, reference) == []
     failures = perf.check_against_reference(bad, reference)
     assert len(failures) == 1 and "sgd_step" in failures[0]
+
+
+def test_check_against_reference_flags_benchmark_set_mismatch():
+    """A benchmark guarded by the current harness but missing from the
+    reference (rename, newly-promoted guard) must fail the check rather
+    than silently skipping its regression gate."""
+    reference = {
+        "guarded": ["sgd_step"],
+        "results": {"sgd_step": {"speedup": 4.0}},
+    }
+    # Harness grew a guarded benchmark the reference has never seen.
+    report = {
+        "guarded": ["sgd_step", "cohort_round_v2"],
+        "results": {
+            "sgd_step": {"speedup": 4.0},
+            "cohort_round_v2": {"speedup": 2.0},
+        },
+    }
+    failures = perf.check_against_reference(report, reference)
+    assert len(failures) == 1
+    assert "cohort_round_v2" in failures[0]
+    assert "regenerate" in failures[0]
+    # A reference guarding a benchmark the harness no longer produces
+    # fails with a message naming the missing side.
+    renamed = {
+        "guarded": ["sgd_step"],
+        "results": {"other": {"speedup": 1.0}},
+    }
+    failures = perf.check_against_reference(renamed, reference)
+    assert any("not produced by this run" in f for f in failures)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.config import TaskConfig, TaskKind
 from repro.core.plan import FLPlan
+from repro.sim.rng import standalone_stream
 
 
 @dataclass
@@ -79,7 +80,7 @@ class TaskScheduler:
     ):
         self.population = population
         self.strategy = strategy
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or standalone_stream(0)
         self._cursor = 0
 
     def next_task(self) -> FLTask:

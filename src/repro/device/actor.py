@@ -42,6 +42,7 @@ from repro.device.runtime import (
 )
 from repro.device.scheduler import JobSchedule, MultiTenantScheduler
 from repro.sim.diurnal import AvailabilityProcess
+from repro.sim.rng import standalone_stream
 from repro.sim.network import NetworkConditions, NetworkModel, TransferDirection
 from repro.sim.population import DeviceProfile
 
@@ -132,7 +133,7 @@ class DeviceActor(Actor):
         self.compute = compute or ComputeModel()
         self.attestation = attestation or AttestationService()
         self.event_log = event_log if event_log is not None else EventLog()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else standalone_stream(0)
         self.job = job or JobSchedule()
         self.compute_error_prob = compute_error_prob
         self.ack_timeout_s = ack_timeout_s

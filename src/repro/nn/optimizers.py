@@ -109,10 +109,12 @@ class SGD:
             self._step_flat(params.flat_base, grads.flat_base)
             return params
         self._require_no_flat_velocity()
+        # One-time lazy state allocation ("allocated once on first use;
+        # after that every step is allocation-free" — see docstring).
         if self._scratch is None:
-            self._scratch = {k: np.empty_like(v) for k, v in params.items()}
+            self._scratch = {k: np.empty_like(v) for k, v in params.items()}  # repro-lint: allow(inplace-op-discipline)
         if cfg.momentum > 0 and self._velocity is None:
-            self._velocity = {k: np.zeros_like(v) for k, v in params.items()}
+            self._velocity = {k: np.zeros_like(v) for k, v in params.items()}  # repro-lint: allow(inplace-op-discipline)
         for name, w in params.items():
             g = grads[name]
             scratch = self._scratch[name]
@@ -156,8 +158,9 @@ class SGD:
                     "restart momentum (call reset() to start over)"
                 )
             if self._stack_velocity is None:
+                # One-time lazy momentum-state allocation (see step_).
                 self._stack_velocity = {
-                    name: np.zeros_like(a) for name, a in params.items()
+                    name: np.zeros_like(a) for name, a in params.items()  # repro-lint: allow(inplace-op-discipline)
                 }
         for name, w in params.items():
             g = grads[name]

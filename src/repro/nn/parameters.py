@@ -384,14 +384,17 @@ class Parameters(Mapping[str, np.ndarray]):
         """
         if self._flat_pair(other):
             if scratch is None:
-                scratch = np.empty_like(self._flat)
+                # Documented fallback: allocation-free only when the
+                # caller passes scratch.
+                scratch = np.empty_like(self._flat)  # repro-lint: allow(inplace-op-discipline)
             np.multiply(other._flat, alpha, out=scratch)
             np.add(self._flat, scratch, out=self._flat)
             return self
         self._check_structure_fast(other)
         views = self.layout.views(scratch) if scratch is not None else None
         for k, v in self._arrays.items():
-            s = views[k] if views is not None else np.empty_like(v)
+            # Same documented no-scratch fallback as above.
+            s = views[k] if views is not None else np.empty_like(v)  # repro-lint: allow(inplace-op-discipline)
             np.multiply(other[k], alpha, out=s)
             np.add(v, s, out=v)
         return self

@@ -52,3 +52,17 @@ class RngRegistry:
     def spawn(self, name: str, count: int) -> list[np.random.Generator]:
         """``count`` independent child generators under ``name``."""
         return [self.fresh(f"{name}/{i}") for i in range(count)]
+
+
+def standalone_stream(seed: int = 0) -> np.random.Generator:
+    """A pinned generator for components constructed *outside* a fleet.
+
+    Components that are unit-usable on their own (``DeviceActor``,
+    ``TaskScheduler``) accept an optional generator and need a
+    deterministic fallback when none is passed.  In-fleet wiring always
+    passes a registry stream explicitly; this fallback exists so direct
+    construction stays reproducible without reaching for ambient
+    ``np.random.default_rng`` at the call site (the no-ambient-rng
+    contract — this module is the one place generators are born).
+    """
+    return np.random.default_rng(int(seed))

@@ -24,6 +24,13 @@ from repro.sim.population import DeviceProfile, PopulationConfig
 TrainerFactory = Callable[[DeviceProfile], LocalTrainer]
 
 
+def _default_job_schedule() -> JobSchedule:
+    """Module-level (not a lambda) so config dataclasses stay
+    pickle-exact for ``fleet.snapshot()`` — the snapshot-unsafe-state
+    contract."""
+    return JobSchedule(3600.0, 0.5)
+
+
 @dataclass
 class FleetConfig:
     """Everything needed to stand up one shared device fleet.
@@ -38,7 +45,7 @@ class FleetConfig:
     network: NetworkModel = field(default_factory=NetworkModel)
     pace: PaceConfig = field(default_factory=PaceConfig)
     coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
-    job: JobSchedule = field(default_factory=lambda: JobSchedule(3600.0, 0.5))
+    job: JobSchedule = field(default_factory=_default_job_schedule)
     compute: ComputeModel = field(default_factory=ComputeModel)
     num_selectors: int = 2
     sample_interval_s: float = 120.0

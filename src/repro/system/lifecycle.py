@@ -257,7 +257,10 @@ class PopulationLifecycle:
         fleet = self.fleet
         if member_ids is not None:
             members = {int(device_id) for device_id in member_ids}
-            unknown = [i for i in members if not 0 <= i < len(fleet.profiles)]
+            unknown = [
+                i for i in sorted(members)
+                if not 0 <= i < len(fleet.profiles)
+            ]
             if unknown:
                 raise FleetValidationError(
                     f"population {name!r}: unknown member device ids "

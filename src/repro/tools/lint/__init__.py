@@ -1,0 +1,60 @@
+"""repro-lint — AST-based enforcement of the repo's cross-cutting contracts.
+
+The codebase rests on three hand-documented contracts (ROADMAP.md):
+
+* **Determinism** — same seed ⇒ byte-identical ``RunReport``s.  All
+  randomness flows through pinned, named streams
+  (:class:`repro.sim.rng.RngRegistry`); all time is simulated event-loop
+  time.  Ambient RNG state (``np.random.rand``, stdlib ``random``) or
+  wall-clock reads silently break byte-identity.
+* **Buffer ownership** — the allocation-free model plane's aliasing rules
+  ("Buffer-ownership invariants" in ROADMAP "Performance"): ``*_``
+  in-place ops must not allocate, report vectors are immutable once
+  reported, hot-path ``to_vector()`` writes into ``out=``.
+* **Snapshot safety** — everything reachable from a running fleet must
+  pickle exactly (``fleet.snapshot()``); lambdas, local functions, and
+  generator objects on actor/fleet state are the bug class PR 5 fixed by
+  hand.
+
+``repro-lint`` turns those conventions into machine-checked rules.  Run it
+as a CLI::
+
+    python -m repro.tools.lint [paths] [--rule NAME] [--format text|json]
+
+or from Python::
+
+    from repro.tools.lint import lint_paths, lint_source
+    findings, files = lint_paths(["src"])
+
+Per-line suppression: append ``# repro-lint: allow(<rule>[, <rule>...])``
+to the offending line.  Unknown rule names inside a suppression are
+themselves reported (rule ``unknown-suppression``).  Path-scoped policies
+(:mod:`repro.tools.lint.config`) relax rule sets for ``tests/``,
+``benchmarks/`` and the deliberate exceptions (``sim/rng.py``,
+``tools/perf.py``).
+"""
+
+from repro.tools.lint.core import (
+    PARSE_ERROR,
+    RULES,
+    UNKNOWN_SUPPRESSION,
+    Finding,
+    Rule,
+)
+from repro.tools.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.tools.lint.config import PathPolicy, active_rules
+from repro.tools.lint.runner import find_root, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "PARSE_ERROR",
+    "UNKNOWN_SUPPRESSION",
+    "PathPolicy",
+    "active_rules",
+    "find_root",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

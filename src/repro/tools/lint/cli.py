@@ -1,0 +1,99 @@
+"""``python -m repro.tools.lint`` — the contract checker CLI.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.tools.lint.core import RULES, UNKNOWN_SUPPRESSION
+from repro.tools.lint.runner import lint_paths
+
+
+def _json_report(findings, checked: int) -> dict:
+    return {
+        "schema": "repro-lint/1",
+        "files_checked": checked,
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description=(
+            "Statically enforce the repo's determinism, buffer-ownership "
+            "and snapshot-safety contracts. Suppress one finding with "
+            "'# repro-lint: allow(<rule>)' on its line."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root for path-scoped policies (default: auto-detect "
+             "from the first path)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON report to FILE (any --format)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and the contracts they guard",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(name) for name in RULES) + 2
+        for name in sorted(RULES):
+            rule = RULES[name]
+            print(f"{name:<{width}}{rule.description}")
+            print(f"{'':<{width}}guards: {rule.contract}")
+        print(f"{UNKNOWN_SUPPRESSION:<{width}}"
+              "a suppression comment names a rule that does not exist")
+        return 0
+
+    selected = None
+    if args.rules:
+        unknown = sorted(set(args.rules) - set(RULES))
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(unknown)} "
+                "(see --list-rules)", file=sys.stderr,
+            )
+            return 2
+        selected = set(args.rules)
+
+    findings, checked = lint_paths(args.paths, rules=selected, root=args.root)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(_json_report(findings, checked), f, indent=2)
+            f.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(_json_report(findings, checked), indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "file" if checked == 1 else "files"
+        if findings:
+            print(f"{len(findings)} finding(s) in {checked} {noun}")
+        else:
+            print(f"ok: 0 findings in {checked} {noun}")
+
+    return 1 if findings else 0

@@ -1,0 +1,213 @@
+"""Framework primitives: findings, per-file context, the rule registry.
+
+A :class:`Rule` is an AST analysis over one file.  Rules see a
+:class:`FileContext` that has already done the shared bookkeeping every
+rule needs — import-alias resolution (so ``from numpy import random as
+nr; nr.rand()`` still resolves to ``numpy.random.rand``) and per-line
+suppression parsing — and return :class:`Finding`s.  Suppression
+filtering happens in the runner, not in the rules, so a rule never needs
+to know the comment syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: Pseudo-rule reported when a suppression comment names a rule that does
+#: not exist (a typo'd suppression would otherwise silently allow nothing
+#: while looking like it allows something).
+UNKNOWN_SUPPRESSION = "unknown-suppression"
+
+#: Pseudo-rule reported when a file does not parse at all.
+PARSE_ERROR = "parse-error"
+
+_SUPPRESS_RE = re.compile(r"repro-lint:\s*allow\(\s*([^)]*?)\s*\)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=data["rule"],
+            message=data["message"],
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class ImportMap(ast.NodeVisitor):
+    """Maps local names to the dotted module paths they were imported as.
+
+    ``resolve`` turns a ``Name``/``Attribute`` chain into a canonical
+    dotted string rooted at an import (``np.random.rand`` →
+    ``numpy.random.rand``) or ``None`` when the root is not an imported
+    name — which is exactly the discrimination the RNG/time rules need:
+    ``rng.shuffle(...)`` on a local generator resolves to ``None`` and is
+    never confused with module-level ``random.shuffle``.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    @classmethod
+    def collect(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        imports.visit(tree)
+        return imports
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                # ``import numpy.random`` binds the *root* name only.
+                root = alias.name.split(".")[0]
+                self.aliases[root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:  # relative import — never one of our targets
+            return
+        module = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.aliases[alias.asname or alias.name] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 known_rules: set[str]):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.imports = ImportMap.collect(tree)
+        #: line number → rule names allowed on that line.
+        self.suppressions: dict[int, set[str]] = {}
+        #: Findings produced by the suppression scan itself (typos).
+        self.suppression_findings: list[Finding] = []
+        self._scan_suppressions(known_rules)
+
+    def _scan_suppressions(self, known_rules: set[str]) -> None:
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            names = [n.strip() for n in match.group(1).split(",") if n.strip()]
+            allowed = self.suppressions.setdefault(line, set())
+            for name in names:
+                if name in known_rules:
+                    allowed.add(name)
+                else:
+                    self.suppression_findings.append(
+                        Finding(
+                            path=self.path,
+                            line=line,
+                            col=tok.start[1] + 1,
+                            rule=UNKNOWN_SUPPRESSION,
+                            message=(
+                                f"suppression names unknown rule {name!r} "
+                                "— it allows nothing (known rules: "
+                                "run with --list-rules)"
+                            ),
+                        )
+                    )
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressions.get(line, ())
+
+
+class Rule:
+    """Base class: one named invariant, checked per file.
+
+    ``paths`` restricts where the rule applies by default (prefix strings
+    ending in ``/``, exact relative paths, or ``fnmatch`` globs); ``None``
+    means everywhere.  Path *policies* (config.py) can further disable
+    rules per tree region.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: Which documented contract the rule guards (shown by --list-rules).
+    contract: str = ""
+    paths: tuple[str, ...] | None = None
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+#: The global rule registry, populated by :mod:`repro.tools.lint.rules`.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if rule.name in RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    RULES[rule.name] = rule
+    return cls
+
+
+def known_rule_names() -> set[str]:
+    """Every name valid inside a suppression comment."""
+    return set(RULES) | {UNKNOWN_SUPPRESSION, PARSE_ERROR}

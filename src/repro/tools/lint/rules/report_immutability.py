@@ -1,0 +1,168 @@
+"""report-vector-immutability: a reported delta vector is never written.
+
+``TrainResult.delta_vector`` is immutable once reported (ROADMAP
+"Buffer-ownership invariants"): the reporting pipeline may hold the
+vector until round close (SecAgg holds it until flush), eval reports may
+*share* one zero vector, and under the cohort plane report vectors are
+row views of one shared ``(K, dim)`` matrix — one in-place write
+corrupts every other holder.  Aggregator pending reports
+(``self._pending`` staging) are covered by the same contract.
+
+The rule tracks, per function, names bound from a ``.delta_vector``
+attribute (and, in aggregator modules, from ``*pending*`` collections)
+and flags any in-place write to them: augmented assignment, subscript
+assignment, known in-place ndarray methods (``fill``, ``sort``, ...),
+``*_`` method calls, or passing one as an ``out=`` argument.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.core import FileContext, Finding, Rule, register
+
+_INPLACE_NDARRAY_METHODS = frozenset({
+    "fill", "sort", "resize", "partition", "put", "itemset", "byteswap",
+    "setfield",
+})
+
+
+def _mentions_pending(node: ast.AST) -> bool:
+    """Does the expression read an attribute/name containing 'pending'?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and "pending" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Name) and "pending" in sub.id.lower():
+            return True
+    return False
+
+
+@register
+class ReportImmutabilityRule(Rule):
+    name = "report-vector-immutability"
+    description = (
+        "in-place mutation of a reported delta vector or a pending "
+        "aggregator report"
+    )
+    contract = "buffer ownership: report vectors are immutable once reported"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        track_pending = "aggregator" in ctx.path.rsplit("/", 1)[-1]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(ctx, node, track_pending, findings)
+        return findings
+
+    # -- per-function analysis -------------------------------------------------
+    def _check_function(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        track_pending: bool,
+        findings: list[Finding],
+    ) -> None:
+        tracked: set[str] = set()
+
+        def collect_targets(targets: list[ast.AST]) -> list[str]:
+            names: list[str] = []
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.append(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    names.extend(
+                        e.id for e in target.elts if isinstance(e, ast.Name)
+                    )
+            return names
+
+        def is_report_expr(node: ast.AST) -> bool:
+            """Reads `.delta_vector`, a tracked name, or (in aggregator
+            modules) a pending collection."""
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Attribute) and sub.attr == "delta_vector":
+                    return True
+                if isinstance(sub, ast.Name) and sub.id in tracked:
+                    return True
+            if track_pending and _mentions_pending(node):
+                return True
+            return False
+
+        def is_tracked_ref(node: ast.AST) -> bool:
+            """Is this expression *itself* a report vector reference?"""
+            if isinstance(node, ast.Name):
+                return node.id in tracked
+            if isinstance(node, ast.Attribute):
+                return node.attr == "delta_vector"
+            if isinstance(node, ast.Subscript):
+                return is_tracked_ref(node.value)
+            return False
+
+        def is_fresh_copy(node: ast.AST) -> bool:
+            """``v.copy()`` / ``v.astype()`` / ``np.copy(v)`` own fresh
+            storage — mutating the result is legal."""
+            if not isinstance(node, ast.Call):
+                return False
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "copy", "astype",
+            ):
+                return True
+            return ctx.imports.resolve(node.func) in ("numpy.copy", "numpy.array")
+
+        # Pass 1: taint propagation (flow-insensitive, one level).
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and is_report_expr(node.value):
+                if not is_fresh_copy(node.value):
+                    tracked.update(collect_targets(node.targets))
+            elif isinstance(node, ast.For) and is_report_expr(node.iter):
+                tracked.update(collect_targets([node.target]))
+
+        # Pass 2: flag writes.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AugAssign) and is_tracked_ref(node.target):
+                findings.append(self.finding(
+                    ctx, node,
+                    "augmented assignment writes a reported delta vector "
+                    "in place — report vectors are immutable once reported",
+                ))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and is_tracked_ref(
+                        target.value
+                    ):
+                        findings.append(self.finding(
+                            ctx, node,
+                            "subscript assignment writes a reported delta "
+                            "vector in place — report vectors are immutable "
+                            "once reported",
+                        ))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and is_tracked_ref(func.value):
+                    inplace_method = func.attr in _INPLACE_NDARRAY_METHODS or (
+                        func.attr.endswith("_")
+                        and not func.attr.endswith("__")
+                    )
+                    if inplace_method:
+                        findings.append(self.finding(
+                            ctx, node,
+                            f".{func.attr}() mutates a reported delta vector "
+                            "in place — report vectors are immutable once "
+                            "reported",
+                        ))
+                if (
+                    ctx.imports.resolve(node.func) == "numpy.copyto"
+                    and node.args
+                    and is_tracked_ref(node.args[0])
+                ):
+                    findings.append(self.finding(
+                        ctx, node,
+                        "np.copyto() writes into a reported delta vector — "
+                        "report vectors are immutable once reported",
+                    ))
+                for kw in node.keywords:
+                    if kw.arg == "out" and is_tracked_ref(kw.value):
+                        findings.append(self.finding(
+                            ctx, node,
+                            "out= writes into a reported delta vector — "
+                            "report vectors are immutable once reported",
+                        ))

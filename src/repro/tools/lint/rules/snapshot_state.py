@@ -1,0 +1,155 @@
+"""snapshot-unsafe-state: everything on actor/fleet state must pickle.
+
+``fleet.snapshot()`` pickles the entire running object graph.  Lambdas,
+functions or classes defined inside another function, and live generator
+objects do not pickle — stash one on an actor, the fleet, or a lifecycle
+runtime and the *next* snapshot fails, far from the line that caused it.
+This is the exact bug class PR 5 fixed by hand (``Actor.schedule``'s
+guard closure, fleet factory lambdas).  Dataclass
+``field(default_factory=lambda: ...)`` is the config-side variant: the
+factory rides on the class, but any instance that captures the default
+through a config object graph keeps a lambda reference alive.
+
+Two clauses:
+
+* ``field(default_factory=<lambda or local def>)`` — anywhere (config
+  dataclasses are snapshot-reachable through the fleet);
+* ``self.attr = <lambda | local def | local class | generator
+  expression>`` (including ``self.attr[k] = ...``) inside classes
+  defined in the actor-hosting trees ``actors/``, ``device/``,
+  ``system/``, ``sim/``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.core import FileContext, Finding, Rule, register
+from repro.tools.lint.config import path_matches
+
+_ATTR_CLAUSE_PATHS = (
+    "src/repro/actors/",
+    "src/repro/device/",
+    "src/repro/system/",
+    "src/repro/sim/",
+)
+
+
+def _is_field_call(node: ast.Call, ctx: FileContext) -> bool:
+    dotted = ctx.imports.resolve(node.func)
+    return dotted in ("dataclasses.field", "dataclasses.fields") or (
+        dotted is None
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "field"
+    )
+
+
+@register
+class SnapshotUnsafeStateRule(Rule):
+    name = "snapshot-unsafe-state"
+    description = (
+        "unpicklable values (lambdas, local defs, generator objects) on "
+        "actor/fleet state or as dataclass default_factory"
+    )
+    contract = "snapshot safety: fleet.snapshot() pickles the object graph"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        self._check_default_factories(ctx, findings)
+        if any(path_matches(ctx.path, p) for p in _ATTR_CLAUSE_PATHS):
+            self._check_attribute_state(ctx, findings)
+        return findings
+
+    # -- clause 1: dataclass default factories --------------------------------
+    def _check_default_factories(
+        self, ctx: FileContext, findings: list[Finding]
+    ) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_field_call(node, ctx):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "default_factory":
+                    continue
+                if isinstance(kw.value, ast.Lambda):
+                    findings.append(self.finding(
+                        ctx, kw.value,
+                        "lambda default_factory does not pickle — hoist it "
+                        "to a module-level function",
+                    ))
+
+    # -- clause 2: unpicklable values on instance state -----------------------
+    def _check_attribute_state(
+        self, ctx: FileContext, findings: list[Finding]
+    ) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._check_method(ctx, item, findings)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        findings: list[Finding],
+    ) -> None:
+        args = method.args
+        positional = [*args.posonlyargs, *args.args]
+        if not positional:
+            return  # staticmethod-like: no instance to taint
+        self_name = positional[0].arg
+        # Function/class *objects* defined inside this method don't
+        # pickle; nor do instances of a locally-defined class.  (The
+        # return value of *calling* a local function is fine.)
+        local_defs: set[str] = set()
+        local_classes: set[str] = set()
+        for n in ast.walk(method):
+            if n is method:
+                continue
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_defs.add(n.name)
+            elif isinstance(n, ast.ClassDef):
+                local_defs.add(n.name)
+                local_classes.add(n.name)
+
+        def value_problem(value: ast.AST) -> str | None:
+            if isinstance(value, ast.Lambda):
+                return "a lambda"
+            if isinstance(value, ast.GeneratorExp):
+                return "a live generator object"
+            if isinstance(value, ast.Name) and value.id in local_defs:
+                return f"locally-defined {value.id!r}"
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in local_classes
+            ):
+                return f"an instance of locally-defined {value.func.id!r}"
+            return None
+
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            problem = value_problem(value)
+            if problem is None:
+                continue
+            for target in targets:
+                base = target
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == self_name
+                ):
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"storing {problem} on instance state does not "
+                        "pickle — fleet.snapshot() will fail; use a bound "
+                        "method, module-level function, or functools.partial",
+                    ))
+                    break

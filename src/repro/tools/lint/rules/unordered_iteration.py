@@ -1,0 +1,321 @@
+"""no-unordered-iteration: set iteration order must not feed event order.
+
+In ``sim/``, ``actors/``, ``system/`` and ``device/`` the order in which
+a collection is walked becomes the order in which messages are sent,
+events are scheduled and RNG draws are taken — iterating a ``set`` (or a
+``frozenset``, or popping from one) injects hash order into that chain.
+PR 5 converted ``ActorSystem._watchers`` sets to ordered dicts for
+exactly this reason.  ``sorted(the_set)`` is always fine — ``sorted`` is
+not an iteration sink.
+
+The analysis is deliberately shallow and flow-insensitive: a name counts
+as a set if any assignment in the enclosing scope (or ``self.x = ...``
+anywhere in the enclosing class) visibly binds it to a set literal, a
+set/frozenset call, a set comprehension, or a set-annotated value.
+
+The rule also flags dicts *mutated under iteration* (``d[k] = ...``,
+``del d[k]``, ``d.pop(...)`` inside ``for k in d:``) — insertion order
+is deterministic, but mutating while iterating either raises or, via
+re-insertion, reorders later walks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.core import FileContext, Finding, Rule, register
+
+#: Calls that realise their argument's iteration order.
+_ITERATION_SINKS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+_DICT_MUTATORS = frozenset({"pop", "popitem", "clear", "update", "setdefault"})
+
+
+def _annotation_is_set(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset")
+    if isinstance(node, ast.Subscript):  # set[int], frozenset[str]
+        return _annotation_is_set(node.value)
+    return False
+
+
+def _target_key(node: ast.AST) -> str | None:
+    """Stable key for a Name or a ``self.attr`` chain; None otherwise."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+class _ScopeSets:
+    """Names visibly bound to sets in one function/module scope."""
+
+    def __init__(self, class_set_attrs: frozenset[str]):
+        self.names: set[str] = set()
+        self.class_set_attrs = class_set_attrs
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            key = _target_key(node)
+            return key is not None and key in self.class_set_attrs
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def _collect_class_set_attrs(cls: ast.ClassDef) -> frozenset[str]:
+    """``self.x`` attributes assigned a set expression anywhere in ``cls``."""
+    probe = _ScopeSets(frozenset())
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        else:
+            continue
+        if not probe.is_set_expr(value):
+            continue
+        for target in targets:
+            key = _target_key(target)
+            if key is not None and "." in key:
+                attrs.add(key)
+    return frozenset(attrs)
+
+
+@register
+class UnorderedIterationRule(Rule):
+    name = "no-unordered-iteration"
+    description = (
+        "iterating/unpacking a set, set.pop(), or mutating a dict under "
+        "iteration, where order feeds event order"
+    )
+    contract = "determinism: event order must not inherit hash order"
+    paths = (
+        "src/repro/sim/",
+        "src/repro/actors/",
+        "src/repro/system/",
+        "src/repro/device/",
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        self._check_scope(ctx, ctx.tree, frozenset(), findings)
+        return findings
+
+    # -- scope walking --------------------------------------------------------
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        scope: ast.AST,
+        class_set_attrs: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        sets = _ScopeSets(class_set_attrs)
+        body = self._scope_body(scope)
+        self._collect_names(scope, body, sets)
+        for stmt in body:
+            self._walk(ctx, stmt, sets, findings)
+        for child in self._nested_scopes(body):
+            if isinstance(child, ast.ClassDef):
+                self._check_scope(
+                    ctx, child, _collect_class_set_attrs(child), findings
+                )
+            else:
+                self._check_scope(ctx, child, class_set_attrs, findings)
+
+    @staticmethod
+    def _scope_body(scope: ast.AST) -> list[ast.stmt]:
+        return list(getattr(scope, "body", []))
+
+    @staticmethod
+    def _nested_scopes(body: list[ast.stmt]) -> list[ast.AST]:
+        out: list[ast.AST] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    out.append(node)
+        # Only the *outermost* nested scopes: deeper ones are reached
+        # recursively.  ast.walk above finds all depths, so filter to the
+        # ones whose enclosing scope is `body` itself.
+        outermost = []
+        inner: set[int] = set()
+        for node in out:
+            for sub in ast.walk(node):
+                if sub is not node and isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    inner.add(id(sub))
+        for node in out:
+            if id(node) not in inner:
+                outermost.append(node)
+        return outermost
+
+    def _collect_names(
+        self, scope: ast.AST, body: list[ast.stmt], sets: _ScopeSets
+    ) -> None:
+        # Parameter annotations (set-typed arguments).
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if _annotation_is_set(arg.annotation):
+                    sets.names.add(arg.arg)
+        # Flow-insensitive: any visible set binding marks the name, but
+        # stop at nested scope boundaries (they are analysed separately).
+        for stmt in body:
+            for node in self._walk_same_scope(stmt):
+                if isinstance(node, ast.Assign):
+                    if sets.is_set_expr(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                sets.names.add(target.id)
+                elif isinstance(node, ast.AnnAssign):
+                    is_set = _annotation_is_set(node.annotation) or (
+                        node.value is not None and sets.is_set_expr(node.value)
+                    )
+                    if is_set and isinstance(node.target, ast.Name):
+                        sets.names.add(node.target.id)
+
+    @staticmethod
+    def _walk_same_scope(stmt: ast.stmt):
+        """ast.walk, but do not descend into nested function/class defs.
+
+        A def given *as the root* yields nothing either — its body
+        belongs to the nested scope, which is analysed separately."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        stack = [stmt]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                stack.append(child)
+
+    # -- sinks ----------------------------------------------------------------
+    def _walk(
+        self,
+        ctx: FileContext,
+        stmt: ast.stmt,
+        sets: _ScopeSets,
+        findings: list[Finding],
+    ) -> None:
+        for node in self._walk_same_scope(stmt):
+            if isinstance(node, ast.For):
+                self._check_iter(ctx, node.iter, sets, findings)
+                self._check_dict_mutation(ctx, node, findings)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in node.generators:
+                    self._check_iter(ctx, gen.iter, sets, findings)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ITERATION_SINKS
+                    and node.args
+                    and sets.is_set_expr(node.args[0])
+                ):
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"{node.func.id}() over a set realises hash order — "
+                        "sort first (sorted(...)) or keep an ordered dict",
+                    ))
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "pop"
+                    and not node.args
+                    and sets.is_set_expr(node.func.value)
+                ):
+                    findings.append(self.finding(
+                        ctx, node,
+                        "set.pop() removes an arbitrary (hash-ordered) "
+                        "element — pop from a sorted list or ordered dict",
+                    ))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, (ast.Tuple, ast.List)) and (
+                        sets.is_set_expr(node.value)
+                    ):
+                        findings.append(self.finding(
+                            ctx, node,
+                            "unpacking a set realises hash order — sort "
+                            "first (sorted(...))",
+                        ))
+
+    def _check_iter(
+        self,
+        ctx: FileContext,
+        iter_node: ast.AST,
+        sets: _ScopeSets,
+        findings: list[Finding],
+    ) -> None:
+        if sets.is_set_expr(iter_node):
+            findings.append(self.finding(
+                ctx, iter_node,
+                "iterating a set realises hash order — iterate "
+                "sorted(...) or keep an ordered dict instead",
+            ))
+
+    def _check_dict_mutation(
+        self, ctx: FileContext, loop: ast.For, findings: list[Finding]
+    ) -> None:
+        """``for k in d:`` whose body mutates ``d``."""
+        iter_node = loop.iter
+        if isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Attribute
+        ) and iter_node.func.attr in ("keys", "values", "items"):
+            iter_node = iter_node.func.value
+        key = _target_key(iter_node)
+        if key is None:
+            return
+        for stmt in loop.body:
+            for node in self._walk_same_scope(stmt):
+                mutates = False
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    mutates = any(
+                        isinstance(t, ast.Subscript)
+                        and _target_key(t.value) == key
+                        for t in targets
+                    )
+                elif isinstance(node, ast.Delete):
+                    mutates = any(
+                        isinstance(t, ast.Subscript)
+                        and _target_key(t.value) == key
+                        for t in node.targets
+                    )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    mutates = (
+                        node.func.attr in _DICT_MUTATORS
+                        and _target_key(node.func.value) == key
+                    )
+                if mutates:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"mutating {key!r} while iterating it — collect "
+                        "keys first, then mutate after the loop",
+                    ))

@@ -1,0 +1,44 @@
+"""no-wall-clock: simulated time only.
+
+Every timestamp that feeds behaviour must come from the event loop's
+simulated clock — a wall-clock read makes event ordering (and therefore
+``RunReport`` bytes) depend on host speed.  ``tools/perf.py`` is the one
+module allowed to time real execution (path policy, not suppressions).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.core import FileContext, Finding, Rule, register
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+@register
+class WallClockRule(Rule):
+    name = "no-wall-clock"
+    description = "wall-clock reads (time.time, datetime.now, monotonic, ...)"
+    contract = "determinism: event order must not depend on host speed"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.resolve(node.func)
+            if dotted in _WALL_CLOCK_CALLS:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"{dotted}() reads the wall clock — use the event "
+                    "loop's simulated now() (real timing belongs in "
+                    "tools/perf.py)",
+                ))
+        return findings

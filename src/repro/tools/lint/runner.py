@@ -1,0 +1,119 @@
+"""File walking, per-file orchestration, suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.tools.lint.config import PathPolicy, DEFAULT_POLICIES, active_rules
+from repro.tools.lint.core import (
+    PARSE_ERROR,
+    FileContext,
+    Finding,
+    known_rule_names,
+)
+
+_ROOT_MARKERS = (".git", "setup.py", "pyproject.toml")
+
+
+def find_root(start: str) -> str:
+    """Nearest ancestor of ``start`` that looks like a repo root."""
+    path = os.path.abspath(start)
+    if not os.path.isdir(path):
+        path = os.path.dirname(path)
+    while True:
+        if any(os.path.exists(os.path.join(path, m)) for m in _ROOT_MARKERS):
+            return path
+        parent = os.path.dirname(path)
+        if parent == path:
+            return os.path.abspath(os.getcwd())
+        path = parent
+
+
+def _relpath(file_path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(file_path), root)
+    return rel.replace(os.sep, "/")
+
+
+def iter_python_files(paths: list[str]):
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        elif path.endswith(".py"):
+            yield path
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: set[str] | None = None,
+    policies: tuple[PathPolicy, ...] = DEFAULT_POLICIES,
+) -> list[Finding]:
+    """Lint one source string as though it lived at ``relpath``.
+
+    This is the whole engine: parse, build the shared context, run the
+    path-appropriate rules, drop findings suppressed on their line.
+    The ``relpath``-as-parameter design keeps rule path-scoping testable
+    without a real tree on disk.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) or 1,
+            rule=PARSE_ERROR,
+            message=f"file does not parse: {exc.msg}",
+        )]
+    ctx = FileContext(relpath, source, tree, known_rule_names())
+    findings = list(ctx.suppression_findings)
+    for rule in active_rules(relpath, selected=rules, policies=policies):
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def lint_file(
+    file_path: str,
+    relpath: str | None = None,
+    rules: set[str] | None = None,
+    policies: tuple[PathPolicy, ...] = DEFAULT_POLICIES,
+) -> list[Finding]:
+    if relpath is None:
+        relpath = _relpath(file_path, find_root(file_path))
+    with open(file_path, encoding="utf-8") as f:
+        source = f.read()
+    return lint_source(source, relpath, rules=rules, policies=policies)
+
+
+def lint_paths(
+    paths: list[str],
+    rules: set[str] | None = None,
+    root: str | None = None,
+    policies: tuple[PathPolicy, ...] = DEFAULT_POLICIES,
+) -> tuple[list[Finding], int]:
+    """Lint files/trees; returns (findings, files_checked)."""
+    if root is None:
+        root = find_root(paths[0]) if paths else os.getcwd()
+    findings: list[Finding] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(
+            file_path,
+            relpath=_relpath(file_path, root),
+            rules=rules,
+            policies=policies,
+        ))
+    findings.sort()
+    return findings, checked

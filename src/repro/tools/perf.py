@@ -1092,8 +1092,23 @@ def check_against_reference(
     """Regression check: guarded speedups may not drop more than
     ``tolerance`` (relative) below the committed reference.  Speedup
     ratios are compared — not wall times — so the check is stable across
-    differently-sized CI machines."""
+    differently-sized CI machines.
+
+    The two benchmark sets must also *match*: a benchmark guarded by this
+    harness but absent from the reference's guarded set would otherwise
+    silently skip its regression check (the classic failure mode after a
+    rename or a newly-promoted guard), so any mismatch is a failure."""
     failures = []
+    # Guarded-set drift: only checkable when the report carries its own
+    # guarded list (every harness-produced report does).
+    report_guarded = set(report.get("guarded") or ())
+    if report_guarded:
+        for name in sorted(report_guarded - set(reference.get("guarded", ()))):
+            failures.append(
+                f"{name}: guarded by this harness but not by the reference "
+                "— its regression check would silently be skipped; "
+                "regenerate the committed reference"
+            )
     for name in reference.get("guarded", GUARDED):
         ref_entry = reference["results"].get(name, {})
         new_entry = report["results"].get(name, {})
@@ -1117,8 +1132,25 @@ def check_against_reference(
             continue
         ref = ref_entry.get("speedup")
         new = new_entry.get("speedup")
-        if ref is None or new is None:
-            failures.append(f"{name}: missing from report or reference")
+        if ref is None and new is None:
+            failures.append(
+                f"{name}: guarded but present in neither the reference nor "
+                "this run — benchmark renamed or removed; regenerate the "
+                "committed reference"
+            )
+            continue
+        if ref is None:
+            failures.append(
+                f"{name}: no reference entry — the reference predates this "
+                "benchmark; regenerate the committed reference"
+            )
+            continue
+        if new is None:
+            failures.append(
+                f"{name}: in the reference but not produced by this run — "
+                "benchmark renamed or skipped; run the full harness or "
+                "regenerate the committed reference"
+            )
             continue
         floor = ref * (1.0 - tolerance)
         if new < floor:
