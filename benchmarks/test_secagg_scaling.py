@@ -7,35 +7,50 @@ Aggregation to hundreds of users", motivating one SecAgg instance per
 Aggregator over groups of size >= k.
 
 Regenerates: server unmasking work vs cohort size at a fixed 10% post-
-ShareKeys drop-out rate, and the grouped-mode comparison.
+ShareKeys drop-out rate, the grouped-mode comparison, and the SecAgg
+plane perf gate (scalar vs vectorized on the pinned ``secagg_round``
+workload, byte-identity asserted, ratio checked against the committed
+``BENCH_hotpath.json`` reference).
 """
 
-import time
+import json
+import os
 
 import numpy as np
+import pytest
 
 from repro.secagg.grouped import grouped_secure_sum
 from repro.secagg.masking import VectorQuantizer
 from repro.secagg.protocol import DropoutSchedule, run_secure_aggregation
+from repro.tools.perf import bench_secagg_round, wall_timer
 
 
 DIM = 200
 DROP_FRACTION = 0.10
+
+#: Committed perf reference at the repo root; the plane gate compares the
+#: measured vectorized-over-scalar ratio against its ``secagg_round``
+#: entry with the same tolerance CI's perf-smoke uses.
+REFERENCE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_hotpath.json"
+)
+TOLERANCE = 0.30
 
 
 def run_cohort(n: int, rng: np.random.Generator):
     inputs = {uid: rng.normal(size=DIM) for uid in range(n)}
     dropped = frozenset(range(0, n, int(1 / DROP_FRACTION)))
     quantizer = VectorQuantizer(modulus_bits=32, clip_range=6.0, max_summands=n)
-    start = time.perf_counter()
+    start = wall_timer()
     _, metrics = run_secure_aggregation(
         inputs,
         threshold=max(2, int(0.66 * n)),
         quantizer=quantizer,
         rng=rng,
         dropouts=DropoutSchedule(after_share=dropped),
+        timer=wall_timer,
     )
-    wall = time.perf_counter() - start
+    wall = wall_timer() - start
     return {
         "wall_s": wall,
         "server_s": metrics.server_seconds,
@@ -91,6 +106,7 @@ def test_secagg_grouping_caps_cost(benchmark):
             quantizer=quantizer,
             rng=rng,
             dropouts=DropoutSchedule(after_share=dropped),
+            timer=wall_timer,
         )
         return {
             "groups": len(metrics_list),
@@ -117,3 +133,51 @@ def test_secagg_grouping_caps_cost(benchmark):
     # single-instance cost.
     assert stats["max_group_key_agreements"] <= 5 * 45
     assert stats["total_key_agreements"] < 20 * 180 / 2
+
+
+def test_secagg_plane_gate(benchmark):
+    """Perf gate: the vectorized plane must stay fast AND byte-identical.
+
+    Runs the pinned ``secagg_round`` workload (grouped, 10% dropout at
+    every stage; ``bench_secagg_round`` asserts cross-plane identity of
+    sums and metrics before any timing) at a CI-sized cohort, then
+    checks the measured vectorized-over-scalar ratio against the
+    committed ``BENCH_hotpath.json`` reference: more than a 30% relative
+    regression fails.  Ratios — not wall times — are compared, so the
+    gate is stable across machine sizes; the ratio itself is group-local
+    and therefore comparable across cohort sizes.
+    """
+    result = benchmark.pedantic(
+        lambda: bench_secagg_round(clients=150, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "speedup": round(result["speedup"], 3),
+            "scalar_seconds": round(result["scalar_seconds"], 4),
+            "vectorized_seconds": round(result["vectorized_seconds"], 4),
+        }
+    )
+    print(
+        f"\n=== SECAGG plane gate: {result['clients']} clients, "
+        f"{result['groups']} groups -> vectorized {result['speedup']:.2f}x "
+        "scalar (byte-identity asserted before timing) ==="
+    )
+
+    if not os.path.exists(REFERENCE_PATH):
+        pytest.skip("no committed BENCH_hotpath.json reference")
+    with open(REFERENCE_PATH) as f:
+        reference = json.load(f)
+    entry = reference.get("results", {}).get("secagg_round", {})
+    if "speedup" not in entry:
+        pytest.skip("committed reference predates the secagg_round benchmark")
+    assert "secagg_round" in reference.get("guarded", []), (
+        "secagg_round must be listed in the committed reference's guarded set"
+    )
+    floor = entry["speedup"] * (1.0 - TOLERANCE)
+    assert result["speedup"] >= floor, (
+        f"secagg plane speedup {result['speedup']:.2f}x regressed below "
+        f"{floor:.2f}x (reference {entry['speedup']:.2f}x, "
+        f"tolerance {TOLERANCE:.0%})"
+    )

@@ -43,6 +43,7 @@ from repro.core.config import SecAggConfig
 from repro.nn.parameters import ParameterAccumulator, buffered_math_enabled
 from repro.secagg.masking import VectorQuantizer
 from repro.secagg.protocol import DropoutSchedule, SecAggError, run_secure_aggregation
+from repro.tools.perf import wall_timer
 
 
 class Aggregator(Actor):
@@ -240,6 +241,8 @@ class Aggregator(Actor):
                 quantizer=quantizer,
                 rng=self.rng,
                 dropouts=dropouts,
+                plane=self.secagg.plane,
+                timer=wall_timer,
             )
         except SecAggError:
             # Below threshold: this aggregator contributes nothing; the

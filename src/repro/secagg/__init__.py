@@ -18,17 +18,27 @@ and cost structure match the real system.
 """
 
 from repro.secagg.field import SHAMIR_PRIME, centered_mod
-from repro.secagg.shamir import ShamirShare, share_secret, reconstruct_secret
+from repro.secagg.shamir import (
+    ShamirShare,
+    reconstruct_secret,
+    reconstruct_secrets_batch,
+    share_secret,
+    share_secrets_batch,
+)
 from repro.secagg.dh import DHKeyPair, generate_keypair, agree
-from repro.secagg.prg import prg_expand
+from repro.secagg.prg import prg_expand, prg_expand_batch
 from repro.secagg.masking import VectorQuantizer
 from repro.secagg.protocol import (
     DropoutSchedule,
     SecAggError,
     SecAggMetrics,
+    SecAggTranscript,
     SecureAggregationClient,
     SecureAggregationServer,
     run_secure_aggregation,
+    run_secure_aggregation_transcript,
+    secagg_plane,
+    set_secagg_plane,
 )
 from repro.secagg.grouped import grouped_secure_sum
 
@@ -37,17 +47,24 @@ __all__ = [
     "centered_mod",
     "ShamirShare",
     "share_secret",
+    "share_secrets_batch",
     "reconstruct_secret",
+    "reconstruct_secrets_batch",
     "DHKeyPair",
     "generate_keypair",
     "agree",
     "prg_expand",
+    "prg_expand_batch",
     "VectorQuantizer",
     "DropoutSchedule",
     "SecAggError",
     "SecAggMetrics",
+    "SecAggTranscript",
     "SecureAggregationClient",
     "SecureAggregationServer",
     "run_secure_aggregation",
+    "run_secure_aggregation_transcript",
+    "secagg_plane",
+    "set_secagg_plane",
     "grouped_secure_sum",
 ]

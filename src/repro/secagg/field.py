@@ -36,6 +36,162 @@ def eval_polynomial(coeffs: list[int], x: int, p: int = SHAMIR_PRIME) -> int:
     return acc
 
 
+def mod_inverse_batch(values: list[int], p: int = SHAMIR_PRIME) -> list[int]:
+    """Inverses of every value in GF(p) with a single modular exponentiation.
+
+    Montgomery's trick: invert the running product once, then unfold with
+    multiplications.  Each result is the unique inverse in GF(p), so it is
+    bit-identical to calling :func:`mod_inverse` per value — the batched
+    unmasking plane relies on that.
+    """
+    if not values:
+        return []
+    prefix: list[int] = []
+    acc = 1
+    for v in values:
+        v %= p
+        if v == 0:
+            raise ZeroDivisionError("no inverse of 0 in GF(p)")
+        prefix.append(acc)
+        acc = (acc * v) % p
+    inv_acc = pow(acc, p - 2, p)
+    out = [0] * len(values)
+    for i in range(len(values) - 1, -1, -1):
+        out[i] = (inv_acc * prefix[i]) % p
+        inv_acc = (inv_acc * values[i]) % p
+    return out
+
+
+def lagrange_coefficients_at_zero(
+    xs: list[int], p: int = SHAMIR_PRIME
+) -> list[int]:
+    """Coefficients ``λ_i`` with ``f(0) = Σ λ_i f(x_i)`` in GF(p).
+
+    When many secrets are reconstructed from shares at the *same* x-set
+    (one protocol instance reconstructs every seed from the same first-t
+    responders), the basis is computed once here — O(t²) multiplications
+    and one batched inversion — and each secret becomes an O(t) dot
+    product.
+    """
+    if not xs:
+        raise ValueError("no share indices provided")
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    # num_i = Π_{j≠i} (-x_j) via prefix/suffix products (no inversions);
+    # den_i = Π_{j≠i} (x_i - x_j), all inverted in one batch.
+    neg = [(-x) % p for x in xs]
+    n = len(xs)
+    prefix = [1] * (n + 1)
+    for i, v in enumerate(neg):
+        prefix[i + 1] = (prefix[i] * v) % p
+    suffix = [1] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = (suffix[i + 1] * neg[i]) % p
+    nums = [(prefix[i] * suffix[i + 1]) % p for i in range(n)]
+    dens = []
+    for i, xi in enumerate(xs):
+        den = 1
+        for j, xj in enumerate(xs):
+            if i != j:
+                den = (den * (xi - xj)) % p
+        dens.append(den)
+    inv_dens = mod_inverse_batch(dens, p)
+    return [(num * inv) % p for num, inv in zip(nums, inv_dens)]
+
+
+#: Limb layout for vectorized GF(2^127 - 1) arithmetic: five 26-bit limbs
+#: (130 bits) per element, little-endian, held in uint64 lanes.
+_LIMB_BITS = 26
+_NUM_LIMBS = 5
+_LIMB_MASK = (1 << _LIMB_BITS) - 1
+
+
+def _to_limbs(values: list[int]) -> np.ndarray:
+    """Pack field elements into a ``(len(values), 5)`` uint64 limb array."""
+    col = np.array(values, dtype=object)
+    out = np.empty((len(values), _NUM_LIMBS), dtype=np.uint64)
+    for k in range(_NUM_LIMBS):
+        out[:, k] = (col >> (k * _LIMB_BITS)) & _LIMB_MASK
+    return out
+
+
+def _from_limbs(acc: np.ndarray, p: int) -> list[list[int]]:
+    """Unpack a ``(P, n, 5)`` limb array into canonical ``% p`` residues."""
+    vals = acc.astype(object)
+    combined = vals[..., 0]
+    for k in range(1, _NUM_LIMBS):
+        combined = combined + (vals[..., k] << (k * _LIMB_BITS))
+    return (combined % p).tolist()
+
+
+def _normalize_limbs_(acc: np.ndarray) -> None:
+    """Carry-propagate ``acc`` in place and fold bit 127 overflow.
+
+    ``2^127 ≡ 1 (mod p)`` for the Mersenne prime, so the part of the top
+    limb above bit 127 wraps around to limb 0.  The fold can leave limb 0
+    well above 26 bits (the overflow of a deferred accumulation is large),
+    so two passes run; afterwards every limb is below ``2^26 + 2``.
+    """
+    limb_bits = np.uint64(_LIMB_BITS)
+    limb_mask = np.uint64(_LIMB_MASK)
+    top_bits = np.uint64(127 - _LIMB_BITS * (_NUM_LIMBS - 1))
+    top_mask = np.uint64((1 << (127 - _LIMB_BITS * (_NUM_LIMBS - 1))) - 1)
+    for _ in range(2):
+        for k in range(_NUM_LIMBS - 1):
+            carry = acc[..., k] >> limb_bits
+            acc[..., k] &= limb_mask
+            acc[..., k + 1] += carry
+        # Top limb holds bits 104..127 plus overflow; bits >= 127 fold
+        # back into limb 0.
+        overflow = acc[..., _NUM_LIMBS - 1] >> top_bits
+        acc[..., _NUM_LIMBS - 1] &= top_mask
+        acc[..., 0] += overflow
+
+
+def eval_polynomial_batch(
+    coeffs: list[list[int]], xs: list[int], p: int = SHAMIR_PRIME
+) -> list[list[int]]:
+    """Evaluate many polynomials at many points in one stacked pass.
+
+    Returns ``out[i][j] = eval_polynomial(coeffs[i], xs[j], p)``.  For the
+    Mersenne ``SHAMIR_PRIME`` the Horner recurrence runs on a
+    ``(num_polys, num_points, 5)`` 26-bit-limb array with deferred
+    carries, which replaces ``num_polys * num_points`` big-int Horner
+    loops with ``~2 * max_degree`` uint64 array ops; results are reduced
+    to canonical ``% p`` residues at the end, so they are bit-identical
+    to the scalar :func:`eval_polynomial`.  Any other prime falls back to
+    the scalar loop.
+    """
+    if not coeffs:
+        return []
+    if p != SHAMIR_PRIME or not xs:
+        return [[eval_polynomial(c, x, p) for x in xs] for c in coeffs]
+    degree = max(len(c) for c in coeffs)
+    if any(x < 0 or x >= (1 << 32) for x in xs):
+        return [[eval_polynomial(c, x, p) for x in xs] for c in coeffs]
+    # Horner with deferred normalization: limbs start < 2^27 and gain
+    # ~bit_length(x) bits per step, so normalize often enough that the
+    # uint64 lanes can never overflow mid-multiply.
+    x_bits = max(x.bit_length() for x in xs) or 1
+    steps_per_norm = max(1, (62 - 28) // (x_bits + 1))
+    xs_arr = np.asarray(xs, dtype=np.uint64)[None, :, None]
+    coeff_limbs = [
+        _to_limbs([c[k] if k < len(c) else 0 for c in coeffs])[:, None, :]
+        for k in range(degree)
+    ]
+    acc = np.zeros((len(coeffs), len(xs), _NUM_LIMBS), dtype=np.uint64)
+    acc += coeff_limbs[degree - 1]
+    pending = 0
+    for k in range(degree - 2, -1, -1):
+        acc *= xs_arr
+        acc += coeff_limbs[k]
+        pending += 1
+        if pending >= steps_per_norm:
+            _normalize_limbs_(acc)
+            pending = 0
+    return _from_limbs(acc, p)
+
+
 def ring_mask(modulus_bits: int) -> np.uint64:
     """Bitmask implementing reduction mod ``2^modulus_bits`` on uint64."""
     if not 1 <= modulus_bits <= 63:
@@ -60,9 +216,18 @@ def centered_mod(values: np.ndarray, modulus_bits: int) -> np.ndarray:
     """Map ring elements to signed representatives in ``[-2^{b-1}, 2^{b-1})``.
 
     Used to decode a summed, masked vector back to signed integers before
-    dequantization.
+    dequantization.  Supports the full quantizer range ``b <= 64``: the
+    subtraction runs in uint64 (wrapping mod 2^64) and the final int64
+    cast reinterprets wrapped values as their negative representatives,
+    so no int64 shift ever exceeds 63 bits.
     """
-    modulus = np.int64(1) << np.int64(modulus_bits)
-    half = modulus >> np.int64(1)
-    signed = values.astype(np.int64)
-    return np.where(signed >= half, signed - modulus, signed)
+    if not 1 <= modulus_bits <= 64:
+        raise ValueError(
+            f"modulus_bits must be in [1, 64], got {modulus_bits}"
+        )
+    vals = values.astype(np.uint64)
+    half = np.uint64(1) << np.uint64(modulus_bits - 1)
+    # 2^b as a uint64 (wraps to 0 when b == 64, where the int64 cast
+    # alone performs the centering).
+    delta = np.uint64((1 << modulus_bits) & ((1 << 64) - 1))
+    return np.where(vals >= half, vals - delta, vals).astype(np.int64)

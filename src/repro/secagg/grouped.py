@@ -13,6 +13,8 @@ aggregate for the round, without Secure Aggregation."
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.secagg.masking import VectorQuantizer
@@ -51,8 +53,14 @@ def grouped_secure_sum(
     quantizer: VectorQuantizer,
     rng: np.random.Generator,
     dropouts: DropoutSchedule | None = None,
+    plane: str | None = None,
+    timer: Callable[[], float] | None = None,
 ) -> tuple[np.ndarray, list[SecAggMetrics]]:
-    """Secure-sum per group, then a plain (Master Aggregator) sum of sums."""
+    """Secure-sum per group, then a plain (Master Aggregator) sum of sums.
+
+    ``plane`` and ``timer`` are forwarded to every group's
+    :func:`run_secure_aggregation` instance.
+    """
     groups = partition_into_groups(list(inputs), min_group_size)
     total: np.ndarray | None = None
     all_metrics: list[SecAggMetrics] = []
@@ -72,6 +80,8 @@ def grouped_secure_sum(
             quantizer=quantizer,
             rng=rng,
             dropouts=group_dropouts,
+            plane=plane,
+            timer=timer,
         )
         all_metrics.append(metrics)
         total = group_sum if total is None else total + group_sum

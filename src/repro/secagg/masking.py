@@ -29,6 +29,17 @@ class VectorQuantizer:
     max_summands: int = 1000
 
     def __post_init__(self) -> None:
+        # modulus_bits gates everything else: ``scale`` shifts by it, so
+        # it must be validated before any check (or error message) that
+        # touches ``scale`` — a bogus value would otherwise surface as a
+        # downstream shift overflow instead of a clear error.
+        if not isinstance(self.modulus_bits, (int, np.integer)) or not (
+            8 <= self.modulus_bits <= 64
+        ):
+            raise ValueError(
+                f"modulus_bits must be an integer in [8, 64], "
+                f"got {self.modulus_bits!r}"
+            )
         if self.clip_range <= 0:
             raise ValueError("clip_range must be positive")
         if self.max_summands < 1:
@@ -49,8 +60,11 @@ class VectorQuantizer:
         clipped = np.clip(np.asarray(values, dtype=np.float64),
                           -self.clip_range, self.clip_range)
         ints = np.rint(clipped * self.scale).astype(np.int64)
-        modulus = np.int64(1) << np.int64(self.modulus_bits)
-        return (ints % modulus).astype(np.uint64)
+        # int64 -> uint64 wraps mod 2^64; masking then reduces mod 2^b
+        # (2^b divides 2^64, so the composition is exact for negatives
+        # too, and b = 63/64 needs no oversized int64 shift).
+        mask = np.uint64((1 << self.modulus_bits) - 1)
+        return ints.astype(np.uint64) & mask
 
     def dequantize_sum(self, ring_sum: np.ndarray) -> np.ndarray:
         """Summed ring vector -> float vector (inverse of quantize+sum)."""

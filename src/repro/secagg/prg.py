@@ -23,3 +23,49 @@ def prg_expand(seed: int, length: int, modulus_bits: int) -> np.ndarray:
     )
     mask = np.uint64((1 << modulus_bits) - 1)
     return raw & mask
+
+
+def prg_expand_batch(
+    seeds: list[int],
+    length: int,
+    modulus_bits: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Expand many seeds into one ``(len(seeds), length)`` uint64 matrix.
+
+    Row ``i`` is bit-identical to ``prg_expand(seeds[i], length,
+    modulus_bits)``: for the power-of-two bound ``2^63`` numpy's masked
+    generation consumes exactly one Philox word per output and keeps its
+    top 63 bits, so each row is the raw counter stream of a re-keyed
+    generator, shifted and masked.  Re-keying one bit generator per row
+    skips the per-call ``Generator`` construction of the scalar path;
+    expansion order across rows does not matter because every row depends
+    only on its own seed.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    k = len(seeds)
+    if out is None:
+        out = np.empty((k, length), dtype=np.uint64)
+    elif out.shape != (k, length) or out.dtype != np.uint64:
+        raise ValueError(
+            f"out must be a uint64 array of shape {(k, length)}, "
+            f"got {out.dtype} {out.shape}"
+        )
+    if k == 0 or length == 0:
+        return out
+    bitgen = np.random.Philox(key=0)
+    state = bitgen.state
+    key = state["state"]["key"]
+    counter = state["state"]["counter"]
+    for i, seed in enumerate(seeds):
+        seed &= _KEY_MASK
+        key[0] = seed & 0xFFFFFFFFFFFFFFFF
+        key[1] = seed >> 64
+        counter[:] = 0
+        state["buffer_pos"] = 4
+        bitgen.state = state
+        out[i] = bitgen.random_raw(length)
+    out >>= np.uint64(1)
+    out &= np.uint64((1 << modulus_bits) - 1)
+    return out

@@ -23,8 +23,8 @@ is the reason Sec. 6 caps cohorts at "hundreds of users" per Aggregator.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -38,6 +38,34 @@ from repro.secagg.shamir import ShamirShare, reconstruct_secret, share_secret
 
 class SecAggError(RuntimeError):
     """Protocol failure: below threshold, or inconsistent state."""
+
+
+# ---------------------------------------------------------------------------
+# Execution-plane lever, mirroring ``set_buffered_math`` / ``idle_plane``:
+# the vectorized plane is the default, the scalar per-device protocol stays
+# as the measurable baseline, and both produce byte-identical outputs from
+# the same rng (asserted by tests and by every guarded benchmark).
+
+SECAGG_PLANES = ("scalar", "vectorized")
+
+_SECAGG_PLANE = "vectorized"
+
+
+def secagg_plane() -> str:
+    """The module-default SecAgg execution plane."""
+    return _SECAGG_PLANE
+
+
+def set_secagg_plane(plane: str) -> str:
+    """Select the default SecAgg plane; returns the previous setting."""
+    global _SECAGG_PLANE
+    if plane not in SECAGG_PLANES:
+        raise ValueError(
+            f"secagg_plane must be one of {SECAGG_PLANES}, got {plane!r}"
+        )
+    previous = _SECAGG_PLANE
+    _SECAGG_PLANE = plane
+    return previous
 
 
 @dataclass(frozen=True)
@@ -66,6 +94,22 @@ class SecAggMetrics:
     shamir_reconstructions: int = 0
     server_seconds: float = 0.0
     succeeded: bool = False
+
+
+@dataclass
+class SecAggTranscript:
+    """Byte-comparable artifacts of one protocol instance.
+
+    Captured by :func:`run_secure_aggregation_transcript` on either plane
+    so tests can assert the planes agree round by round, not just on the
+    decoded total: the committed masked vectors (round 2), every share as
+    delivered to each committed device (round 1), and the unmasked ring
+    sum (round 3).  ``shares[receiver][sender]`` is ``(x, s_y, b_y)``.
+    """
+
+    masked: dict[int, np.ndarray]
+    shares: dict[int, dict[int, tuple[int, int, int]]]
+    ring_sum: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -209,9 +253,18 @@ class SecureAggregationClient:
 class SecureAggregationServer:
     """Server role: collects, thresholds, sums, reconstructs, unmasks."""
 
-    def __init__(self, quantizer: VectorQuantizer, threshold: int):
+    def __init__(
+        self,
+        quantizer: VectorQuantizer,
+        threshold: int,
+        timer: Callable[[], float] | None = None,
+    ):
         self.quantizer = quantizer
         self.threshold = threshold
+        # Caller-injected clock (e.g. repro.tools.perf.wall_timer) for the
+        # real crypto cost in metrics.server_seconds; None leaves it 0.0 so
+        # protocol code itself never reads wall time.
+        self._timer = timer
         self.metrics = SecAggMetrics()
         self.roster: dict[int, AdvertisedKeys] = {}
         self.u2: list[int] = []
@@ -280,7 +333,7 @@ class SecureAggregationServer:
             )
         # Real (not simulated) crypto cost, reported via metrics —
         # observability only, never fed back into event ordering.
-        start = time.perf_counter()  # repro-lint: allow(no-wall-clock)
+        start = self._timer() if self._timer is not None else None
         bits = self.quantizer.modulus_bits
         n = self._masked_sum.shape[0]
         dropped = [uid for uid in self.u2 if uid not in self.u3]
@@ -335,7 +388,8 @@ class SecureAggregationServer:
                     result = ring_add(result, mask, bits)
 
         self.metrics.dropped_after_commit = len(self.u3) - len(responses)
-        self.metrics.server_seconds += time.perf_counter() - start  # repro-lint: allow(no-wall-clock)
+        if start is not None:
+            self.metrics.server_seconds += self._timer() - start
         self.metrics.succeeded = True
         return result
 
@@ -343,25 +397,17 @@ class SecureAggregationServer:
         return self.quantizer.dequantize_sum(ring_sum)
 
 
-def run_secure_aggregation(
+def _run_scalar(
     inputs: dict[int, np.ndarray],
     threshold: int,
     quantizer: VectorQuantizer,
     rng: np.random.Generator,
-    dropouts: DropoutSchedule | None = None,
-) -> tuple[np.ndarray, SecAggMetrics]:
-    """Orchestrate one full instance over in-memory participants.
-
-    Returns the decoded float sum over devices that committed (round 2),
-    and the server's cost metrics.  Raises :class:`SecAggError` if any
-    stage falls below the threshold.
-    """
-    dropouts = dropouts or DropoutSchedule.none()
-    lengths = {v.shape for v in inputs.values()}
-    if len(lengths) != 1:
-        raise ValueError(f"input vectors must share a shape, got {lengths}")
-
-    server = SecureAggregationServer(quantizer, threshold)
+    dropouts: DropoutSchedule,
+    timer: Callable[[], float] | None,
+    capture: bool,
+) -> tuple[np.ndarray, SecAggMetrics, SecAggTranscript | None]:
+    """The per-device baseline plane: one client object per participant."""
+    server = SecureAggregationServer(quantizer, threshold, timer=timer)
     clients = {
         uid: SecureAggregationClient(uid, vec, quantizer, threshold, rng)
         for uid, vec in inputs.items()
@@ -389,4 +435,97 @@ def run_secure_aggregation(
         uid: clients[uid].unmask_shares(u3, dropped) for uid in sorted(alive)
     }
     ring_sum = server.unmask(responses)
-    return server.decode_sum(ring_sum), server.metrics
+
+    transcript = None
+    if capture:
+        transcript = SecAggTranscript(
+            masked={uid: masked[uid] for uid in u3},
+            shares={
+                uid: {
+                    sender: (s.x, s.y, b.y)
+                    for sender, (s, b) in clients[uid].received_shares.items()
+                }
+                for uid in u3
+            },
+            ring_sum=ring_sum,
+        )
+    return server.decode_sum(ring_sum), server.metrics, transcript
+
+
+def _dispatch(
+    inputs: dict[int, np.ndarray],
+    threshold: int,
+    quantizer: VectorQuantizer,
+    rng: np.random.Generator,
+    dropouts: DropoutSchedule | None,
+    plane: str | None,
+    timer: Callable[[], float] | None,
+    capture: bool,
+) -> tuple[np.ndarray, SecAggMetrics, SecAggTranscript | None]:
+    dropouts = dropouts or DropoutSchedule.none()
+    lengths = {v.shape for v in inputs.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"input vectors must share a shape, got {lengths}")
+    if plane is None:
+        plane = _SECAGG_PLANE
+    if plane not in SECAGG_PLANES:
+        raise ValueError(
+            f"secagg_plane must be one of {SECAGG_PLANES}, got {plane!r}"
+        )
+    if plane == "vectorized":
+        # Imported lazily: vectorized.py reuses this module's message and
+        # error types.
+        from repro.secagg.vectorized import run_vectorized
+
+        return run_vectorized(
+            inputs, threshold, quantizer, rng, dropouts, timer=timer,
+            capture=capture,
+        )
+    return _run_scalar(
+        inputs, threshold, quantizer, rng, dropouts, timer, capture
+    )
+
+
+def run_secure_aggregation(
+    inputs: dict[int, np.ndarray],
+    threshold: int,
+    quantizer: VectorQuantizer,
+    rng: np.random.Generator,
+    dropouts: DropoutSchedule | None = None,
+    plane: str | None = None,
+    timer: Callable[[], float] | None = None,
+) -> tuple[np.ndarray, SecAggMetrics]:
+    """Orchestrate one full instance over in-memory participants.
+
+    Returns the decoded float sum over devices that committed (round 2),
+    and the server's cost metrics.  Raises :class:`SecAggError` if any
+    stage falls below the threshold.  ``plane`` overrides the module
+    default (:func:`set_secagg_plane`); both planes consume the same rng
+    draws and produce byte-identical sums, shares, and metrics.  ``timer``
+    is the injected clock for ``metrics.server_seconds``.
+    """
+    total, metrics, _ = _dispatch(
+        inputs, threshold, quantizer, rng, dropouts, plane, timer, False
+    )
+    return total, metrics
+
+
+def run_secure_aggregation_transcript(
+    inputs: dict[int, np.ndarray],
+    threshold: int,
+    quantizer: VectorQuantizer,
+    rng: np.random.Generator,
+    dropouts: DropoutSchedule | None = None,
+    plane: str | None = None,
+    timer: Callable[[], float] | None = None,
+) -> tuple[np.ndarray, SecAggMetrics, SecAggTranscript]:
+    """Like :func:`run_secure_aggregation`, also returning the transcript.
+
+    The transcript exists so equivalence tests (and the guarded benchmark's
+    identity gate) can compare the planes round by round.
+    """
+    total, metrics, transcript = _dispatch(
+        inputs, threshold, quantizer, rng, dropouts, plane, timer, True
+    )
+    assert transcript is not None
+    return total, metrics, transcript

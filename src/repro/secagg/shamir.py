@@ -12,7 +12,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.secagg.field import SHAMIR_PRIME, eval_polynomial, mod_inverse
+from repro.secagg.field import (
+    SHAMIR_PRIME,
+    eval_polynomial,
+    eval_polynomial_batch,
+    lagrange_coefficients_at_zero,
+    mod_inverse,
+)
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,77 @@ def share_secret(
         ShamirShare(x=i, y=eval_polynomial(coeffs, i, prime))
         for i in range(1, num_shares + 1)
     ]
+
+
+def share_secrets_batch(
+    secrets: list[int],
+    num_shares: int,
+    threshold: int,
+    rng: np.random.Generator,
+    prime: int = SHAMIR_PRIME,
+) -> list[list[int]]:
+    """Share many secrets at once; returns ``ys[i][x-1]`` for x=1..n.
+
+    Coefficients are drawn from ``rng`` secret-by-secret in list order —
+    exactly the draws ``share_secret`` would make called sequentially —
+    so a batched caller stays on the scalar path's RNG trajectory.  The
+    share values are bit-identical to the scalar path's
+    (``ShamirShare(x, ys[i][x-1])``); only the evaluation is stacked.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    if num_shares < threshold:
+        raise ValueError(
+            f"need at least threshold={threshold} shares, got {num_shares}"
+        )
+    for secret in secrets:
+        if not 0 <= secret < prime:
+            raise ValueError("secret out of field range")
+    # One bulk draw replaces the per-coefficient rng.bytes(16) calls.
+    # 16 bytes is a whole number of the generator's output words, so the
+    # concatenation of N sequential draws is byte-for-byte one draw of
+    # 16*N — the rng lands at exactly the scalar path's stream position.
+    per_secret = threshold - 1
+    total = len(secrets) * per_secret
+    random_coeffs: list[int] = []
+    if total:
+        words = (
+            np.frombuffer(rng.bytes(16 * total), dtype="<u8")
+            .reshape(total, 2)
+            .astype(object)
+        )
+        random_coeffs = ((words[:, 0] + (words[:, 1] << 64)) % prime).tolist()
+    all_coeffs = [
+        [secret] + random_coeffs[i * per_secret : (i + 1) * per_secret]
+        for i, secret in enumerate(secrets)
+    ]
+    return eval_polynomial_batch(
+        all_coeffs, list(range(1, num_shares + 1)), prime
+    )
+
+
+def reconstruct_secrets_batch(
+    xs: list[int],
+    ys_per_secret: list[list[int]],
+    prime: int = SHAMIR_PRIME,
+) -> list[int]:
+    """Reconstruct many secrets whose shares sit at the same x-set.
+
+    One protocol instance reconstructs every seed from the same first-t
+    responders, so the Lagrange basis at 0 is shared: computed once (with
+    one batched inversion), each secret is an O(t) dot product.  Results
+    are bit-identical to per-secret :func:`reconstruct_secret` calls.
+    """
+    lambdas = lagrange_coefficients_at_zero(xs, prime)
+    out = []
+    for ys in ys_per_secret:
+        if len(ys) != len(xs):
+            raise ValueError("share count does not match x-set")
+        acc = 0
+        for y, lam in zip(ys, lambdas):
+            acc = (acc + y * lam) % prime
+        out.append(acc)
+    return out
 
 
 def reconstruct_secret(

@@ -1,0 +1,266 @@
+"""Vectorized Secure Aggregation plane: the four rounds as matrix work.
+
+The scalar plane (:mod:`repro.secagg.protocol`) runs one state machine
+per device — K PRG expansions, K share loops, and per-device ``ring_add``
+chains.  This module replays the *same* protocol as stacked operations:
+
+* mask expansion for all devices is one ``(K, dim)``
+  :func:`~repro.secagg.prg.prg_expand_batch` call per mask family;
+* Shamir sharing is one :func:`~repro.secagg.shamir.share_secrets_batch`
+  over every secret of the round (limb-vectorized Horner);
+* MaskedInputCollection is in-place uint64 arithmetic on a ``(K, dim)``
+  matrix — exact, because 2^b divides 2^64 so wrapping sums followed by
+  one final mask equal the scalar per-op-masked chains;
+* dropout recovery reconstructs every seed with one shared Lagrange
+  basis (:func:`~repro.secagg.shamir.reconstruct_secrets_batch`).
+
+Byte-for-byte equivalence with the scalar plane is a hard contract:
+same rng draw order (so trajectories match even across a raised
+:class:`SecAggError`), same masked vectors, same shares, same ring sum,
+same metrics counts, same error messages at every threshold check.
+Tests and the guarded ``secagg_round`` benchmark assert all of it.
+
+Two deliberate simulation shortcuts, neither observable in any output:
+
+* share-transport encryption is skipped — the scalar plane's
+  encrypt/decrypt round-trips are the identity on payloads, and the
+  ``c`` exponent is still drawn so the rng trajectory is unchanged;
+* each pairwise PRG seed is computed once per unordered pair
+  (``agree`` is symmetric in the group element), where scalar devices
+  compute it independently at both endpoints.  Server-side metrics
+  count unmasking work only, so counts are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.secagg.dh import DH_GENERATOR, DH_PRIME, agree, public_key_of
+from repro.secagg.field import SECRET_BITS, ring_mask
+from repro.secagg.masking import VectorQuantizer
+from repro.secagg.prg import prg_expand_batch
+from repro.secagg.protocol import (
+    DropoutSchedule,
+    SecAggError,
+    SecAggMetrics,
+    SecAggTranscript,
+)
+from repro.secagg.shamir import reconstruct_secrets_batch, share_secrets_batch
+
+
+def _draw_secret(rng: np.random.Generator) -> int:
+    """The exponent draw of ``generate_keypair``, without the group pow."""
+    secret = int.from_bytes(rng.bytes(SECRET_BITS // 8), "little")
+    return secret | (1 << (SECRET_BITS - 8))
+
+
+def _apply_self_masks_(masked: np.ndarray, self_rows: np.ndarray) -> None:
+    """Add each committer's self-mask row into ``masked`` in place."""
+    masked += self_rows
+
+
+def _apply_pair_masks_(
+    masked: np.ndarray,
+    pair_rows: np.ndarray,
+    plus_rows: list[list[int]],
+    minus_rows: list[list[int]],
+) -> None:
+    """Fold signed pairwise mask rows into ``masked`` in place.
+
+    ``plus_rows[i]`` / ``minus_rows[i]`` index into ``pair_rows`` for
+    committer row ``i`` (sign convention: + toward higher-id peers).
+    uint64 ops wrap mod 2^64; the caller masks down to 2^b once at the
+    end, which is exact because 2^b divides 2^64.
+    """
+    for i in range(masked.shape[0]):
+        row = masked[i]
+        for k in plus_rows[i]:
+            row += pair_rows[k]
+        for k in minus_rows[i]:
+            row -= pair_rows[k]
+
+
+def run_vectorized(
+    inputs: dict[int, np.ndarray],
+    threshold: int,
+    quantizer: VectorQuantizer,
+    rng: np.random.Generator,
+    dropouts: DropoutSchedule | None = None,
+    timer: Callable[[], float] | None = None,
+    capture: bool = False,
+) -> tuple[np.ndarray, SecAggMetrics, SecAggTranscript | None]:
+    """One batched protocol instance; see module docstring for contract."""
+    dropouts = dropouts or DropoutSchedule.none()
+    bits = quantizer.modulus_bits
+    uids = list(inputs)
+    cohort = len(uids)
+    dim = next(iter(inputs.values())).shape[0] if cohort else 0
+
+    # -- Round 0: AdvertiseKeys ---------------------------------------------
+    # Same rng trajectory as the scalar client constructors (inputs order;
+    # per device: c exponent, s keypair, self-mask seed) — draws happen
+    # before the threshold check, exactly as scalar constructs clients
+    # before the server thresholds the roster.
+    s_secret: dict[int, int] = {}
+    s_public: dict[int, int] = {}
+    b_seed: dict[int, int] = {}
+    for uid in uids:
+        _draw_secret(rng)  # c key: trajectory only (no wire encryption)
+        s = _draw_secret(rng)
+        s_secret[uid] = s
+        s_public[uid] = pow(DH_GENERATOR, s, DH_PRIME)
+        b_seed[uid] = int.from_bytes(rng.bytes(SECRET_BITS // 8), "little")
+    metrics = SecAggMetrics()
+    if cohort < threshold:
+        raise SecAggError(
+            f"only {cohort} devices advertised keys, threshold is {threshold}"
+        )
+    metrics.cohort_size = cohort
+
+    peer_ids = sorted(uids)
+    pos = {uid: i for i, uid in enumerate(peer_ids)}  # share index x = pos+1
+
+    # -- Round 1: ShareKeys -------------------------------------------------
+    # Every surviving device shares (s_secret, b_seed); the batch draws
+    # coefficients in the interleaved per-device order of the scalar loop.
+    u2 = [uid for uid in peer_ids if uid not in dropouts.after_advertise]
+    secrets: list[int] = []
+    for uid in u2:
+        secrets.append(s_secret[uid])
+        secrets.append(b_seed[uid])
+    ys = share_secrets_batch(secrets, cohort, threshold, rng)
+    s_ys = {uid: ys[2 * i] for i, uid in enumerate(u2)}
+    b_ys = {uid: ys[2 * i + 1] for i, uid in enumerate(u2)}
+    if len(u2) < threshold:
+        raise SecAggError(
+            f"only {len(u2)} devices shared keys, threshold is {threshold}"
+        )
+
+    # -- Round 2: MaskedInputCollection (Commit) ----------------------------
+    committers = [uid for uid in u2 if uid not in dropouts.after_share]
+    committed = set(committers)
+
+    # One seed per unordered pair with at least one committed endpoint:
+    # agree() hashes the symmetric group element g^{ab}, so both scalar
+    # endpoints would compute this exact value independently.
+    pair_index: dict[tuple[int, int], int] = {}
+    pair_seeds: list[int] = []
+    for i, a in enumerate(u2):
+        a_committed = a in committed
+        for b in u2[i + 1:]:
+            if a_committed or b in committed:
+                pair_index[(a, b)] = len(pair_seeds)
+                pair_seeds.append(agree(s_secret[a], s_public[b]))
+
+    pair_rows = prg_expand_batch(pair_seeds, dim, bits)
+    self_rows = prg_expand_batch([b_seed[uid] for uid in committers], dim, bits)
+
+    stacked = np.empty((len(committers), dim), dtype=np.float64)
+    for i, uid in enumerate(committers):
+        stacked[i] = inputs[uid]
+    masked = quantizer.quantize(stacked)  # (C, dim) uint64, freshly owned
+
+    row_of = {uid: i for i, uid in enumerate(committers)}
+    plus_rows: list[list[int]] = [[] for _ in committers]
+    minus_rows: list[list[int]] = [[] for _ in committers]
+    for (a, b), k in pair_index.items():
+        ia = row_of.get(a)
+        if ia is not None:
+            plus_rows[ia].append(k)
+        ib = row_of.get(b)
+        if ib is not None:
+            minus_rows[ib].append(k)
+    _apply_self_masks_(masked, self_rows)
+    _apply_pair_masks_(masked, pair_rows, plus_rows, minus_rows)
+    masked &= ring_mask(bits)
+
+    u3 = committers
+    if len(u3) < threshold:
+        raise SecAggError(
+            f"only {len(u3)} devices committed, threshold is {threshold}"
+        )
+    metrics.committed = len(u3)
+    metrics.dropped_before_commit = cohort - len(u3)
+    masked_sum = masked.sum(axis=0) & ring_mask(bits)
+
+    # -- Round 3: Unmasking (Finalization) ----------------------------------
+    responders = [uid for uid in u3 if uid not in dropouts.after_mask]
+    if len(responders) < threshold:
+        raise SecAggError(
+            f"only {len(responders)} devices answered unmasking, "
+            f"threshold is {threshold}"
+        )
+
+    start = timer() if timer is not None else None
+    dropped = [uid for uid in u2 if uid not in committed]
+
+    # Every responder holds a share of every reconstructed secret, so all
+    # reconstructions use one x-set — the first `threshold` responders in
+    # sorted order, exactly the shares the scalar server consumes — and
+    # therefore one shared Lagrange basis.
+    xs = [pos[uid] + 1 for uid in responders[:threshold]]
+    targets = [b_ys[uid] for uid in u3] + [s_ys[uid] for uid in dropped]
+    recon = reconstruct_secrets_batch(
+        xs, [[target[x - 1] for x in xs] for target in targets]
+    )
+    metrics.shamir_reconstructions += len(targets)
+    recon_b = recon[: len(u3)]
+    recon_s = recon[len(u3):]
+
+    result = masked_sum
+    b_rows = prg_expand_batch(recon_b, dim, bits)
+    metrics.prg_expansions += len(u3)
+    result -= b_rows.sum(axis=0)
+
+    # Dangling pairwise masks of share-then-drop devices: the server
+    # re-derives each seed from the *reconstructed* key (one agreement
+    # per survivor, as scalar), after verifying it against the advertised
+    # public key.
+    dangling_seeds: list[int] = []
+    dangling_sub: list[bool] = []
+    for uid, s_rec in zip(dropped, recon_s):
+        if public_key_of(s_rec) != s_public[uid]:
+            raise SecAggError(
+                f"reconstructed key for {uid} does not match advertised key"
+            )
+        for survivor in u3:
+            dangling_seeds.append(agree(s_rec, s_public[survivor]))
+            # survivor applied +mask if survivor < uid else -mask;
+            # subtract exactly what was applied.
+            dangling_sub.append(survivor < uid)
+            metrics.key_agreements += 1
+    if dangling_seeds:
+        rows = prg_expand_batch(dangling_seeds, dim, bits)
+        metrics.prg_expansions += len(dangling_seeds)
+        sub = np.asarray(dangling_sub)
+        if sub.any():
+            result -= rows[sub].sum(axis=0)
+        if not sub.all():
+            result += rows[~sub].sum(axis=0)
+    result &= ring_mask(bits)
+
+    metrics.dropped_after_commit = len(u3) - len(responders)
+    if start is not None:
+        metrics.server_seconds += timer() - start
+    metrics.succeeded = True
+
+    transcript = None
+    if capture:
+        transcript = SecAggTranscript(
+            masked={uid: masked[row_of[uid]] for uid in u3},
+            shares={
+                uid: {
+                    sender: (
+                        pos[uid] + 1,
+                        s_ys[sender][pos[uid]],
+                        b_ys[sender][pos[uid]],
+                    )
+                    for sender in u2
+                }
+                for uid in u3
+            },
+            ring_sum=result,
+        )
+    return quantizer.dequantize_sum(result), metrics, transcript

@@ -10,9 +10,11 @@ the plane exists to remove.  Two clauses:
   allocator calls (``np.zeros``, ``np.concatenate``, ...), no
   out-capable numpy ufunc/linalg calls without ``out=``, no ``.copy()``;
 * inside the hot-path modules (``nn/``, ``device/cohort.py``,
-  ``actors/aggregator*.py``): no ``.to_vector()`` without ``out=`` —
-  the no-``out`` form returns freshly-owned storage by contract, which
-  is exactly one hidden allocation per call.
+  ``actors/aggregator*.py``, ``secagg/``): no ``.to_vector()`` without
+  ``out=`` — the no-``out`` form returns freshly-owned storage by
+  contract, which is exactly one hidden allocation per call.  The
+  vectorized SecAgg plane sits on this hot path: its stacked mask/commit
+  kernels are ``*_``-named, so the first clause polices them too.
 
 Scalar reductions (``np.sum``, ``np.dot`` on vectors, ``l2_norm``) are
 deliberately not flagged: their results are scalars, not hot-path
@@ -45,6 +47,7 @@ _TO_VECTOR_PATHS = (
     "src/repro/nn/",
     "src/repro/device/cohort.py",
     "src/repro/actors/aggregator*.py",
+    "src/repro/secagg/",
 )
 
 

@@ -39,6 +39,13 @@ What is measured (see ROADMAP.md "Performance" for how to read it):
   then buffered mode (the module-level A/B switch).
 * ``event_loop`` — scheduler throughput under timer-cancel churn (the
   pace-steering pattern that used to leak cancelled events).
+* ``secagg_round`` — one grouped Secure Aggregation round (1k clients in
+  ~50-device groups, 10% dropout at each protocol stage), scalar
+  per-device plane vs the vectorized plane (batched PRG expansion,
+  stacked commits, shared-basis dropout recovery).  Sums and metrics are
+  asserted byte-identical before timing; the ratio is group-local, so
+  the ``--quick`` run at 200 clients checks against the committed
+  1k-client reference ratio.
 
 Every functional/buffered pair is asserted byte-identical before it is
 timed; the harness refuses to report a speedup for paths that diverge.
@@ -82,11 +89,24 @@ GUARDED = (
     "cohort_round",
     "fleet_run_days",
     "fleet_scale",
+    "secagg_round",
 )
 
 
 # ---------------------------------------------------------------------------
 # timing utilities
+
+
+def wall_timer() -> float:
+    """Injectable wall clock for observability timings.
+
+    Simulation and protocol code never reads wall time directly (the
+    ``no-wall-clock`` lint contract); components that *report* real
+    elapsed cost — e.g. ``SecAggMetrics.server_seconds`` — take a timer
+    callable from their caller instead, and this is the one callers
+    inject.  Timings it produces feed metrics only, never event ordering.
+    """
+    return time.perf_counter()
 
 
 def _time_per_call(fn: Callable[[], object], repeats: int, inner: int = 1) -> float:
@@ -600,6 +620,77 @@ def bench_event_loop(repeats: int) -> dict:
     }
 
 
+def bench_secagg_round(clients: int, repeats: int) -> dict:
+    """One grouped SecAgg round: scalar plane vs vectorized plane.
+
+    The pinned workload is the paper's operating point — groups of ~50
+    devices (Sec. 6 caps SecAgg instances at "hundreds of users"), dim
+    256, 32-bit masking ring, threshold 0.66 — with 10% of the cohort
+    dropping at *each* protocol stage (after AdvertiseKeys, after
+    ShareKeys, after MaskedInputCollection), so the benchmark exercises
+    dangling-mask recovery, not just the happy path.  Decoded sums and
+    full server metrics are asserted identical across planes before any
+    timing; both planes replay the same rng trajectory.
+    """
+    from repro.secagg.grouped import grouped_secure_sum
+    from repro.secagg.masking import VectorQuantizer
+    from repro.secagg.protocol import DropoutSchedule
+
+    dim = 256
+    group = 50
+    data_rng = np.random.default_rng(4242)
+    inputs = {uid: data_rng.normal(size=dim) for uid in range(clients)}
+    dropouts = DropoutSchedule(
+        after_advertise=frozenset(u for u in range(clients) if u % 10 == 3),
+        after_share=frozenset(u for u in range(clients) if u % 10 == 6),
+        after_mask=frozenset(u for u in range(clients) if u % 10 == 9),
+    )
+    quantizer = VectorQuantizer(
+        modulus_bits=32, clip_range=8.0, max_summands=2 * group
+    )
+
+    def run(plane: str):
+        return grouped_secure_sum(
+            inputs,
+            min_group_size=group,
+            threshold_fraction=0.66,
+            quantizer=quantizer,
+            rng=np.random.default_rng(2019),
+            dropouts=dropouts,
+            plane=plane,
+        )
+
+    total_s, metrics_s = run("scalar")
+    total_v, metrics_v = run("vectorized")
+    if not np.array_equal(total_s, total_v):
+        raise AssertionError("secagg_round planes diverged (sums differ)")
+    if metrics_s != metrics_v:
+        raise AssertionError("secagg_round planes diverged (metrics differ)")
+
+    tf, tb = _time_pair(lambda: run("scalar"), lambda: run("vectorized"),
+                        repeats)
+    committed = sum(m.committed for m in metrics_s)
+    return {
+        "workload": (
+            f"{clients} clients in {len(metrics_s)} groups of ~{group}, "
+            f"dim {dim}, 32-bit ring, threshold 0.66, 10% dropout after "
+            "each of AdvertiseKeys/ShareKeys/MaskedInputCollection "
+            "(sums and metrics asserted identical across planes before "
+            "timing; ratio is group-local, comparable across client "
+            "counts)"
+        ),
+        "unit": "rounds_per_sec",
+        "scalar_rounds_per_sec": 1.0 / tf,
+        "vectorized_rounds_per_sec": 1.0 / tb,
+        "scalar_seconds": tf,
+        "vectorized_seconds": tb,
+        "clients": clients,
+        "groups": len(metrics_s),
+        "committed_devices": committed,
+        "speedup": tf / tb,
+    }
+
+
 # ---------------------------------------------------------------------------
 # fleet benchmark
 
@@ -930,6 +1021,9 @@ class HarnessConfig:
     scale_baseline_counts: tuple[int, ...] = (1000, 5000)
     #: Device count for the cProfile pass (None skips profiling).
     scale_profile_devices: int | None = 20000
+    #: ``secagg_round`` cohort size (the ratio is group-local, so quick
+    #: runs shrink the cohort, not the group).
+    secagg_clients: int = 1000
 
     @classmethod
     def quick(cls) -> "HarnessConfig":
@@ -941,6 +1035,7 @@ class HarnessConfig:
             scale_counts=(1000,),
             scale_baseline_counts=(1000,),
             scale_profile_devices=None,
+            secagg_clients=200,
         )
 
     def scale_quick(self) -> "HarnessConfig":
@@ -963,6 +1058,7 @@ class HarnessConfig:
             scale_counts=(1000,),
             scale_baseline_counts=(1000,),
             scale_profile_devices=None,
+            secagg_clients=200,
         )
 
 
@@ -1004,6 +1100,11 @@ def run_harness(
         "weighted_mean": bench_weighted_mean(config.repeats),
         "vector_fold": bench_vector_fold(max(3, config.repeats // 2)),
         "event_loop": bench_event_loop(max(3, config.repeats // 2)),
+        # Each timed call runs the full grouped protocol (seconds on the
+        # scalar side at 1k clients), so the repeat budget stays small.
+        "secagg_round": bench_secagg_round(
+            config.secagg_clients, max(3, config.repeats // 6)
+        ),
     }
     if include_fleet:
         results["fleet_run_days"] = bench_fleet_run_days(
@@ -1036,6 +1137,7 @@ def run_harness(
             "scale_counts": list(config.scale_counts),
             "scale_baseline_counts": list(config.scale_baseline_counts),
             "scale_profile_devices": config.scale_profile_devices,
+            "secagg_clients": config.secagg_clients,
         },
         "guarded": list(GUARDED),
         "results": results,

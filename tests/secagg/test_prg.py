@@ -37,3 +37,28 @@ def test_large_seed_is_truncated_consistently():
     np.testing.assert_array_equal(
         prg_expand(big, 50, 32), prg_expand(big % (1 << 128), 50, 32)
     )
+
+
+def test_batch_rows_match_scalar_expansion():
+    from repro.secagg.prg import prg_expand_batch
+
+    seeds = [0, 1, 123456789, (1 << 120) - 7, (1 << 200) + 17]
+    for bits in (8, 32, 48, 63):
+        rows = prg_expand_batch(seeds, 257, bits)
+        assert rows.shape == (len(seeds), 257) and rows.dtype == np.uint64
+        for i, seed in enumerate(seeds):
+            np.testing.assert_array_equal(rows[i], prg_expand(seed, 257, bits))
+
+
+def test_batch_out_buffer_reused():
+    from repro.secagg.prg import prg_expand_batch
+
+    out = np.empty((2, 64), dtype=np.uint64)
+    result = prg_expand_batch([5, 6], 64, 32, out=out)
+    assert result is out
+    np.testing.assert_array_equal(out[0], prg_expand(5, 64, 32))
+    with pytest.raises(ValueError, match="shape"):
+        prg_expand_batch([5, 6, 7], 64, 32, out=out)
+    assert prg_expand_batch([], 64, 32).shape == (0, 64)
+    with pytest.raises(ValueError):
+        prg_expand_batch([1], -1, 32)

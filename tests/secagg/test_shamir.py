@@ -62,3 +62,50 @@ def test_threshold_one_is_constant_polynomial(rng):
     shares = share_secret(99, 4, 1, rng)
     for share in shares:
         assert reconstruct_secret([share]) == 99
+
+
+def test_share_secrets_batch_matches_scalar_and_rng_trajectory():
+    """Batch sharing draws the exact coefficients the scalar loop would,
+    in the same order, and produces bit-identical share values."""
+    from repro.secagg.shamir import share_secrets_batch
+
+    rng = np.random.default_rng(2019)
+    rng2 = np.random.default_rng(2019)
+    secrets = [0, 1, 42, 2**120 - 1, 2**119 + 7]
+    n, t = 9, 4
+    ys = share_secrets_batch(secrets, n, t, rng)
+    scalar = [share_secret(s, n, t, rng2) for s in secrets]
+    for i, shares in enumerate(scalar):
+        assert ys[i] == [sh.y for sh in shares]
+        assert [sh.x for sh in shares] == list(range(1, n + 1))
+    # Identical rng stream position afterwards.
+    assert rng.bytes(16) == rng2.bytes(16)
+
+
+def test_share_secrets_batch_validation(rng):
+    from repro.secagg.shamir import share_secrets_batch
+
+    with pytest.raises(ValueError, match="threshold"):
+        share_secrets_batch([1], 5, 0, rng)
+    with pytest.raises(ValueError, match="at least threshold"):
+        share_secrets_batch([1], 2, 3, rng)
+    with pytest.raises(ValueError, match="field range"):
+        share_secrets_batch([1, -1], 5, 3, rng)
+    assert share_secrets_batch([], 5, 3, rng) == []
+
+
+def test_reconstruct_secrets_batch_matches_scalar(rng):
+    from repro.secagg.shamir import reconstruct_secrets_batch
+
+    secrets = [7, 2**119 + 3, 12345678901234567890]
+    n, t = 8, 5
+    all_shares = [share_secret(s, n, t, rng) for s in secrets]
+    xs = [2, 4, 5, 7, 8]
+    recon = reconstruct_secrets_batch(
+        xs, [[shares[x - 1].y for x in xs] for shares in all_shares]
+    )
+    assert recon == secrets
+    for shares in all_shares:
+        assert reconstruct_secret([shares[x - 1] for x in xs]) in secrets
+    with pytest.raises(ValueError, match="share count"):
+        reconstruct_secrets_batch([1, 2], [[5]])

@@ -378,6 +378,29 @@ class TestInplaceDiscipline:
                 return delta.to_vector()
         """, path="src/repro/system/example.py") == []
 
+    def test_secagg_is_a_hot_path(self):
+        """The vectorized SecAgg plane is covered by both clauses: the
+        directory-scoped to_vector policy and the global *_ policy on
+        its stacked mask/commit kernels."""
+        findings = run("""
+            def commit(delta):
+                return delta.to_vector()
+        """, path="src/repro/secagg/vectorized.py")
+        assert rule_names(findings) == ["inplace-op-discipline"]
+        findings = run("""
+            import numpy as np
+
+            def _apply_masks_(masked, rows):
+                extra = np.zeros_like(masked)
+                masked += rows + extra
+        """, path="src/repro/secagg/vectorized.py")
+        assert rule_names(findings) == ["inplace-op-discipline"]
+        assert "zeros_like" in findings[0].message
+        assert run("""
+            def _apply_masks_(masked, rows):
+                masked += rows
+        """, path="src/repro/secagg/vectorized.py") == []
+
 
 # -- report-vector-immutability -----------------------------------------------
 
