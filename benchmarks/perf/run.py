@@ -72,6 +72,16 @@ def main(argv: list[str] | None = None) -> int:
             line += f" {entry.get('ops_per_sec', 0):,.0f} ops/s  ({entry['workload']})"
         print(line)
 
+    secagg = report["results"].get("secagg_round")
+    if secagg is not None and "phase_seconds" in secagg:
+        phases = secagg["phase_seconds"]
+        print(
+            "  secagg_round phases (cross-group plane, summed over groups): "
+            + ", ".join(f"{name}={secs:.3f}s" for name, secs in phases.items())
+            + f"; dominant: {secagg['dominant_phase']}"
+            + f"; per-group plane {secagg['pergroup_speedup']:.2f}x"
+        )
+
     scale = report["results"].get("fleet_scale")
     if scale is not None:
         print("  fleet_scale scaling curve:")

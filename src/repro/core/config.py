@@ -90,9 +90,12 @@ class SecAggConfig:
             raise ValueError("threshold_fraction must be in (0.5, 1]")
         if self.modulus_bits < 8 or self.modulus_bits > 48:
             raise ValueError("modulus_bits must be in [8, 48]")
-        if self.plane is not None and self.plane not in ("scalar", "vectorized"):
+        if self.plane is not None and self.plane not in (
+            "scalar", "vectorized", "vectorized_pergroup"
+        ):
             raise ValueError(
-                f"plane must be 'scalar', 'vectorized' or None, got {self.plane!r}"
+                "plane must be 'scalar', 'vectorized', "
+                f"'vectorized_pergroup' or None, got {self.plane!r}"
             )
 
     def threshold(self, group_size: int | None = None) -> int:

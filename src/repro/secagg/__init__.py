@@ -25,7 +25,15 @@ from repro.secagg.shamir import (
     share_secret,
     share_secrets_batch,
 )
-from repro.secagg.dh import DHKeyPair, generate_keypair, agree
+from repro.secagg.dh import (
+    DHKeyPair,
+    agree,
+    agree_batch,
+    agree_pairs_batch,
+    generate_keypair,
+    generate_keypairs_batch,
+)
+from repro.secagg.bigmod import FixedBaseTable, powmod_batch
 from repro.secagg.prg import prg_expand, prg_expand_batch
 from repro.secagg.masking import VectorQuantizer
 from repro.secagg.protocol import (
@@ -40,9 +48,14 @@ from repro.secagg.protocol import (
     secagg_plane,
     set_secagg_plane,
 )
-from repro.secagg.grouped import grouped_secure_sum
+from repro.secagg.grouped import (
+    grouped_secure_sum,
+    grouped_secure_sum_transcripts,
+)
 
 __all__ = [
+    "FixedBaseTable",
+    "powmod_batch",
     "SHAMIR_PRIME",
     "centered_mod",
     "ShamirShare",
@@ -52,7 +65,10 @@ __all__ = [
     "reconstruct_secrets_batch",
     "DHKeyPair",
     "generate_keypair",
+    "generate_keypairs_batch",
     "agree",
+    "agree_batch",
+    "agree_pairs_batch",
     "prg_expand",
     "prg_expand_batch",
     "VectorQuantizer",
@@ -67,4 +83,5 @@ __all__ = [
     "secagg_plane",
     "set_secagg_plane",
     "grouped_secure_sum",
+    "grouped_secure_sum_transcripts",
 ]

@@ -43,10 +43,19 @@ class SecAggError(RuntimeError):
 # ---------------------------------------------------------------------------
 # Execution-plane lever, mirroring ``set_buffered_math`` / ``idle_plane``:
 # the vectorized plane is the default, the scalar per-device protocol stays
-# as the measurable baseline, and both produce byte-identical outputs from
-# the same rng (asserted by tests and by every guarded benchmark).
+# as the measurable baseline, and all planes produce byte-identical outputs
+# from the same rng (asserted by tests and by every guarded benchmark).
+#
+# For a *single* protocol instance "vectorized" and "vectorized_pergroup"
+# are the same plane.  They differ only under
+# :func:`repro.secagg.grouped.grouped_secure_sum`: "vectorized" batches the
+# DH/PRG/reconstruction sweeps across *all* groups at once (the groups are
+# embarrassingly parallel — one instance per Aggregator, Sec. 6), while
+# "vectorized_pergroup" runs one vectorized instance per group sequentially
+# and stays available as a measurable baseline between "scalar" and the
+# cross-group plane.
 
-SECAGG_PLANES = ("scalar", "vectorized")
+SECAGG_PLANES = ("scalar", "vectorized", "vectorized_pergroup")
 
 _SECAGG_PLANE = "vectorized"
 
@@ -83,7 +92,19 @@ class DropoutSchedule:
 
 @dataclass
 class SecAggMetrics:
-    """Server-side cost accounting for one protocol instance."""
+    """Server-side cost accounting for one protocol instance.
+
+    The phase-seconds fields break the vectorized planes' wall time into
+    the three sweeps that dominate a round: pairwise seed derivation
+    (round 2), PRG expansion + mask arithmetic (round 2), and dropout
+    recovery (round 3, a superset of ``server_seconds``' span).  They are
+    populated only when a ``timer`` is injected *and* the instance ran on
+    a vectorized plane — the scalar plane leaves them 0.0, so cross-plane
+    metrics equality (the contract tests' ``==``) holds whenever no timer
+    is injected.  Under the cross-group plane each shared sweep's duration
+    is attributed to groups proportionally to their share of the sweep's
+    work items.
+    """
 
     cohort_size: int = 0
     committed: int = 0
@@ -93,6 +114,9 @@ class SecAggMetrics:
     prg_expansions: int = 0
     shamir_reconstructions: int = 0
     server_seconds: float = 0.0
+    key_agreement_seconds: float = 0.0
+    masking_seconds: float = 0.0
+    recovery_seconds: float = 0.0
     succeeded: bool = False
 
 
@@ -466,15 +490,11 @@ def _dispatch(
     lengths = {v.shape for v in inputs.values()}
     if len(lengths) != 1:
         raise ValueError(f"input vectors must share a shape, got {lengths}")
-    if plane is None:
-        plane = _SECAGG_PLANE
-    if plane not in SECAGG_PLANES:
-        raise ValueError(
-            f"secagg_plane must be one of {SECAGG_PLANES}, got {plane!r}"
-        )
-    if plane == "vectorized":
+    plane = resolve_secagg_plane(plane)
+    if plane in ("vectorized", "vectorized_pergroup"):
         # Imported lazily: vectorized.py reuses this module's message and
-        # error types.
+        # error types.  A single instance has no cross-group work, so the
+        # two vectorized planes coincide here.
         from repro.secagg.vectorized import run_vectorized
 
         return run_vectorized(
@@ -484,6 +504,17 @@ def _dispatch(
     return _run_scalar(
         inputs, threshold, quantizer, rng, dropouts, timer, capture
     )
+
+
+def resolve_secagg_plane(plane: str | None) -> str:
+    """Apply the module default and validate the plane name."""
+    if plane is None:
+        plane = _SECAGG_PLANE
+    if plane not in SECAGG_PLANES:
+        raise ValueError(
+            f"secagg_plane must be one of {SECAGG_PLANES}, got {plane!r}"
+        )
+    return plane
 
 
 def run_secure_aggregation(

@@ -1,9 +1,14 @@
-"""Vectorized Secure Aggregation plane: the four rounds as matrix work.
+"""Vectorized Secure Aggregation planes: the four rounds as matrix work.
 
 The scalar plane (:mod:`repro.secagg.protocol`) runs one state machine
 per device — K PRG expansions, K share loops, and per-device ``ring_add``
 chains.  This module replays the *same* protocol as stacked operations:
 
+* pairwise PRG seeds ride the batched DH substrate
+  (:func:`~repro.secagg.dh.agree_pairs_batch` on the Montgomery limb
+  kernels of :mod:`repro.secagg.bigmod`) — the simulator holds both
+  secrets of every pair, so each seed is one fixed-base exponentiation
+  of ``g^(a·b)``, no per-pair squaring ladder;
 * mask expansion for all devices is one ``(K, dim)``
   :func:`~repro.secagg.prg.prg_expand_batch` call per mask family;
 * Shamir sharing is one :func:`~repro.secagg.shamir.share_secrets_batch`
@@ -14,21 +19,41 @@ chains.  This module replays the *same* protocol as stacked operations:
 * dropout recovery reconstructs every seed with one shared Lagrange
   basis (:func:`~repro.secagg.shamir.reconstruct_secrets_batch`).
 
+:func:`run_vectorized_grouped` extends the same batching *across* the
+per-Aggregator groups of :mod:`repro.secagg.grouped` (Sec. 6): rng draws
+and threshold checks stay strictly sequential in group order — so every
+error raises with the message and rng position of the sequential
+per-group run — while the pairwise-agreement, PRG/commit, and
+reconstruction sweeps each run once over all groups' work stacked into
+one batch.  A single instance is the one-group special case, so
+:func:`run_vectorized` is a thin wrapper.
+
 Byte-for-byte equivalence with the scalar plane is a hard contract:
 same rng draw order (so trajectories match even across a raised
 :class:`SecAggError`), same masked vectors, same shares, same ring sum,
 same metrics counts, same error messages at every threshold check.
 Tests and the guarded ``secagg_round`` benchmark assert all of it.
 
-Two deliberate simulation shortcuts, neither observable in any output:
+Deliberate simulation shortcuts, none observable in any output:
 
 * share-transport encryption is skipped — the scalar plane's
   encrypt/decrypt round-trips are the identity on payloads, and the
   ``c`` exponent is still drawn so the rng trajectory is unchanged;
-* each pairwise PRG seed is computed once per unordered pair
-  (``agree`` is symmetric in the group element), where scalar devices
-  compute it independently at both endpoints.  Server-side metrics
-  count unmasking work only, so counts are unaffected.
+* each pairwise PRG seed is computed once per unordered pair from the
+  two secret exponents (``agree(a, g^b)`` hashes the symmetric group
+  element ``g^(a·b)``), where scalar devices compute it independently at
+  both endpoints.  Server-side metrics count unmasking work only, so
+  counts are unaffected;
+* ``g^s`` public keys are materialized only where an output can observe
+  them — verifying reconstructed keys of dropped devices — in one
+  stacked fixed-base pass, instead of one ``pow`` per device at
+  AdvertiseKeys;
+* the defensive "reconstructed key does not match" check runs in the
+  batched round-3 sweep, after every group's threshold checks.  With
+  in-memory Shamir shares reconstruction is exact, so the check cannot
+  fire before a later group's threshold error in any achievable
+  execution — threshold errors, the only observable failures, keep
+  their exact sequential order.
 """
 
 from __future__ import annotations
@@ -37,7 +62,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.secagg.dh import DH_GENERATOR, DH_PRIME, agree, public_key_of
+from repro.secagg.dh import agree_pairs_batch, public_keys_batch
 from repro.secagg.field import SECRET_BITS, ring_mask
 from repro.secagg.masking import VectorQuantizer
 from repro.secagg.prg import prg_expand_batch
@@ -82,6 +107,366 @@ def _apply_pair_masks_(
             row -= pair_rows[k]
 
 
+class _PhaseTimer:
+    """Lap clock over an injected timer; a no-op when ``timer`` is None."""
+
+    def __init__(self, timer: Callable[[], float] | None):
+        self._timer = timer
+        self._last = timer() if timer is not None else 0.0
+
+    def lap(self) -> float:
+        """Seconds since the previous lap (0.0 without a timer)."""
+        if self._timer is None:
+            return 0.0
+        now = self._timer()
+        elapsed = now - self._last
+        self._last = now
+        return elapsed
+
+
+def _attribute_phase(
+    states: list["_GroupState"],
+    field: str,
+    duration: float,
+    weights: list[int],
+) -> None:
+    """Split one shared sweep's duration over groups by work-item share."""
+    total = max(sum(weights), 1)
+    for state, weight in zip(states, weights):
+        setattr(
+            state.metrics,
+            field,
+            getattr(state.metrics, field) + duration * weight / total,
+        )
+
+
+class _GroupState:
+    """Everything one group carries from its sequential draws into the
+    stacked sweeps."""
+
+    __slots__ = (
+        "uids", "threshold", "metrics", "pos", "u2", "s_secret", "b_seed",
+        "s_ys", "b_ys", "committers", "committed", "dropped", "responders",
+        "xs", "pairs", "pair_start", "row_start",
+    )
+
+    def __init__(self, uids: list[int], threshold: int):
+        self.uids = uids
+        self.threshold = threshold
+        self.metrics = SecAggMetrics()
+
+
+def run_vectorized_grouped(
+    group_inputs: list[dict[int, np.ndarray]],
+    thresholds: list[int],
+    quantizer: VectorQuantizer,
+    rng: np.random.Generator,
+    schedules: list[DropoutSchedule],
+    timer: Callable[[], float] | None = None,
+    capture: bool = False,
+) -> tuple[
+    list[np.ndarray], list[SecAggMetrics], list[SecAggTranscript] | None
+]:
+    """Run one protocol instance per group with cross-group batched sweeps.
+
+    rng draws, threshold checks, and their error messages happen group by
+    group in list order — byte- and position-identical to running the
+    groups sequentially — then the expensive sweeps (pair agreements, PRG
+    and mask arithmetic, Shamir reconstruction, key verification, dangling
+    recovery) each execute once over all groups' stacked work.
+    """
+    bits = quantizer.modulus_bits
+    states: list[_GroupState] = []
+
+    # -- Rounds 0–1 per group, in order: every rng draw and every
+    # threshold check of rounds 0–3 happens here, at the exact stream
+    # position of a sequential per-group run (rounds 2–3 draw nothing).
+    for inputs, threshold, dropouts in zip(group_inputs, thresholds, schedules):
+        lengths = {v.shape for v in inputs.values()}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"input vectors must share a shape, got {lengths}"
+            )
+        state = _GroupState(list(inputs), threshold)
+        cohort = len(state.uids)
+
+        # Round 0: AdvertiseKeys — per device: c exponent (trajectory
+        # only), s exponent, self-mask seed; draws precede the threshold
+        # check exactly as scalar constructs clients before the server
+        # thresholds the roster.
+        state.s_secret = {}
+        state.b_seed = {}
+        for uid in state.uids:
+            _draw_secret(rng)  # c key: no wire encryption in simulation
+            state.s_secret[uid] = _draw_secret(rng)
+            state.b_seed[uid] = int.from_bytes(
+                rng.bytes(SECRET_BITS // 8), "little"
+            )
+        if cohort < threshold:
+            raise SecAggError(
+                f"only {cohort} devices advertised keys, threshold is "
+                f"{threshold}"
+            )
+        state.metrics.cohort_size = cohort
+
+        peer_ids = sorted(state.uids)
+        state.pos = {uid: i for i, uid in enumerate(peer_ids)}
+
+        # Round 1: ShareKeys — interleaved (s, b) secrets per survivor,
+        # coefficients drawn in the scalar loop's order.
+        state.u2 = [
+            uid for uid in peer_ids if uid not in dropouts.after_advertise
+        ]
+        secrets: list[int] = []
+        for uid in state.u2:
+            secrets.append(state.s_secret[uid])
+            secrets.append(state.b_seed[uid])
+        ys = share_secrets_batch(secrets, cohort, threshold, rng)
+        state.s_ys = {uid: ys[2 * i] for i, uid in enumerate(state.u2)}
+        state.b_ys = {uid: ys[2 * i + 1] for i, uid in enumerate(state.u2)}
+        if len(state.u2) < threshold:
+            raise SecAggError(
+                f"only {len(state.u2)} devices shared keys, threshold is "
+                f"{threshold}"
+            )
+
+        # Rounds 2–3 membership checks (no draws, no crypto needed).
+        state.committers = [
+            uid for uid in state.u2 if uid not in dropouts.after_share
+        ]
+        state.committed = set(state.committers)
+        if len(state.committers) < threshold:
+            raise SecAggError(
+                f"only {len(state.committers)} devices committed, "
+                f"threshold is {threshold}"
+            )
+        state.metrics.committed = len(state.committers)
+        state.metrics.dropped_before_commit = cohort - len(state.committers)
+
+        state.responders = [
+            uid for uid in state.committers if uid not in dropouts.after_mask
+        ]
+        if len(state.responders) < threshold:
+            raise SecAggError(
+                f"only {len(state.responders)} devices answered unmasking, "
+                f"threshold is {threshold}"
+            )
+        state.metrics.dropped_after_commit = (
+            len(state.committers) - len(state.responders)
+        )
+        state.dropped = [
+            uid for uid in state.u2 if uid not in state.committed
+        ]
+        state.xs = [
+            state.pos[uid] + 1 for uid in state.responders[:threshold]
+        ]
+        states.append(state)
+
+    dim = (
+        next(iter(group_inputs[0].values())).shape[0] if group_inputs else 0
+    )
+    phases = _PhaseTimer(timer)
+
+    # -- Round 2, sweep 1: every group's pairwise seeds in one stacked
+    # fixed-base pass — one seed per unordered pair with at least one
+    # committed endpoint; agree() hashes the symmetric element g^(ab),
+    # so both scalar endpoints would compute this exact value.
+    secret_pairs: list[tuple[int, int]] = []
+    for state in states:
+        state.pair_start = len(secret_pairs)
+        state.pairs = []
+        for i, a in enumerate(state.u2):
+            a_committed = a in state.committed
+            for b in state.u2[i + 1:]:
+                if a_committed or b in state.committed:
+                    state.pairs.append((a, b))
+                    secret_pairs.append(
+                        (state.s_secret[a], state.s_secret[b])
+                    )
+    pair_seeds = agree_pairs_batch(secret_pairs)
+    _attribute_phase(
+        states, "key_agreement_seconds", phases.lap(),
+        [len(state.pairs) for state in states],
+    )
+
+    # -- Round 2, sweep 2: one (ΣC, dim) PRG/quantize/mask pass over all
+    # committers, then per-group wrapped sums via one reduceat.
+    self_seeds: list[int] = []
+    row = 0
+    for state in states:
+        state.row_start = row
+        row += len(state.committers)
+        self_seeds.extend(state.b_seed[uid] for uid in state.committers)
+    num_rows = row
+    pair_rows = prg_expand_batch(pair_seeds, dim, bits)
+    self_rows = prg_expand_batch(self_seeds, dim, bits)
+
+    stacked = np.empty((num_rows, dim), dtype=np.float64)
+    plus_rows: list[list[int]] = [[] for _ in range(num_rows)]
+    minus_rows: list[list[int]] = [[] for _ in range(num_rows)]
+    for state, inputs in zip(states, group_inputs):
+        row_of = {
+            uid: state.row_start + i
+            for i, uid in enumerate(state.committers)
+        }
+        for i, uid in enumerate(state.committers):
+            stacked[state.row_start + i] = inputs[uid]
+        for k, (a, b) in enumerate(state.pairs, start=state.pair_start):
+            ia = row_of.get(a)
+            if ia is not None:
+                plus_rows[ia].append(k)
+            ib = row_of.get(b)
+            if ib is not None:
+                minus_rows[ib].append(k)
+    masked = quantizer.quantize(stacked)  # (ΣC, dim) uint64, freshly owned
+    _apply_self_masks_(masked, self_rows)
+    _apply_pair_masks_(masked, pair_rows, plus_rows, minus_rows)
+    masked &= ring_mask(bits)
+
+    row_starts = [state.row_start for state in states]
+    masked_sums = np.add.reduceat(masked, row_starts, axis=0)
+    masked_sums &= ring_mask(bits)
+    _attribute_phase(
+        states, "masking_seconds", phases.lap(),
+        [
+            len(state.committers) + len(state.pairs)
+            for state in states
+        ],
+    )
+
+    # -- Round 3: one shared reconstruction sweep.  Every responder holds
+    # a share of every reconstructed secret, so each group uses one x-set
+    # — its first `threshold` responders, exactly the shares the scalar
+    # server consumes.  Groups with identical x-sets (the common case:
+    # equal sizes, same dropout pattern) share one Lagrange basis and one
+    # batched call; results are bit-identical regardless of bucketing.
+    buckets: dict[tuple[int, ...], list[int]] = {}
+    for g, state in enumerate(states):
+        buckets.setdefault(tuple(state.xs), []).append(g)
+    recon_b: list[list[int]] = [[] for _ in states]
+    recon_s: list[list[int]] = [[] for _ in states]
+    for xs_key, members in buckets.items():
+        xs = list(xs_key)
+        targets: list[list[int]] = []
+        for g in members:
+            state = states[g]
+            group_targets = (
+                [state.b_ys[uid] for uid in state.committers]
+                + [state.s_ys[uid] for uid in state.dropped]
+            )
+            targets.extend(
+                [target[x - 1] for x in xs] for target in group_targets
+            )
+            state.metrics.shamir_reconstructions += len(group_targets)
+        recon = reconstruct_secrets_batch(xs, targets)
+        offset = 0
+        for g in members:
+            state = states[g]
+            recon_b[g] = recon[offset:offset + len(state.committers)]
+            offset += len(state.committers)
+            recon_s[g] = recon[offset:offset + len(state.dropped)]
+            offset += len(state.dropped)
+
+    # Verify every reconstructed key against its advertised public key in
+    # one stacked fixed-base pass (the only place public keys are
+    # observable), raising in sequential group/device order.
+    dropped_secrets: list[int] = []
+    for state in states:
+        dropped_secrets.extend(state.s_secret[uid] for uid in state.dropped)
+    all_recon_s = [s for per_group in recon_s for s in per_group]
+    publics = public_keys_batch(dropped_secrets + all_recon_s)
+    advertised = publics[: len(dropped_secrets)]
+    reconstructed = publics[len(dropped_secrets):]
+    offset = 0
+    for state in states:
+        for uid in state.dropped:
+            if reconstructed[offset] != advertised[offset]:
+                raise SecAggError(
+                    f"reconstructed key for {uid} does not match "
+                    "advertised key"
+                )
+            offset += 1
+
+    # Self masks off via one (ΣC, dim) PRG pass; then the dangling
+    # pairwise masks of share-then-drop devices — the server re-derives
+    # each seed from the *reconstructed* key (one agreement per survivor,
+    # as scalar) in one stacked pass over every group's recovery work.
+    b_rows = prg_expand_batch(
+        [seed for per_group in recon_b for seed in per_group], dim, bits
+    )
+    results = masked_sums
+    results -= np.add.reduceat(b_rows, row_starts, axis=0)
+
+    dangling_pairs: list[tuple[int, int]] = []
+    dangling_sub: list[bool] = []
+    dangling_starts: list[int] = []
+    for state, per_group in zip(states, recon_s):
+        state.metrics.prg_expansions += len(state.committers)
+        dangling_starts.append(len(dangling_pairs))
+        for uid, s_rec in zip(state.dropped, per_group):
+            for survivor in state.committers:
+                dangling_pairs.append((s_rec, state.s_secret[survivor]))
+                # survivor applied +mask if survivor < uid else -mask;
+                # subtract exactly what was applied.
+                dangling_sub.append(survivor < uid)
+                state.metrics.key_agreements += 1
+    if dangling_pairs:
+        dangling_seeds = agree_pairs_batch(dangling_pairs)
+        rows = prg_expand_batch(dangling_seeds, dim, bits)
+        sub = np.asarray(dangling_sub)
+        ends = dangling_starts[1:] + [len(dangling_pairs)]
+        for g, (state, start, end) in enumerate(
+            zip(states, dangling_starts, ends)
+        ):
+            if start == end:
+                continue
+            state.metrics.prg_expansions += end - start
+            group_rows = rows[start:end]
+            group_sub = sub[start:end]
+            if group_sub.any():
+                results[g] -= group_rows[group_sub].sum(axis=0)
+            if not group_sub.all():
+                results[g] += group_rows[~group_sub].sum(axis=0)
+    results &= ring_mask(bits)
+    recovery = phases.lap()
+    recovery_weights = [
+        len(state.committers) + 2 * len(state.dropped) for state in states
+    ]
+    _attribute_phase(states, "recovery_seconds", recovery, recovery_weights)
+    # server_seconds keeps its scalar meaning — round-3 unmasking time.
+    _attribute_phase(states, "server_seconds", recovery, recovery_weights)
+    for state in states:
+        state.metrics.succeeded = True
+
+    transcripts: list[SecAggTranscript] | None = None
+    if capture:
+        transcripts = []
+        for g, state in enumerate(states):
+            row_of = {
+                uid: state.row_start + i
+                for i, uid in enumerate(state.committers)
+            }
+            transcripts.append(SecAggTranscript(
+                masked={uid: masked[row_of[uid]] for uid in state.committers},
+                shares={
+                    uid: {
+                        sender: (
+                            state.pos[uid] + 1,
+                            state.s_ys[sender][state.pos[uid]],
+                            state.b_ys[sender][state.pos[uid]],
+                        )
+                        for sender in state.u2
+                    }
+                    for uid in state.committers
+                },
+                ring_sum=results[g],
+            ))
+    totals = [
+        quantizer.dequantize_sum(results[g]) for g in range(len(states))
+    ]
+    return totals, [state.metrics for state in states], transcripts
+
+
 def run_vectorized(
     inputs: dict[int, np.ndarray],
     threshold: int,
@@ -91,176 +476,15 @@ def run_vectorized(
     timer: Callable[[], float] | None = None,
     capture: bool = False,
 ) -> tuple[np.ndarray, SecAggMetrics, SecAggTranscript | None]:
-    """One batched protocol instance; see module docstring for contract."""
-    dropouts = dropouts or DropoutSchedule.none()
-    bits = quantizer.modulus_bits
-    uids = list(inputs)
-    cohort = len(uids)
-    dim = next(iter(inputs.values())).shape[0] if cohort else 0
-
-    # -- Round 0: AdvertiseKeys ---------------------------------------------
-    # Same rng trajectory as the scalar client constructors (inputs order;
-    # per device: c exponent, s keypair, self-mask seed) — draws happen
-    # before the threshold check, exactly as scalar constructs clients
-    # before the server thresholds the roster.
-    s_secret: dict[int, int] = {}
-    s_public: dict[int, int] = {}
-    b_seed: dict[int, int] = {}
-    for uid in uids:
-        _draw_secret(rng)  # c key: trajectory only (no wire encryption)
-        s = _draw_secret(rng)
-        s_secret[uid] = s
-        s_public[uid] = pow(DH_GENERATOR, s, DH_PRIME)
-        b_seed[uid] = int.from_bytes(rng.bytes(SECRET_BITS // 8), "little")
-    metrics = SecAggMetrics()
-    if cohort < threshold:
-        raise SecAggError(
-            f"only {cohort} devices advertised keys, threshold is {threshold}"
-        )
-    metrics.cohort_size = cohort
-
-    peer_ids = sorted(uids)
-    pos = {uid: i for i, uid in enumerate(peer_ids)}  # share index x = pos+1
-
-    # -- Round 1: ShareKeys -------------------------------------------------
-    # Every surviving device shares (s_secret, b_seed); the batch draws
-    # coefficients in the interleaved per-device order of the scalar loop.
-    u2 = [uid for uid in peer_ids if uid not in dropouts.after_advertise]
-    secrets: list[int] = []
-    for uid in u2:
-        secrets.append(s_secret[uid])
-        secrets.append(b_seed[uid])
-    ys = share_secrets_batch(secrets, cohort, threshold, rng)
-    s_ys = {uid: ys[2 * i] for i, uid in enumerate(u2)}
-    b_ys = {uid: ys[2 * i + 1] for i, uid in enumerate(u2)}
-    if len(u2) < threshold:
-        raise SecAggError(
-            f"only {len(u2)} devices shared keys, threshold is {threshold}"
-        )
-
-    # -- Round 2: MaskedInputCollection (Commit) ----------------------------
-    committers = [uid for uid in u2 if uid not in dropouts.after_share]
-    committed = set(committers)
-
-    # One seed per unordered pair with at least one committed endpoint:
-    # agree() hashes the symmetric group element g^{ab}, so both scalar
-    # endpoints would compute this exact value independently.
-    pair_index: dict[tuple[int, int], int] = {}
-    pair_seeds: list[int] = []
-    for i, a in enumerate(u2):
-        a_committed = a in committed
-        for b in u2[i + 1:]:
-            if a_committed or b in committed:
-                pair_index[(a, b)] = len(pair_seeds)
-                pair_seeds.append(agree(s_secret[a], s_public[b]))
-
-    pair_rows = prg_expand_batch(pair_seeds, dim, bits)
-    self_rows = prg_expand_batch([b_seed[uid] for uid in committers], dim, bits)
-
-    stacked = np.empty((len(committers), dim), dtype=np.float64)
-    for i, uid in enumerate(committers):
-        stacked[i] = inputs[uid]
-    masked = quantizer.quantize(stacked)  # (C, dim) uint64, freshly owned
-
-    row_of = {uid: i for i, uid in enumerate(committers)}
-    plus_rows: list[list[int]] = [[] for _ in committers]
-    minus_rows: list[list[int]] = [[] for _ in committers]
-    for (a, b), k in pair_index.items():
-        ia = row_of.get(a)
-        if ia is not None:
-            plus_rows[ia].append(k)
-        ib = row_of.get(b)
-        if ib is not None:
-            minus_rows[ib].append(k)
-    _apply_self_masks_(masked, self_rows)
-    _apply_pair_masks_(masked, pair_rows, plus_rows, minus_rows)
-    masked &= ring_mask(bits)
-
-    u3 = committers
-    if len(u3) < threshold:
-        raise SecAggError(
-            f"only {len(u3)} devices committed, threshold is {threshold}"
-        )
-    metrics.committed = len(u3)
-    metrics.dropped_before_commit = cohort - len(u3)
-    masked_sum = masked.sum(axis=0) & ring_mask(bits)
-
-    # -- Round 3: Unmasking (Finalization) ----------------------------------
-    responders = [uid for uid in u3 if uid not in dropouts.after_mask]
-    if len(responders) < threshold:
-        raise SecAggError(
-            f"only {len(responders)} devices answered unmasking, "
-            f"threshold is {threshold}"
-        )
-
-    start = timer() if timer is not None else None
-    dropped = [uid for uid in u2 if uid not in committed]
-
-    # Every responder holds a share of every reconstructed secret, so all
-    # reconstructions use one x-set — the first `threshold` responders in
-    # sorted order, exactly the shares the scalar server consumes — and
-    # therefore one shared Lagrange basis.
-    xs = [pos[uid] + 1 for uid in responders[:threshold]]
-    targets = [b_ys[uid] for uid in u3] + [s_ys[uid] for uid in dropped]
-    recon = reconstruct_secrets_batch(
-        xs, [[target[x - 1] for x in xs] for target in targets]
+    """One batched protocol instance — the one-group case of the grouped
+    runner; see module docstring for the equivalence contract."""
+    totals, metrics, transcripts = run_vectorized_grouped(
+        [inputs],
+        [threshold],
+        quantizer,
+        rng,
+        [dropouts or DropoutSchedule.none()],
+        timer=timer,
+        capture=capture,
     )
-    metrics.shamir_reconstructions += len(targets)
-    recon_b = recon[: len(u3)]
-    recon_s = recon[len(u3):]
-
-    result = masked_sum
-    b_rows = prg_expand_batch(recon_b, dim, bits)
-    metrics.prg_expansions += len(u3)
-    result -= b_rows.sum(axis=0)
-
-    # Dangling pairwise masks of share-then-drop devices: the server
-    # re-derives each seed from the *reconstructed* key (one agreement
-    # per survivor, as scalar), after verifying it against the advertised
-    # public key.
-    dangling_seeds: list[int] = []
-    dangling_sub: list[bool] = []
-    for uid, s_rec in zip(dropped, recon_s):
-        if public_key_of(s_rec) != s_public[uid]:
-            raise SecAggError(
-                f"reconstructed key for {uid} does not match advertised key"
-            )
-        for survivor in u3:
-            dangling_seeds.append(agree(s_rec, s_public[survivor]))
-            # survivor applied +mask if survivor < uid else -mask;
-            # subtract exactly what was applied.
-            dangling_sub.append(survivor < uid)
-            metrics.key_agreements += 1
-    if dangling_seeds:
-        rows = prg_expand_batch(dangling_seeds, dim, bits)
-        metrics.prg_expansions += len(dangling_seeds)
-        sub = np.asarray(dangling_sub)
-        if sub.any():
-            result -= rows[sub].sum(axis=0)
-        if not sub.all():
-            result += rows[~sub].sum(axis=0)
-    result &= ring_mask(bits)
-
-    metrics.dropped_after_commit = len(u3) - len(responders)
-    if start is not None:
-        metrics.server_seconds += timer() - start
-    metrics.succeeded = True
-
-    transcript = None
-    if capture:
-        transcript = SecAggTranscript(
-            masked={uid: masked[row_of[uid]] for uid in u3},
-            shares={
-                uid: {
-                    sender: (
-                        pos[uid] + 1,
-                        s_ys[sender][pos[uid]],
-                        b_ys[sender][pos[uid]],
-                    )
-                    for sender in u2
-                }
-                for uid in u3
-            },
-            ring_sum=result,
-        )
-    return quantizer.dequantize_sum(result), metrics, transcript
+    return totals[0], metrics[0], transcripts[0] if transcripts else None

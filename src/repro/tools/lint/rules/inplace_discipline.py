@@ -4,7 +4,7 @@ The buffered model plane's whole point (ROADMAP "Performance") is that
 the trailing-underscore in-place ops (``add_``, ``step_``,
 ``scale_rows_``, ...) run on pre-allocated buffers.  An allocating
 ``np.*`` call inside one silently re-introduces the per-step allocation
-the plane exists to remove.  Two clauses:
+the plane exists to remove.  Three clauses:
 
 * inside any function whose name ends with a single ``_``: no numpy
   allocator calls (``np.zeros``, ``np.concatenate``, ...), no
@@ -14,7 +14,12 @@ the plane exists to remove.  Two clauses:
   ``out=`` — the no-``out`` form returns freshly-owned storage by
   contract, which is exactly one hidden allocation per call.  The
   vectorized SecAgg plane sits on this hot path: its stacked mask/commit
-  kernels are ``*_``-named, so the first clause polices them too.
+  kernels are ``*_``-named, so the first clause polices them too;
+* inside ``secagg/bigmod.py`` (the Montgomery limb plane): no
+  ``dtype=object`` arrays or ``.astype(object)`` outside the declared
+  ``_to_*`` / ``_from_*`` boundary helpers — an object-dtype array
+  silently falls back to per-element Python big-int arithmetic, which
+  is exactly the cost the uint64 limb representation removes.
 
 Scalar reductions (``np.sum``, ``np.dot`` on vectors, ``l2_norm``) are
 deliberately not flagged: their results are scalars, not hot-path
@@ -50,6 +55,11 @@ _TO_VECTOR_PATHS = (
     "src/repro/secagg/",
 )
 
+#: The Montgomery limb plane: object-dtype escapes allowed only in the
+#: int<->limb boundary helpers.
+_BIGMOD_PATH = "src/repro/secagg/bigmod.py"
+_BIGMOD_BOUNDARY_PREFIXES = ("_to_", "_from_")
+
 
 def _is_inplace_name(name: str) -> bool:
     return name.endswith("_") and not name.endswith("__")
@@ -73,6 +83,8 @@ class InplaceDisciplineRule(Rule):
                 self._check_inplace_fn(ctx, node, findings)
         if any(path_matches(ctx.path, p) for p in _TO_VECTOR_PATHS):
             self._check_to_vector(ctx, findings)
+        if path_matches(ctx.path, _BIGMOD_PATH):
+            self._check_bigmod_object_dtype(ctx, findings)
         return findings
 
     def _check_inplace_fn(
@@ -112,6 +124,42 @@ class InplaceDisciplineRule(Rule):
                     f".copy() allocates inside in-place op {fn.name!r} — "
                     "copy into a pre-allocated buffer (np.copyto)",
                 ))
+
+    def _check_bigmod_object_dtype(
+        self, ctx: FileContext, findings: list[Finding]
+    ) -> None:
+        boundary_nodes: set[int] = set()
+        for fn in ast.walk(ctx.tree):
+            if isinstance(
+                fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and fn.name.startswith(_BIGMOD_BOUNDARY_PREFIXES):
+                for inner in ast.walk(fn):
+                    boundary_nodes.add(id(inner))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or id(node) in boundary_nodes:
+                continue
+            if self._is_object_dtype_call(node):
+                findings.append(self.finding(
+                    ctx, node,
+                    "object-dtype array outside a _to_*/_from_* boundary "
+                    "helper — object arrays run per-element Python big-int "
+                    "loops; keep the Montgomery plane on uint64 limbs",
+                ))
+
+    @staticmethod
+    def _is_object_dtype_call(node: ast.Call) -> bool:
+        def is_object(expr: ast.expr) -> bool:
+            return isinstance(expr, ast.Name) and expr.id == "object"
+
+        if any(kw.arg == "dtype" and is_object(kw.value)
+               for kw in node.keywords):
+            return True
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and bool(node.args)
+            and is_object(node.args[0])
+        )
 
     def _check_to_vector(
         self, ctx: FileContext, findings: list[Finding]

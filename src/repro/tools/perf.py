@@ -41,11 +41,15 @@ What is measured (see ROADMAP.md "Performance" for how to read it):
   pace-steering pattern that used to leak cancelled events).
 * ``secagg_round`` — one grouped Secure Aggregation round (1k clients in
   ~50-device groups, 10% dropout at each protocol stage), scalar
-  per-device plane vs the vectorized plane (batched PRG expansion,
-  stacked commits, shared-basis dropout recovery).  Sums and metrics are
-  asserted byte-identical before timing; the ratio is group-local, so
-  the ``--quick`` run at 200 clients checks against the committed
-  1k-client reference ratio.
+  per-device plane vs the cross-group vectorized plane (one stacked DH
+  pass over all groups on the Montgomery substrate, one (ΣC, dim)
+  PRG/commit pass, one shared reconstruction sweep); the sequential
+  per-group vectorized plane is timed alongside (``pergroup_seconds``)
+  and a timer-instrumented run reports the key-agreement / masking /
+  recovery ``phase_seconds`` split.  Sums and metrics are asserted
+  byte-identical across all three planes before timing; the ratio is
+  group-local, so the ``--quick`` run at 200 clients checks against the
+  committed 1k-client reference ratio.
 
 Every functional/buffered pair is asserted byte-identical before it is
 timed; the harness refuses to report a speedup for paths that diverge.
@@ -621,7 +625,7 @@ def bench_event_loop(repeats: int) -> dict:
 
 
 def bench_secagg_round(clients: int, repeats: int) -> dict:
-    """One grouped SecAgg round: scalar plane vs vectorized plane.
+    """One grouped SecAgg round: scalar vs per-group vs cross-group plane.
 
     The pinned workload is the paper's operating point — groups of ~50
     devices (Sec. 6 caps SecAgg instances at "hundreds of users"), dim
@@ -629,8 +633,13 @@ def bench_secagg_round(clients: int, repeats: int) -> dict:
     dropping at *each* protocol stage (after AdvertiseKeys, after
     ShareKeys, after MaskedInputCollection), so the benchmark exercises
     dangling-mask recovery, not just the happy path.  Decoded sums and
-    full server metrics are asserted identical across planes before any
-    timing; both planes replay the same rng trajectory.
+    full server metrics are asserted identical across all three planes
+    before any timing; every plane replays the same rng trajectory.
+
+    Besides the guarded scalar/vectorized ``speedup``, the result carries
+    a ``phase_seconds`` breakdown (key agreement / masking / recovery,
+    summed over groups from one timer-instrumented cross-group run) and
+    the ``dominant_phase`` it implies.
     """
     from repro.secagg.grouped import grouped_secure_sum
     from repro.secagg.masking import VectorQuantizer
@@ -649,7 +658,7 @@ def bench_secagg_round(clients: int, repeats: int) -> dict:
         modulus_bits=32, clip_range=8.0, max_summands=2 * group
     )
 
-    def run(plane: str):
+    def run(plane: str, timer=None):
         return grouped_secure_sum(
             inputs,
             min_group_size=group,
@@ -658,35 +667,50 @@ def bench_secagg_round(clients: int, repeats: int) -> dict:
             rng=np.random.default_rng(2019),
             dropouts=dropouts,
             plane=plane,
+            timer=timer,
         )
 
     total_s, metrics_s = run("scalar")
+    total_p, metrics_p = run("vectorized_pergroup")
     total_v, metrics_v = run("vectorized")
-    if not np.array_equal(total_s, total_v):
+    if not (np.array_equal(total_s, total_v)
+            and np.array_equal(total_s, total_p)):
         raise AssertionError("secagg_round planes diverged (sums differ)")
-    if metrics_s != metrics_v:
+    if not (metrics_s == metrics_v == metrics_p):
         raise AssertionError("secagg_round planes diverged (metrics differ)")
 
     tf, tb = _time_pair(lambda: run("scalar"), lambda: run("vectorized"),
                         repeats)
+    tp = _time_per_call(lambda: run("vectorized_pergroup"),
+                        max(2, repeats // 2))
+    _, timed_metrics = run("vectorized", timer=time.perf_counter)
+    phase_seconds = {
+        "key_agreement": sum(m.key_agreement_seconds for m in timed_metrics),
+        "masking": sum(m.masking_seconds for m in timed_metrics),
+        "recovery": sum(m.recovery_seconds for m in timed_metrics),
+    }
     committed = sum(m.committed for m in metrics_s)
     return {
         "workload": (
             f"{clients} clients in {len(metrics_s)} groups of ~{group}, "
             f"dim {dim}, 32-bit ring, threshold 0.66, 10% dropout after "
             "each of AdvertiseKeys/ShareKeys/MaskedInputCollection "
-            "(sums and metrics asserted identical across planes before "
-            "timing; ratio is group-local, comparable across client "
-            "counts)"
+            "(sums and metrics asserted identical across all three "
+            "planes before timing; ratio is group-local, comparable "
+            "across client counts)"
         ),
         "unit": "rounds_per_sec",
         "scalar_rounds_per_sec": 1.0 / tf,
         "vectorized_rounds_per_sec": 1.0 / tb,
         "scalar_seconds": tf,
         "vectorized_seconds": tb,
+        "pergroup_seconds": tp,
+        "pergroup_speedup": tf / tp,
         "clients": clients,
         "groups": len(metrics_s),
         "committed_devices": committed,
+        "phase_seconds": phase_seconds,
+        "dominant_phase": max(phase_seconds, key=phase_seconds.get),
         "speedup": tf / tb,
     }
 

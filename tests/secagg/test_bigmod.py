@@ -1,0 +1,97 @@
+"""Bit-identity of the Montgomery substrate against ``pow(b, e, p)``.
+
+Every claim the cross-group SecAgg plane makes rests on these: the limb
+kernels must agree with CPython's big-int ``pow`` on *every* input, not
+statistically, so edge exponents (the forced-high-bit minimum secret,
+the maximal 120-bit secret, exponent one and zero) and edge bases
+(0, 1, p-1, non-canonical >= p) are pinned alongside random draws.
+"""
+
+import random
+
+import pytest
+
+from repro.secagg.bigmod import MODULUS, FixedBaseTable, powmod_batch
+from repro.secagg.field import SECRET_BITS
+
+#: Edge exponents the DH layer can actually produce: the smallest secret
+#: the forced-high-bit draw permits, the largest 120-bit value, and the
+#: degenerate one/zero cases.
+EDGE_EXPONENTS = [0, 1, 1 << (SECRET_BITS - 8), (1 << SECRET_BITS) - 1]
+
+
+def test_powmod_batch_matches_builtin_pow():
+    rnd = random.Random(1234)
+    bases = [rnd.randrange(MODULUS) for _ in range(64)]
+    exponents = [rnd.randrange(1 << SECRET_BITS) for _ in range(64)]
+    assert powmod_batch(bases, exponents) == [
+        pow(b, e, MODULUS) for b, e in zip(bases, exponents)
+    ]
+
+
+def test_powmod_batch_edge_exponents():
+    rnd = random.Random(99)
+    for e in EDGE_EXPONENTS:
+        bases = [rnd.randrange(MODULUS) for _ in range(5)] + [2]
+        assert powmod_batch(bases, [e] * len(bases)) == [
+            pow(b, e, MODULUS) for b in bases
+        ]
+
+
+def test_powmod_batch_edge_bases():
+    # Non-canonical bases (>= p) must reduce first, exactly as pow does.
+    bases = [0, 1, MODULUS - 1, MODULUS, MODULUS + 7]
+    exponents = [3, (1 << SECRET_BITS) - 1, 2, 5, 1]
+    assert powmod_batch(bases, exponents) == [
+        pow(b, e, MODULUS) for b, e in zip(bases, exponents)
+    ]
+
+
+def test_powmod_batch_empty_and_validation():
+    assert powmod_batch([], []) == []
+    with pytest.raises(ValueError):
+        powmod_batch([2], [1, 2])
+    with pytest.raises(ValueError):
+        powmod_batch([2], [-1])
+
+
+def test_fixed_base_table_matches_pow():
+    rnd = random.Random(7)
+    table = FixedBaseTable(2)
+    # Products of two secrets reach 240-247 bits — the widest exponents
+    # the pairwise-agreement path feeds the table.
+    exponents = (
+        [rnd.randrange(1 << SECRET_BITS) for _ in range(20)]
+        + [rnd.randrange(1 << 247) for _ in range(20)]
+        + EDGE_EXPONENTS
+        + [(1 << 247) - 1, 1 << 240]
+    )
+    assert table.pow_batch(exponents) == [
+        pow(2, e, MODULUS) for e in exponents
+    ]
+
+
+def test_fixed_base_table_grows_lazily():
+    table = FixedBaseTable(3)
+    small = [5, (1 << SECRET_BITS) - 1]
+    assert table.pow_batch(small) == [pow(3, e, MODULUS) for e in small]
+    # A wider exponent arriving later must extend the table, not wrap.
+    wide = [(1 << 247) - 1]
+    assert table.pow_batch(wide) == [pow(3, e, MODULUS) for e in wide]
+
+
+def test_pow_batch_bytes_is_canonical_little_endian():
+    rnd = random.Random(31)
+    table = FixedBaseTable(2)
+    exponents = [rnd.randrange(1 << 247) for _ in range(32)] + EDGE_EXPONENTS
+    assert table.pow_batch_bytes(exponents) == [
+        pow(2, e, MODULUS).to_bytes(32, "little") for e in exponents
+    ]
+
+
+def test_fixed_base_table_empty_and_validation():
+    table = FixedBaseTable(2)
+    assert table.pow_batch([]) == []
+    assert table.pow_batch_bytes([]) == []
+    with pytest.raises(ValueError):
+        table.pow_batch([-1])

@@ -1,6 +1,16 @@
-"""Diffie–Hellman agreement symmetry."""
+"""Diffie–Hellman agreement symmetry, scalar and batched."""
 
-from repro.secagg.dh import agree, generate_keypair, public_key_of
+import numpy as np
+
+from repro.secagg.dh import (
+    agree,
+    agree_batch,
+    agree_pairs_batch,
+    generate_keypair,
+    generate_keypairs_batch,
+    public_key_of,
+    public_keys_batch,
+)
 from repro.secagg.field import SECRET_BITS, SHAMIR_PRIME
 
 
@@ -33,3 +43,44 @@ def test_agreed_keys_fit_in_shamir_field(rng):
     a, b = generate_keypair(rng), generate_keypair(rng)
     key = agree(a.secret, b.public)
     assert 0 <= key < SHAMIR_PRIME
+
+
+def test_keypairs_batch_matches_scalar_loop_and_rng_trajectory():
+    """The batch API must consume rng bytes in exactly the scalar order —
+    the planes' equivalence contract rides on the shared trajectory."""
+    rng_scalar = np.random.default_rng(42)
+    rng_batch = np.random.default_rng(42)
+    scalar = [generate_keypair(rng_scalar) for _ in range(17)]
+    batch = generate_keypairs_batch(17, rng_batch)
+    assert batch == scalar
+    # Both generators must now sit at the same stream position.
+    assert rng_scalar.bytes(16) == rng_batch.bytes(16)
+
+
+def test_agree_batch_matches_scalar_and_is_symmetric(rng):
+    pairs = [(generate_keypair(rng), generate_keypair(rng))
+             for _ in range(12)]
+    keys = agree_batch(
+        [a.secret for a, _ in pairs], [b.public for _, b in pairs]
+    )
+    assert keys == [agree(a.secret, b.public) for a, b in pairs]
+    assert keys == agree_batch(
+        [b.secret for _, b in pairs], [a.public for a, _ in pairs]
+    )
+
+
+def test_agree_pairs_batch_matches_agree(rng):
+    """The product trick — agree(a, g^b) == H(g^(a*b)) — is an exact
+    group identity, so the both-secrets path must be bit-identical."""
+    pairs = [(generate_keypair(rng), generate_keypair(rng))
+             for _ in range(12)]
+    keys = agree_pairs_batch([(a.secret, b.secret) for a, b in pairs])
+    assert keys == [agree(a.secret, b.public) for a, b in pairs]
+    assert agree_pairs_batch([]) == []
+
+
+def test_public_keys_batch_matches_scalar(rng):
+    secrets = [generate_keypair(rng).secret for _ in range(9)]
+    assert public_keys_batch(secrets) == [
+        public_key_of(s) for s in secrets
+    ]

@@ -197,3 +197,47 @@ def test_server_seconds_zero_without_timer_and_positive_with():
         plane="vectorized", timer=lambda: next(ticks),
     )
     assert metrics.server_seconds == 1.0  # two injected ticks, one apart
+
+
+def test_vectorized_pergroup_accepted_and_identical_on_single_instance():
+    """For a single instance the two vectorized planes coincide — the
+    pergroup spelling only changes scheduling under grouped_secure_sum."""
+    inputs = make_inputs(n=8, dim=9)
+    previous = set_secagg_plane("vectorized_pergroup")
+    try:
+        assert previous == "vectorized"
+        assert secagg_plane() == "vectorized_pergroup"
+    finally:
+        set_secagg_plane("vectorized")
+    outs = {}
+    for plane in ("vectorized", "vectorized_pergroup"):
+        rng = np.random.default_rng(3)
+        total, metrics = run_secure_aggregation(
+            inputs, 6, quantizer(), rng, plane=plane
+        )
+        outs[plane] = (total, metrics, rng.bytes(8))
+    assert np.array_equal(outs["vectorized"][0], outs["vectorized_pergroup"][0])
+    assert outs["vectorized"][1] == outs["vectorized_pergroup"][1]
+    assert outs["vectorized"][2] == outs["vectorized_pergroup"][2]
+
+
+def test_phase_seconds_on_single_instance():
+    inputs = make_inputs(n=8, dim=9)
+    _, metrics = run_secure_aggregation(
+        inputs, 6, quantizer(), np.random.default_rng(3), plane="vectorized"
+    )
+    assert (metrics.key_agreement_seconds, metrics.masking_seconds,
+            metrics.recovery_seconds) == (0.0, 0.0, 0.0)
+    ticks = iter(float(i) for i in range(100))
+    _, metrics = run_secure_aggregation(
+        inputs, 6, quantizer(), np.random.default_rng(3),
+        plane="vectorized", timer=lambda: next(ticks),
+    )
+    assert metrics.key_agreement_seconds > 0.0
+    assert metrics.masking_seconds > 0.0
+    # Phases partition the instrumented span.
+    assert (
+        metrics.key_agreement_seconds
+        + metrics.masking_seconds
+        + metrics.recovery_seconds
+    ) > 0.0

@@ -401,6 +401,44 @@ class TestInplaceDiscipline:
                 masked += rows
         """, path="src/repro/secagg/vectorized.py") == []
 
+    BIGMOD_PATH = "src/repro/secagg/bigmod.py"
+
+    def test_fires_on_object_dtype_in_bigmod_kernel(self):
+        findings = run("""
+            import numpy as np
+
+            def _mont_reduce(limbs):
+                return np.array(limbs, dtype=object).sum()
+        """, path=self.BIGMOD_PATH)
+        assert rule_names(findings) == ["inplace-op-discipline"]
+        assert "object" in findings[0].message
+
+    def test_fires_on_astype_object_in_bigmod_kernel(self):
+        findings = run("""
+            def powmod_batch(limbs):
+                return limbs.astype(object)
+        """, path=self.BIGMOD_PATH)
+        assert rule_names(findings) == ["inplace-op-discipline"]
+        assert "boundary" in findings[0].message
+
+    def test_quiet_on_object_dtype_in_bigmod_boundary(self):
+        # The int<->limb boundary helpers are the declared escape hatch,
+        # and the clause is scoped to bigmod.py only.
+        source = """
+            import numpy as np
+
+            def _to_limbs(values):
+                return np.array(values, dtype=object)
+
+            def _from_limbs(limbs):
+                return limbs.astype(object).tolist()
+        """
+        assert run(source, path=self.BIGMOD_PATH) == []
+        assert run("""
+            import numpy as np
+            table = np.array([1, 2], dtype=object)
+        """, path="src/repro/secagg/vectorized.py") == []
+
 
 # -- report-vector-immutability -----------------------------------------------
 
