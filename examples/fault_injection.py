@@ -1,0 +1,129 @@
+"""Fault injection demo: chaos-test a fleet and read the recovery ledger.
+
+Runs a multi-hour fleet under a :class:`repro.FaultPlan` — actor crashes
+across every server kind, device-edge message drop/delay, checkpoint
+write failures, mid-session device interrupts — and prints the
+:class:`repro.RecoveryReport` that quantifies Sec. 4.4's claim that "in
+all failure cases the system will continue to make progress".  The plane
+is deterministic: rerun with the same seed and plan and every number
+below is byte-identical.
+
+Usage::
+
+    PYTHONPATH=src python examples/fault_injection.py --hours 8 \
+        --out recovery-ledger.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+import numpy as np
+
+from repro import FLFleet, FaultPlan, RoundConfig, TaskConfig
+from repro.device.scheduler import JobSchedule
+from repro.nn.models import LogisticRegression
+from repro.sim.population import PopulationConfig
+from repro.system import (
+    ActorCrashSchedule,
+    CheckpointFaultConfig,
+    DeviceInterruptSchedule,
+    MessageFaultConfig,
+)
+
+
+def build_fleet(seed: int) -> FLFleet:
+    task = TaskConfig(
+        task_id="chaos/train",
+        population_name="chaos",
+        round_config=RoundConfig(
+            target_participants=12,
+            selection_timeout_s=60,
+            reporting_timeout_s=120,
+        ),
+    )
+    model = LogisticRegression(input_dim=4, n_classes=2)
+    plan = FaultPlan(
+        crashes=(
+            ActorCrashSchedule("selector", mean_interval_s=3600.0),
+            ActorCrashSchedule("coordinator", mean_interval_s=5400.0),
+            ActorCrashSchedule("master_aggregator", mean_interval_s=2700.0),
+            ActorCrashSchedule("aggregator", mean_interval_s=2700.0),
+        ),
+        messages=MessageFaultConfig(
+            drop_prob=0.01, delay_prob=0.02, delay_mean_s=2.0
+        ),
+        checkpoint=CheckpointFaultConfig(write_failure_prob=0.25),
+        device_interrupts=DeviceInterruptSchedule(mean_interval_s=1800.0),
+    )
+    return (
+        FLFleet.builder()
+        .seed(seed)
+        .devices(PopulationConfig(num_devices=300))
+        .selectors(3)
+        .job(JobSchedule(900.0, 0.5))
+        .faults(plan)
+        .population(
+            "chaos", tasks=[task], model=model.init(np.random.default_rng(0))
+        )
+        .build()
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=8.0)
+    parser.add_argument("--seed", type=int, default=41)
+    parser.add_argument(
+        "--out", default=None, help="write the recovery ledger as JSON"
+    )
+    args = parser.parse_args()
+
+    fleet = build_fleet(args.seed)
+    fleet.run_for(args.hours * 3600.0)
+    report = fleet.report()
+    rec = report.recovery
+
+    print(f"simulated {args.hours:g} h, seed {args.seed}")
+    print(
+        f"rounds: {report.rounds_total} total, "
+        f"{report.rounds_committed} committed, {rec.rounds_failed} failed"
+    )
+    print(f"crashes injected: {dict(rec.faults_by_kind)}")
+    print(
+        f"respawns: {rec.selector_respawns} selectors, "
+        f"{rec.coordinator_respawns} coordinators"
+    )
+    print(
+        f"messages: {rec.messages_dropped} dropped, "
+        f"{rec.messages_delayed} delayed; "
+        f"device interrupts: {rec.device_interrupts}"
+    )
+    print(
+        f"checkpoint writes: {rec.checkpoint_write_faults} failed, "
+        f"{rec.checkpoint_write_retries} retried, "
+        f"{rec.rounds_abandoned_on_commit} rounds abandoned at commit"
+    )
+    print(
+        f"uploads: {rec.upload_retries} retried "
+        f"({rec.upload_retries_exhausted} exhausted), "
+        f"{fleet.config.network.meter.retried_bytes} bytes re-sent"
+    )
+    print(
+        f"recoveries: {rec.recoveries}, crash->commit latency "
+        f"mean {rec.mean_recovery_latency_s:.1f} s, "
+        f"max {rec.max_recovery_latency_s:.1f} s"
+    )
+
+    if args.out:
+        ledger = dataclasses.asdict(rec)
+        ledger["faults_by_kind"] = dict(ledger["faults_by_kind"])
+        with open(args.out, "w") as f:
+            json.dump(ledger, f, indent=2, sort_keys=True)
+        print(f"recovery ledger written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

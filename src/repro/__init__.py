@@ -55,6 +55,7 @@ from repro.core import (
     TaskKind,
 )
 from repro.system import (
+    FaultPlan,
     FLFleet,
     FLSystem,
     FLSystemConfig,
@@ -65,6 +66,8 @@ from repro.system import (
     PopulationReport,
     PopulationSpec,
     PopulationState,
+    RecoveryReport,
+    RetryPolicy,
     RunReport,
 )
 
@@ -80,6 +83,7 @@ __all__ = [
     "SecAggConfig",
     "TaskConfig",
     "TaskKind",
+    "FaultPlan",
     "FLFleet",
     "FLSystem",
     "FLSystemConfig",
@@ -90,6 +94,8 @@ __all__ = [
     "PopulationReport",
     "PopulationSpec",
     "PopulationState",
+    "RecoveryReport",
+    "RetryPolicy",
     "RunReport",
     "__version__",
 ]

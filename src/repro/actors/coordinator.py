@@ -64,6 +64,8 @@ class Coordinator(Actor):
         round_listener: Callable[..., None] | None = None,
         metrics_store=None,
         round_id_base: int = 0,
+        checkpoint_retry=None,  # faults.RetryPolicy, handed to each master
+        recovery=None,          # fleet RecoveryLedger, if any
     ):
         self.population_name = population_name
         self.scheduler = scheduler
@@ -78,6 +80,8 @@ class Coordinator(Actor):
         #: (device, round) session keys never collide across populations.
         self.round_id_base = round_id_base
         self.round_counter = round_id_base
+        self.checkpoint_retry = checkpoint_retry
+        self.recovery = recovery
         self.active_master: ActorRef | None = None
         self.active_round_id: int | None = None
         self.last_round_ended_at_s: float | None = None
@@ -168,6 +172,8 @@ class Coordinator(Actor):
             rng=self.rng,
             round_listener=self.round_listener,
             metrics_store=self.metrics_store,
+            checkpoint_retry=self.checkpoint_retry,
+            recovery=self.recovery,
         )
         master_ref = self.system.spawn(
             master, f"master/{self.population_name}/{round_id}"

@@ -121,6 +121,12 @@ class ActorSystem:
         self.messages_dropped = 0
         self.crashes_injected = 0
         self._lock_release_hooks: list[Callable[[ActorRef], None]] = []
+        self._crash_hooks: list[Callable[[ActorRef], None]] = []
+        #: Fault hook (the fault plane installs one): (target, message) ->
+        #: extra delay seconds, or ``None`` to drop the message outright.
+        #: ``None`` here = no fault plane; :meth:`tell` stays a single
+        #: attribute check on the disabled path.
+        self.message_faults = None
 
     # -- lifecycle ------------------------------------------------------------
     def spawn(self, actor: Actor, name: str) -> ActorRef:
@@ -156,6 +162,12 @@ class ActorSystem:
         for hook in self._lock_release_hooks:
             hook(ref)
         actor.on_stop(crashed)
+        if crashed:
+            # Cluster-manager hooks (Sec. 4.4's "processes are restarted
+            # by the cluster manager"): run before watchers hear, so a
+            # respawn is already scheduled when DeathNotices land.
+            for hook in self._crash_hooks:
+                hook(ref)
         for watcher in self._watchers.pop(ref.actor_id, {}).values():
             self.tell(watcher, DeathNotice(ref=ref, crashed=crashed), sender=None)
 
@@ -174,6 +186,10 @@ class ActorSystem:
         """Register a hook run at every termination (lock auto-release)."""
         self._lock_release_hooks.append(hook)
 
+    def on_actor_crashed(self, hook: Callable[[ActorRef], None]) -> None:
+        """Register a hook run only on *crash* termination (respawn paths)."""
+        self._crash_hooks.append(hook)
+
     # -- messaging ------------------------------------------------------------
     def tell(
         self,
@@ -182,6 +198,14 @@ class ActorSystem:
         sender: Optional[ActorRef] = None,
         extra_delay: float = 0.0,
     ) -> None:
+        if self.message_faults is not None:
+            # Fault verdict before the latency draw: a dropped message
+            # consumes no latency draw, consistently, so fault-plane runs
+            # stay deterministic under identical plans.
+            verdict = self.message_faults(target, message)
+            if verdict is None:
+                return
+            extra_delay += verdict
         latency = float(self.rng.exponential(self.mean_latency_s)) + extra_delay
         self.loop.schedule(latency, self._deliver, target, sender, message)
 

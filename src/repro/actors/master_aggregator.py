@@ -17,7 +17,7 @@ import numpy as np
 from repro.actors.aggregator import Aggregator
 from repro.actors.kernel import Actor, ActorRef
 from repro.actors import messages as msg
-from repro.core.checkpoint import CheckpointStore, FLCheckpoint
+from repro.core.checkpoint import CheckpointStore, CheckpointWriteError, FLCheckpoint
 from repro.core.config import TaskConfig, TaskKind
 from repro.core.rounds import (
     CheckinDecision,
@@ -43,6 +43,8 @@ class MasterAggregator(Actor):
         rng: np.random.Generator,
         round_listener=None,
         metrics_store=None,
+        checkpoint_retry=None,  # faults.RetryPolicy; None = single attempt
+        recovery=None,          # fleet RecoveryLedger, if any
     ):
         self.round_id = round_id
         self.task = task
@@ -51,6 +53,8 @@ class MasterAggregator(Actor):
         self.rng = rng
         self.round_listener = round_listener
         self.metrics_store = metrics_store
+        self.checkpoint_retry = checkpoint_retry
+        self.recovery = recovery
         #: Accepted devices' report metrics, summarized at round close
         #: (Sec. 7.4 "Materialized model metrics").
         self._device_metrics: list[dict[str, float]] = []
@@ -281,10 +285,26 @@ class MasterAggregator(Actor):
             round_number=self.round_id,
             contributing_devices=contributing,
         )
-        try:
-            self.store.commit(checkpoint)
-        except ValueError:
-            # Another incarnation already advanced the model (coordinator
-            # was respawned mid-round): treat as failed commit.
-            return False
-        return True
+        attempts = 1 + (
+            self.checkpoint_retry.max_retries
+            if self.checkpoint_retry is not None
+            else 0
+        )
+        for attempt in range(attempts):
+            try:
+                self.store.commit(checkpoint)
+                return True
+            except ValueError:
+                # Another incarnation already advanced the model (coordinator
+                # was respawned mid-round): a logic conflict, never retried.
+                return False
+            except CheckpointWriteError:
+                # Transient storage failure (fault plane): retry up to the
+                # policy cap, then abandon the round — Sec. 4.2's invariant
+                # (commit exactly once, or not at all) is preserved either
+                # way.
+                if self.recovery is not None and attempt + 1 < attempts:
+                    self.recovery.record_checkpoint_retry()
+        if self.recovery is not None:
+            self.recovery.record_round_abandoned_on_commit()
+        return False

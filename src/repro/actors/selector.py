@@ -110,11 +110,13 @@ class Selector(Actor):
         verify_attestation: Callable[[Any], bool],
         checkpoint_store: Any,         # exposes latest(population)
         rng: np.random.Generator,
+        recovery: Any = None,          # fleet RecoveryLedger, if any
     ):
         self.locks = locks
         self.verify_attestation = verify_attestation
         self.store = checkpoint_store
         self.rng = rng
+        self.recovery = recovery
         self.routes: dict[str, PopulationRoute] = {}
         self._paused = False
 
@@ -215,6 +217,13 @@ class Selector(Actor):
     ) -> None:
         window = self._suggest_window(route)
         self.tell(device_ref, msg.CheckinRejected(window=window, reason=reason))
+
+    def checkin_lost(self, population_name: str) -> None:
+        """A screen-admitted check-in message was lost in flight (fault
+        plane): release the pool-quota slot its admission reserved."""
+        route = self.routes.get(population_name)
+        if route is not None and route.pending_admissions > 0:
+            route.pending_admissions -= 1
 
     # -- vectorized-plane fast path ------------------------------------------------
     def fast_checkin_decision(
@@ -464,6 +473,8 @@ class Selector(Actor):
         # the dead incarnation's actor id, so exactly one selector wins.
         key = f"respawn/{route.population_name}/{notice.ref.actor_id}"
         if self.locks.acquire(key, self.ref):
+            if self.recovery is not None:
+                self.recovery.record_coordinator_respawn()
             replacement = route.coordinator_factory()
             self.system.spawn(
                 replacement,

@@ -52,12 +52,24 @@ class FLCheckpoint:
         return len(self.payload)
 
 
+class CheckpointWriteError(RuntimeError):
+    """A (simulated) persistent-storage write failed.
+
+    Raised by :meth:`CheckpointStore.commit` when an installed write
+    fault fires — the transient, retryable failure class, as opposed to
+    the :class:`ValueError` a non-monotonic commit raises (a logic
+    conflict no retry can fix).
+    """
+
+
 class CheckpointStore:
     """In-memory stand-in for the server's persistent storage.
 
     Tracks write counts so tests can assert the "commit only after full
     aggregation" invariant: exactly one write per successful round, zero
-    per abandoned round.
+    per abandoned round.  ``write_count`` counts only *durable* writes —
+    an injected write failure increments ``failed_write_count`` instead,
+    so the invariant holds under write retries.
     """
 
     def __init__(self) -> None:
@@ -65,15 +77,28 @@ class CheckpointStore:
         self._history: dict[str, list[FLCheckpoint]] = {}
         self.write_count = 0
         self.read_count = 0
+        self.failed_write_count = 0
+        #: Fault hook (the fault plane installs one): () -> bool, True
+        #: when this write attempt should fail.  ``None`` = never fails.
+        self.write_fault = None
 
     def commit(self, checkpoint: FLCheckpoint) -> None:
         """Atomically persist a fully aggregated round's global model."""
         key = checkpoint.population_name
         latest = self._latest.get(key)
+        # Monotonicity is checked before the fault hook: a logically
+        # invalid commit must surface as ValueError (not a retryable
+        # write failure) and must not consume a fault-stream draw.
         if latest is not None and checkpoint.round_number <= latest.round_number:
             raise ValueError(
                 f"non-monotonic commit for {key}: round "
                 f"{checkpoint.round_number} after {latest.round_number}"
+            )
+        if self.write_fault is not None and self.write_fault():
+            self.failed_write_count += 1
+            raise CheckpointWriteError(
+                f"injected write failure for {key} round "
+                f"{checkpoint.round_number}"
             )
         self._latest[key] = checkpoint
         self._history.setdefault(key, []).append(checkpoint)

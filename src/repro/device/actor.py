@@ -68,6 +68,10 @@ class DeviceHealthStats:
     sessions_started: int = 0
     train_seconds: float = 0.0
     peak_memory_mb: float = 0.0
+    #: Bounded-retry recovery on the upload path: transient failures that
+    #: were retried, and sessions dropped after the retry budget ran out.
+    upload_retries: int = 0
+    upload_retries_exhausted: int = 0
     errors: dict[str, int] = field(default_factory=dict)
     #: Sessions started per FL population this device belongs to — the
     #: multi-tenant interleaving record (Sec. 11 "Device Scheduling").
@@ -106,6 +110,7 @@ class DeviceActor(Actor):
         ack_timeout_s: float = 60.0,
         waiting_timeout_s: float = 1800.0,
         scheduler_policy: str = "fifo",
+        upload_retry: Any = None,  # faults.RetryPolicy; None = legacy no-retry
     ):
         self.profile = profile
         self.availability = availability
@@ -138,6 +143,7 @@ class DeviceActor(Actor):
         self.compute_error_prob = compute_error_prob
         self.ack_timeout_s = ack_timeout_s
         self.waiting_timeout_s = waiting_timeout_s
+        self.upload_retry = upload_retry
 
         self.state = DeviceState.SLEEPING
         self.eligible = False
@@ -607,16 +613,38 @@ class DeviceActor(Actor):
                 return
         self._log(DeviceEvent.TRAIN_COMPLETED)
         self._log(DeviceEvent.UPLOAD_STARTED)
-        duration, ok = self._transfer(result.upload_nbytes, TransferDirection.UPLOAD)
-        if not ok:
-            self.schedule(duration, self._on_upload_failed, generation)
-        else:
-            self.schedule(duration, self._on_uploaded, generation, result)
+        self._begin_upload(generation, result, 0)
 
-    def _on_upload_failed(self, generation: int) -> None:
+    def _begin_upload(
+        self, generation: int, result: TrainResult, attempt: int
+    ) -> None:
+        """One upload attempt; retried under ``upload_retry`` on failure."""
+        duration, ok = self._transfer(result.upload_nbytes, TransferDirection.UPLOAD)
+        if ok:
+            self.schedule(duration, self._on_uploaded, generation, result)
+        else:
+            self.schedule(duration, self._on_upload_failed, generation, result, attempt)
+
+    def _on_upload_failed(
+        self, generation: int, result: TrainResult | None = None, attempt: int = 0
+    ) -> None:
         if not self._guard(generation):
             return
-        self._log(DeviceEvent.ERROR, reason="upload_failed")
+        policy = self.upload_retry
+        if policy is not None and result is not None and attempt < policy.max_retries:
+            # Transient: back off (jittered, from this device's own
+            # stream) and re-send the same payload.
+            self._log(DeviceEvent.ERROR, reason="upload_transient", attempt=attempt + 1)
+            self.health.upload_retries += 1
+            self.network.meter.record_retry(result.upload_nbytes)
+            backoff = policy.backoff_s(attempt, self.rng)
+            self.schedule(backoff, self._begin_upload, generation, result, attempt + 1)
+            return
+        if policy is not None:
+            self.health.upload_retries_exhausted += 1
+            self._log(DeviceEvent.ERROR, reason="upload_exhausted")
+        else:
+            self._log(DeviceEvent.ERROR, reason="upload_failed")
         self._drop("network_upload")
 
     def _on_uploaded(self, generation: int, result: TrainResult) -> None:

@@ -45,6 +45,11 @@ class TrafficMeter:
     download_count: int = 0
     upload_count: int = 0
     failed_transfers: int = 0
+    #: Bytes re-sent by bounded-retry recovery (the upload-retry path):
+    #: the payload volume whose transfer was attempted again after a
+    #: transient failure.  Disjoint from the per-attempt metering above.
+    retried_bytes: int = 0
+    retry_count: int = 0
 
     def record(self, num_bytes: int, direction: TransferDirection) -> None:
         if direction is TransferDirection.DOWNLOAD:
@@ -56,6 +61,10 @@ class TrafficMeter:
 
     def record_failure(self) -> None:
         self.failed_transfers += 1
+
+    def record_retry(self, num_bytes: int) -> None:
+        self.retried_bytes += int(num_bytes)
+        self.retry_count += 1
 
     @property
     def download_upload_ratio(self) -> float:

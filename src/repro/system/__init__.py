@@ -24,6 +24,14 @@ from repro.system.builder import (
 )
 from repro.system.compat import FLSystem
 from repro.system.config import FleetConfig, FLSystemConfig, TrainerFactory
+from repro.system.faults import (
+    ActorCrashSchedule,
+    CheckpointFaultConfig,
+    DeviceInterruptSchedule,
+    FaultPlan,
+    MessageFaultConfig,
+    RetryPolicy,
+)
 from repro.system.fleet import FLFleet, SyntheticTrainerFactory
 from repro.system.lifecycle import (
     FleetSnapshotManifest,
@@ -38,11 +46,16 @@ from repro.system.reports import (
     FleetHealthReport,
     PopulationLifecycleReport,
     PopulationReport,
+    RecoveryReport,
     RunReport,
     TaskReport,
 )
 
 __all__ = [
+    "ActorCrashSchedule",
+    "CheckpointFaultConfig",
+    "DeviceInterruptSchedule",
+    "FaultPlan",
     "FLFleet",
     "FLSystem",
     "FleetBuilder",
@@ -51,6 +64,7 @@ __all__ = [
     "FleetHealthReport",
     "FleetSnapshotManifest",
     "FleetValidationError",
+    "MessageFaultConfig",
     "PopulationLifecycle",
     "PopulationLifecycleReport",
     "PopulationReport",
@@ -58,6 +72,8 @@ __all__ = [
     "PopulationSnapshotEntry",
     "PopulationSpec",
     "PopulationState",
+    "RecoveryReport",
+    "RetryPolicy",
     "RunReport",
     "SnapshotError",
     "SyntheticTrainerFactory",

@@ -37,6 +37,7 @@ from repro.sim.diurnal import DiurnalModel
 from repro.sim.network import NetworkModel
 from repro.sim.population import PopulationConfig
 from repro.system.config import FleetConfig, TrainerFactory
+from repro.system.faults import FaultPlan
 
 
 class FleetValidationError(ValueError):
@@ -191,6 +192,14 @@ class FleetBuilder:
     def waiting_timeout(self, seconds: float) -> "FleetBuilder":
         """How long a checked-in device waits unselected before hanging up."""
         self._config.waiting_timeout_s = float(seconds)
+        return self
+
+    def faults(self, plan: FaultPlan) -> "FleetBuilder":
+        """Enable the deterministic fault-injection plane
+        (:mod:`repro.system.faults`): actor crashes, device-edge message
+        drop/delay, checkpoint write failures, device interrupts — plus
+        the bounded-retry recovery policies.  Off by default."""
+        self._config.faults = plan
         return self
 
     # -- populations -----------------------------------------------------------

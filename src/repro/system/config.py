@@ -19,6 +19,7 @@ from repro.device.scheduler import SCHEDULER_POLICIES, JobSchedule
 from repro.sim.diurnal import DiurnalModel
 from repro.sim.network import NetworkModel
 from repro.sim.population import DeviceProfile, PopulationConfig
+from repro.system.faults import FaultPlan
 
 #: Builds the per-device local trainer for one population's model.
 TrainerFactory = Callable[[DeviceProfile], LocalTrainer]
@@ -74,6 +75,14 @@ class FleetConfig:
     #: order; ``"fair_share"`` round-robins across populations by
     #: least-recently-started, so a chatty tenant cannot lead every burst.
     device_scheduler: str = "fifo"
+    #: Deterministic fault injection + retry/backoff recovery
+    #: (:mod:`repro.system.faults`).  ``None`` (default) disables the
+    #: plane entirely — no hooks, no ``faults/...`` streams, trajectories
+    #: byte-identical to a build without the plane.
+    faults: FaultPlan | None = None
+    #: How long the cluster manager waits before respawning a crashed
+    #: Selector (Sec. 4.4's "restarted by the cluster manager").
+    selector_restart_delay_s: float = 5.0
 
     def validate(self) -> None:
         if self.num_selectors < 1:
@@ -97,6 +106,10 @@ class FleetConfig:
             raise ValueError("sample_interval_s must be positive")
         if not 0.0 <= self.compute_error_prob <= 1.0:
             raise ValueError("compute_error_prob must be in [0, 1]")
+        if self.selector_restart_delay_s < 0:
+            raise ValueError("selector_restart_delay_s must be >= 0")
+        if self.faults is not None:
+            self.faults.validate()
         self.population.validate()
 
 

@@ -1,0 +1,583 @@
+"""The deterministic fault-injection plane and its recovery machinery.
+
+Sec. 4.4 claims that "in all failure cases the system will continue to
+make progress, either by completing the current round or restarting from
+the results of the previously committed round."  This module turns that
+claim into a *plane* of the simulation rather than a test fixture:
+
+* :class:`FaultPlan` — a declarative, frozen description of what goes
+  wrong: actor-crash schedules per server actor kind
+  (:class:`ActorCrashSchedule`), message drop/delay on the device edge
+  (:class:`MessageFaultConfig`), checkpoint-store write failures
+  (:class:`CheckpointFaultConfig`), and mid-session device interrupts
+  (:class:`DeviceInterruptSchedule`) — plus the :class:`RetryPolicy`
+  knobs for the recovery side.
+* :class:`FaultPlane` — executes a plan against a live
+  :class:`~repro.system.fleet.FLFleet`.  Every draw comes from pinned
+  ``faults/...`` registry streams and every fault fires as a
+  simulated-time event through the fleet's event loop, so the same seed
+  and plan produce the same fault trajectory — and a byte-identical
+  :class:`~repro.system.reports.RunReport`.  Because the plane's
+  schedules and stream cursors live on the fleet object graph,
+  ``fleet.snapshot()`` mid-chaos freezes the *remaining* fault schedule
+  too: a restored fleet replays the tail byte-identically.
+* :class:`SelectorClusterManager` — the production "cluster manager"
+  from Sec. 4.4 ("FL server actors ... are restarted by the cluster
+  manager"), scoped to Selectors, the one server actor class nothing in
+  the actor model itself supervises: a crashed Selector is respawned
+  after ``config.selector_restart_delay_s``, re-registered with every
+  live population route, and re-homed into coordinator and device
+  selector lists.
+* :class:`RecoveryLedger` — mutable run-time accounting for all of the
+  above (crashes by kind, respawns, retries, drop/delay counts, and the
+  simulated-time crash-to-next-commit recovery latency), surfaced as the
+  typed :class:`~repro.system.reports.RecoveryReport` on ``RunReport``
+  and mirrored into ``faults/...`` / ``recovery/...`` dashboard
+  counters.
+
+The lever is ``FLFleet.builder().faults(FaultPlan(...))`` and is off by
+default; a fleet without a plan constructs no plane, installs no hooks,
+and touches no ``faults/...`` stream — the disabled plane costs nothing
+and leaves pre-existing trajectories byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.actors.kernel import ActorRef
+from repro.actors import messages as msg
+from repro.actors.selector import Selector
+from repro.device.actor import DeviceState
+from repro.system.reports import RecoveryReport
+
+if TYPE_CHECKING:
+    from repro.system.fleet import FLFleet
+
+#: Server actor kinds a crash schedule may target.
+CRASH_KINDS = ("selector", "coordinator", "master_aggregator", "aggregator")
+
+#: Message types subject to drop/delay faults: the device<->server edge —
+#: the paper's actually-flaky link (cellular/WiFi gRPC streams).
+#: Server-internal control traffic (DeathNotice, RoundFinished,
+#: ForwardDevices, RegisterCoordinator, ClearForwarding) is modeled as
+#: reliable intra-datacenter RPC; its failure mode is *actor crashes*,
+#: injected above, never silent message loss.
+DEVICE_EDGE_MESSAGES = (
+    msg.DeviceCheckin,
+    msg.CheckinRejected,
+    msg.DeviceDisconnect,
+    msg.ConnectionReset,
+    msg.ConfigureDevice,
+    msg.DeviceReport,
+    msg.DeviceDropped,
+    msg.ReportAck,
+)
+
+
+# -- plan vocabulary ----------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential, jittered backoff.
+
+    ``backoff_s(attempt, rng)`` is uniform in ``nominal * (1 ± jitter)``
+    where ``nominal = base_backoff_s * multiplier ** attempt`` — one draw
+    per backoff, from the caller's own stream (devices use their pinned
+    ``device/<id>`` stream, so retry timing is per-device deterministic).
+    """
+
+    max_retries: int = 2
+    base_backoff_s: float = 15.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff_s <= 0:
+            raise ValueError("base_backoff_s must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, rng: np.random.Generator) -> float:
+        nominal = self.base_backoff_s * self.multiplier ** attempt
+        return float(nominal * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)))
+
+
+@dataclass(frozen=True)
+class ActorCrashSchedule:
+    """Crash one random live actor of ``kind`` at exponential intervals.
+
+    Intervals are re-drawn on a fixed cadence from the kind's pinned
+    ``faults/crash/<kind>`` stream whether or not a victim existed at the
+    firing instant (a fixed cadence keeps the draw sequence independent
+    of the fleet's momentary actor census).
+    """
+
+    kind: str
+    mean_interval_s: float
+    start_s: float = 0.0
+    stop_s: float = math.inf
+    max_crashes: int | None = None
+
+    def validate(self) -> None:
+        if self.kind not in CRASH_KINDS:
+            raise ValueError(
+                f"crash kind must be one of {CRASH_KINDS}, got {self.kind!r}"
+            )
+        if self.mean_interval_s <= 0:
+            raise ValueError("mean_interval_s must be positive")
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.stop_s <= self.start_s:
+            raise ValueError("stop_s must be greater than start_s")
+        if self.max_crashes is not None and self.max_crashes < 1:
+            raise ValueError("max_crashes must be >= 1 when set")
+
+
+@dataclass(frozen=True)
+class MessageFaultConfig:
+    """Drop/delay faults on device-edge messages at the ``tell`` boundary."""
+
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_mean_s: float = 1.0
+
+    @property
+    def active(self) -> bool:
+        return self.drop_prob > 0.0 or self.delay_prob > 0.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        if not 0.0 <= self.delay_prob <= 1.0:
+            raise ValueError("delay_prob must be in [0, 1]")
+        if self.delay_mean_s <= 0:
+            raise ValueError("delay_mean_s must be positive")
+
+
+@dataclass(frozen=True)
+class CheckpointFaultConfig:
+    """Per-attempt checkpoint-store write-failure probability."""
+
+    write_failure_prob: float = 0.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.write_failure_prob <= 1.0:
+            raise ValueError("write_failure_prob must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DeviceInterruptSchedule:
+    """Interrupt one random PARTICIPATING device at exponential intervals
+    (the Sec. 3 "conditions no longer met" abort, forced by the plane)."""
+
+    mean_interval_s: float
+    start_s: float = 0.0
+    stop_s: float = math.inf
+    max_interrupts: int | None = None
+
+    def validate(self) -> None:
+        if self.mean_interval_s <= 0:
+            raise ValueError("mean_interval_s must be positive")
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.stop_s <= self.start_s:
+            raise ValueError("stop_s must be greater than start_s")
+        if self.max_interrupts is not None and self.max_interrupts < 1:
+            raise ValueError("max_interrupts must be >= 1 when set")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the fault plane injects, plus the recovery retry knobs.
+
+    The retry policies live *here* rather than on ``FleetConfig`` so the
+    off-by-default contract stays exact: a fleet built without
+    ``.faults(...)`` runs the pre-existing no-retry paths byte-for-byte.
+    ``FaultPlan()`` — all injection rates zero — is the minimal lever
+    that turns on bounded-retry recovery without injecting anything.
+    """
+
+    crashes: tuple[ActorCrashSchedule, ...] = ()
+    messages: MessageFaultConfig | None = None
+    checkpoint: CheckpointFaultConfig | None = None
+    device_interrupts: DeviceInterruptSchedule | None = None
+    upload_retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    checkpoint_retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+
+    def validate(self) -> None:
+        for schedule in self.crashes:
+            schedule.validate()
+        if self.messages is not None:
+            self.messages.validate()
+        if self.checkpoint is not None:
+            self.checkpoint.validate()
+        if self.device_interrupts is not None:
+            self.device_interrupts.validate()
+        if self.upload_retry is not None:
+            self.upload_retry.validate()
+        if self.checkpoint_retry is not None:
+            self.checkpoint_retry.validate()
+
+
+# -- the recovery ledger ------------------------------------------------------
+class RecoveryLedger:
+    """Mutable fault/recovery accounting for one fleet run.
+
+    Every ``record_*`` both updates a counter and mirrors it into the
+    fleet dashboard (``faults/...`` for injections, ``recovery/...`` for
+    the machinery's responses); :meth:`build_report` freezes the state
+    into the typed :class:`~repro.system.reports.RecoveryReport`.
+
+    Recovery latency is measured crash-to-next-commit in simulated time:
+    each injected crash is pending until the first round committed at or
+    after it (Sec. 4.4's progress guarantee, quantified).
+    """
+
+    def __init__(self, dashboard=None):
+        self.dashboard = dashboard
+        self.crash_counts: dict[str, int] = {}
+        self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.device_interrupts = 0
+        self.selector_respawns = 0
+        self.coordinator_respawns = 0
+        self.checkpoint_write_faults = 0
+        self.checkpoint_write_retries = 0
+        self.rounds_abandoned_on_commit = 0
+        self.pending_crash_times: list[float] = []
+        self.recovery_latencies_s: list[float] = []
+
+    def _bump(self, counter: str) -> None:
+        if self.dashboard is not None:
+            self.dashboard.increment(counter)
+
+    # -- injections ------------------------------------------------------------
+    def record_crash(self, kind: str, now_s: float) -> None:
+        self.crash_counts[kind] = self.crash_counts.get(kind, 0) + 1
+        self.pending_crash_times.append(now_s)
+        self._bump(f"faults/crash/{kind}")
+
+    def record_message_dropped(self) -> None:
+        self.messages_dropped += 1
+        self._bump("faults/messages_dropped")
+
+    def record_message_delayed(self) -> None:
+        self.messages_delayed += 1
+        self._bump("faults/messages_delayed")
+
+    def record_device_interrupt(self) -> None:
+        self.device_interrupts += 1
+        self._bump("faults/device_interrupts")
+
+    def record_checkpoint_fault(self) -> None:
+        self.checkpoint_write_faults += 1
+        self._bump("faults/checkpoint_writes")
+
+    # -- recovery responses ------------------------------------------------------
+    def record_selector_respawn(self) -> None:
+        self.selector_respawns += 1
+        self._bump("recovery/selector_respawns")
+
+    def record_coordinator_respawn(self) -> None:
+        self.coordinator_respawns += 1
+        self._bump("recovery/coordinator_respawns")
+
+    def record_checkpoint_retry(self) -> None:
+        self.checkpoint_write_retries += 1
+        self._bump("recovery/checkpoint_write_retries")
+
+    def record_round_abandoned_on_commit(self) -> None:
+        self.rounds_abandoned_on_commit += 1
+        self._bump("recovery/rounds_abandoned_on_commit")
+
+    def record_commit(self, now_s: float) -> None:
+        """A round committed: every pending crash is recovered from."""
+        if not self.pending_crash_times:
+            return
+        for crash_t in self.pending_crash_times:
+            self.recovery_latencies_s.append(now_s - crash_t)
+            self._bump("recovery/recoveries")
+        self.pending_crash_times.clear()
+
+    # -- reporting ------------------------------------------------------------
+    def build_report(
+        self,
+        rounds_total: int,
+        rounds_committed: int,
+        upload_retries: int,
+        upload_retries_exhausted: int,
+    ) -> RecoveryReport:
+        latencies = self.recovery_latencies_s
+        return RecoveryReport(
+            faults_by_kind={
+                kind: self.crash_counts[kind]
+                for kind in sorted(self.crash_counts)
+            },
+            selector_respawns=self.selector_respawns,
+            coordinator_respawns=self.coordinator_respawns,
+            messages_dropped=self.messages_dropped,
+            messages_delayed=self.messages_delayed,
+            device_interrupts=self.device_interrupts,
+            upload_retries=upload_retries,
+            upload_retries_exhausted=upload_retries_exhausted,
+            checkpoint_write_faults=self.checkpoint_write_faults,
+            checkpoint_write_retries=self.checkpoint_write_retries,
+            rounds_abandoned_on_commit=self.rounds_abandoned_on_commit,
+            rounds_failed=rounds_total - rounds_committed,
+            rounds_committed=rounds_committed,
+            recoveries=len(latencies),
+            mean_recovery_latency_s=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            max_recovery_latency_s=max(latencies) if latencies else 0.0,
+        )
+
+
+# -- the injection plane ------------------------------------------------------
+class FaultPlane:
+    """Executes a :class:`FaultPlan` against a live fleet.
+
+    Everything is a simulated-time event on the fleet's loop, and every
+    draw comes from a pinned ``faults/...`` registry stream, so the
+    plane is a first-class citizen of the determinism and
+    snapshot/restore contracts: pending fault events and stream cursors
+    pickle with the fleet, and the remaining schedule resumes
+    byte-identically.
+    """
+
+    def __init__(self, fleet: "FLFleet", plan: FaultPlan):
+        self.fleet = fleet
+        self.plan = plan
+        self.ledger = fleet.recovery
+        #: Injected crashes per schedule index (for ``max_crashes`` caps).
+        self.crash_counts: dict[int, int] = {}
+        self.interrupts_fired = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Install hooks and arm the schedules (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if self.plan.messages is not None and self.plan.messages.active:
+            self.fleet.actors.message_faults = self._message_fault
+        if (
+            self.plan.checkpoint is not None
+            and self.plan.checkpoint.write_failure_prob > 0.0
+        ):
+            self.fleet.store.write_fault = self._checkpoint_write_fails
+        for index in range(len(self.plan.crashes)):
+            self._arm_crash(index)
+        if self.plan.device_interrupts is not None:
+            self._arm_interrupt()
+
+    # -- crash schedules ---------------------------------------------------------
+    def _crash_rng(self, kind: str) -> np.random.Generator:
+        return self.fleet.rngs.stream(f"faults/crash/{kind}")
+
+    def _arm_crash(self, index: int) -> None:
+        schedule = self.plan.crashes[index]
+        count = self.crash_counts.get(index, 0)
+        if schedule.max_crashes is not None and count >= schedule.max_crashes:
+            return
+        now = self.fleet.loop.now
+        delay = float(
+            self._crash_rng(schedule.kind).exponential(schedule.mean_interval_s)
+        )
+        at = max(now, schedule.start_s) + delay
+        if at > schedule.stop_s:
+            return
+        self.fleet.loop.schedule(at - now, self._fire_crash, index)
+
+    def _fire_crash(self, index: int) -> None:
+        schedule = self.plan.crashes[index]
+        victims = self._victims(schedule.kind)
+        if victims:
+            # The victim index is drawn only when victims exist, so quiet
+            # stretches (no live master, say) consume no draws beyond the
+            # fixed re-arm cadence.
+            rng = self._crash_rng(schedule.kind)
+            victim = victims[int(rng.integers(len(victims)))]
+            self.crash_counts[index] = self.crash_counts.get(index, 0) + 1
+            self.ledger.record_crash(schedule.kind, self.fleet.loop.now)
+            self.fleet.actors.crash(victim)
+        self._arm_crash(index)
+
+    def _victims(self, kind: str) -> list[ActorRef]:
+        """Live candidates of ``kind``, in a deterministic order (fleet
+        selector order; population attach order for the round pipeline)."""
+        fleet = self.fleet
+        if kind == "selector":
+            return [ref for ref in fleet.selectors if ref.alive]
+        lifecycle = fleet.lifecycle
+        if kind == "coordinator":
+            out = []
+            for runtime in lifecycle.active.values():
+                ref = lifecycle._coordinator_ref(runtime)
+                if ref is not None:
+                    out.append(ref)
+            return out
+        masters: list[ActorRef] = []
+        for runtime in lifecycle.active.values():
+            ref = lifecycle._coordinator_ref(runtime)
+            coordinator = fleet.actors.actor_of(ref) if ref is not None else None
+            if coordinator is None:
+                continue
+            master = getattr(coordinator, "active_master", None)
+            if master is not None and master.alive:
+                masters.append(master)
+        if kind == "master_aggregator":
+            return masters
+        aggregators: list[ActorRef] = []
+        for master_ref in masters:
+            master = fleet.actors.actor_of(master_ref)
+            if master is None:
+                continue
+            aggregators.extend(
+                ref for ref in getattr(master, "aggregators", ()) if ref.alive
+            )
+        return aggregators
+
+    # -- device interrupts -------------------------------------------------------
+    def _interrupt_rng(self) -> np.random.Generator:
+        return self.fleet.rngs.stream("faults/device_interrupt")
+
+    def _arm_interrupt(self) -> None:
+        schedule = self.plan.device_interrupts
+        assert schedule is not None
+        if (
+            schedule.max_interrupts is not None
+            and self.interrupts_fired >= schedule.max_interrupts
+        ):
+            return
+        now = self.fleet.loop.now
+        delay = float(
+            self._interrupt_rng().exponential(schedule.mean_interval_s)
+        )
+        at = max(now, schedule.start_s) + delay
+        if at > schedule.stop_s:
+            return
+        self.fleet.loop.schedule(at - now, self._fire_interrupt)
+
+    def _fire_interrupt(self) -> None:
+        victims = [
+            device
+            for device in self.fleet.devices
+            if device.state is DeviceState.PARTICIPATING
+        ]
+        if victims:
+            rng = self._interrupt_rng()
+            victim = victims[int(rng.integers(len(victims)))]
+            self.interrupts_fired += 1
+            self.ledger.record_device_interrupt()
+            victim.interrupt_session("fault_injected")
+        self._arm_interrupt()
+
+    # -- message faults ----------------------------------------------------------
+    def _message_fault(self, target: ActorRef, message: Any) -> float | None:
+        """The ``ActorSystem.tell`` hook: ``None`` drops, else extra delay."""
+        config = self.plan.messages
+        if not isinstance(message, DEVICE_EDGE_MESSAGES):
+            return 0.0
+        rng = self.fleet.rngs.stream("faults/messages")
+        if config.drop_prob > 0.0 and float(rng.random()) < config.drop_prob:
+            self.ledger.record_message_dropped()
+            if isinstance(message, msg.DeviceCheckin):
+                # A screen-admitted check-in reserved pool quota at its
+                # Selector; losing the message must release it or the
+                # reservation leaks forever.
+                selector = self.fleet.actors.actor_of(target)
+                if isinstance(selector, Selector):
+                    selector.checkin_lost(message.population_name)
+            return None
+        if config.delay_prob > 0.0 and float(rng.random()) < config.delay_prob:
+            self.ledger.record_message_delayed()
+            return float(rng.exponential(config.delay_mean_s))
+        return 0.0
+
+    # -- checkpoint faults -------------------------------------------------------
+    def _checkpoint_write_fails(self) -> bool:
+        """The ``CheckpointStore.write_fault`` hook, one draw per attempt."""
+        config = self.plan.checkpoint
+        rng = self.fleet.rngs.stream("faults/checkpoint")
+        if float(rng.random()) < config.write_failure_prob:
+            self.ledger.record_checkpoint_fault()
+            return True
+        return False
+
+
+# -- selector recovery --------------------------------------------------------
+class SelectorClusterManager:
+    """Respawns crashed Selectors (Sec. 4.4's cluster manager, in-model).
+
+    Installed on every fleet unconditionally — it draws no RNG and does
+    nothing until a Selector actually crashes, so it is free on healthy
+    runs.  A replacement Selector is spawned after
+    ``config.selector_restart_delay_s`` on the *same* registry stream
+    (``selector/<i>``, cursor continuing), re-registered with a fresh
+    route for every live population (coordinator link and drain state
+    included), and swapped into every coordinator's and device's selector
+    list, so forwarded devices re-home without any spare-the-last-selector
+    special case.
+    """
+
+    def __init__(self, fleet: "FLFleet"):
+        self.fleet = fleet
+
+    def on_actor_crashed(self, ref: ActorRef) -> None:
+        """ActorSystem crash hook: schedule a respawn for fleet Selectors."""
+        fleet = self.fleet
+        for index, selector_ref in enumerate(fleet.selectors):
+            if selector_ref == ref:
+                fleet.loop.schedule(
+                    fleet.config.selector_restart_delay_s,
+                    self._respawn,
+                    index,
+                    ref,
+                )
+                return
+
+    def _respawn(self, index: int, dead_ref: ActorRef) -> None:
+        # Deferred import: lifecycle -> builder -> config -> faults would
+        # cycle at module load.
+        from repro.system.lifecycle import PopulationState
+
+        fleet = self.fleet
+        if fleet.selectors[index] != dead_ref:
+            return  # already replaced (stale duplicate notification)
+        selector = Selector(
+            locks=fleet.locks,
+            verify_attestation=fleet.attestation.verify,
+            checkpoint_store=fleet.store,
+            rng=fleet.rngs.stream(f"selector/{index}"),
+            recovery=fleet.recovery,
+        )
+        new_ref = fleet.actors.spawn(selector, f"selector/{index}")
+        fleet.selectors[index] = new_ref
+        for runtime in fleet.lifecycle.active.values():
+            route = fleet.lifecycle._build_route(runtime)
+            route.draining = runtime.state is PopulationState.DRAINING
+            coordinator_ref = fleet.lifecycle._coordinator_ref(runtime)
+            if coordinator_ref is not None:
+                route.coordinator = coordinator_ref
+                fleet.actors.watch(new_ref, coordinator_ref)
+                coordinator = fleet.actors.actor_of(coordinator_ref)
+                selector_list = getattr(coordinator, "selectors", None)
+                if selector_list is not None:
+                    for i, sel in enumerate(selector_list):
+                        if sel == dead_ref:
+                            selector_list[i] = new_ref
+            selector.add_route(route)
+        for device in fleet.devices:
+            for i, sel in enumerate(device.selectors):
+                if sel == dead_ref:
+                    device.selectors[i] = new_ref
+        fleet.recovery.record_selector_respawn()

@@ -48,6 +48,7 @@ from repro.sim.population import DeviceProfile, build_population
 from repro.sim.rng import RngRegistry
 from repro.system.builder import FleetBuilder, FleetValidationError, PopulationSpec
 from repro.system.config import FleetConfig
+from repro.system.faults import FaultPlane, RecoveryLedger, SelectorClusterManager
 from repro.system.lifecycle import (
     ROUND_ID_STRIDE,
     FleetSnapshotManifest,
@@ -91,6 +92,20 @@ class FLFleet:
         self.store = CheckpointStore()
         self.event_log = EventLog()
         self.dashboard = Dashboard()
+        #: Fault/recovery accounting (always present; all-zero without a
+        #: fault plan or crashes) — see :mod:`repro.system.faults`.
+        self.recovery = RecoveryLedger(dashboard=self.dashboard)
+        #: Sec. 4.4's cluster manager, scoped to Selectors.  Installed
+        #: unconditionally: it draws no RNG and does nothing until a
+        #: Selector actually crashes, so healthy runs pay nothing.
+        self.cluster = SelectorClusterManager(self)
+        self.actors.on_actor_crashed(self.cluster.on_actor_crashed)
+        #: The fault-injection plane, when a plan was configured.
+        self.fault_plane: FaultPlane | None = (
+            FaultPlane(self, self.config.faults)
+            if self.config.faults is not None
+            else None
+        )
         self.metrics = ModelMetricsStore()
         self.attestation = AttestationService()
         self.round_results: list[RoundResult] = []
@@ -176,6 +191,8 @@ class FLFleet:
             self.lifecycle.attach(spec, membership_overrides=overrides)
         self._spawn_devices()
         self.loop.schedule(self.config.sample_interval_s, self._sample_fleet)
+        if self.fault_plane is not None:
+            self.fault_plane.start()
         self._installed = True
 
     def _build_substrate(self) -> None:
@@ -189,6 +206,7 @@ class FLFleet:
                 verify_attestation=self.attestation.verify,
                 checkpoint_store=self.store,
                 rng=self.rngs.stream(f"selector/{i}"),
+                recovery=self.recovery,
             )
             self.selectors.append(self.actors.spawn(selector, f"selector/{i}"))
         # Per-device link conditions in one vectorized draw (the scalar
@@ -218,6 +236,11 @@ class FLFleet:
                 compute_error_prob=self.config.compute_error_prob,
                 waiting_timeout_s=self.config.waiting_timeout_s,
                 scheduler_policy=self.config.device_scheduler,
+                upload_retry=(
+                    self.config.faults.upload_retry
+                    if self.config.faults is not None
+                    else None
+                ),
             )
             if self.idle_plane is not None:
                 # Enroll the device in the shared vectorized plane before
@@ -323,6 +346,10 @@ class FLFleet:
             return
         self.round_results.append(result)
         runtime.results.append(result)
+        if result.committed:
+            # Crash->next-commit recovery latency (no-op when no crash is
+            # pending, so healthy runs pay one list check).
+            self.recovery.record_commit(result.ended_at_s)
         t = result.ended_at_s
         for board in (self.dashboard, runtime.scope):
             board.record("rounds/outcome", t, 1.0 if result.committed else 0.0)
@@ -478,4 +505,15 @@ class FLFleet:
             upload_bytes=meter.uploaded_bytes,
             populations=tuple(populations),
             health=self.health_report(),
+            recovery=self.recovery.build_report(
+                rounds_total=total,
+                rounds_committed=committed,
+                upload_retries=sum(
+                    device.health.upload_retries for device in self.devices
+                ),
+                upload_retries_exhausted=sum(
+                    device.health.upload_retries_exhausted
+                    for device in self.devices
+                ),
+            ),
         )

@@ -328,6 +328,12 @@ class PopulationLifecycle:
             round_listener=partial(fleet._on_round_result, name),
             metrics_store=fleet.metrics,
             round_id_base=runtime.round_id_base,
+            checkpoint_retry=(
+                fleet.config.faults.checkpoint_retry
+                if fleet.config.faults is not None
+                else None
+            ),
+            recovery=fleet.recovery,
         )
         # A respawn that lands mid-drain must not restart rounds.
         coordinator.draining = runtime.state is PopulationState.DRAINING

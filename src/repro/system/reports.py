@@ -98,6 +98,44 @@ class FleetHealthReport:
 
 
 @dataclass(frozen=True)
+class RecoveryReport:
+    """The recovery ledger: what went wrong and how the fleet recovered.
+
+    Sec. 4.4's claim — "in all failure cases the system will continue to
+    make progress" — made auditable: every fault injected by the
+    :mod:`repro.system.faults` plane, every respawn/retry the recovery
+    machinery performed in response, and the simulated-time latency from
+    each crash to the next committed round.  All zeros when the fault
+    plane is disabled and nothing crashed.
+    """
+
+    #: Injected actor crashes per actor kind (only non-zero kinds appear,
+    #: in sorted key order so reports compare deterministically).
+    faults_by_kind: Mapping[str, int]
+    selector_respawns: int
+    coordinator_respawns: int
+    messages_dropped: int
+    messages_delayed: int
+    device_interrupts: int
+    upload_retries: int
+    upload_retries_exhausted: int
+    checkpoint_write_faults: int
+    checkpoint_write_retries: int
+    rounds_abandoned_on_commit: int
+    rounds_failed: int
+    rounds_committed: int
+    #: Crash->next-commit recovery samples: every injected crash is
+    #: "recovered" by the first round committed at or after it.
+    recoveries: int
+    mean_recovery_latency_s: float
+    max_recovery_latency_s: float
+
+    @property
+    def faults_total(self) -> int:
+        return sum(self.faults_by_kind.values())
+
+
+@dataclass(frozen=True)
 class RunReport:
     """Structured results of one fleet run.
 
@@ -116,6 +154,9 @@ class RunReport:
     upload_bytes: int
     populations: tuple[PopulationReport, ...]
     health: FleetHealthReport
+    #: The fault/recovery ledger (all-zero when nothing was injected).
+    #: Defaults to ``None`` so hand-built reports stay constructible.
+    recovery: RecoveryReport | None = None
 
     def population(self, name: str) -> PopulationReport:
         """The named population's report — the *latest* incarnation when a
