@@ -96,6 +96,18 @@ def main(argv: list[str] | None = None) -> int:
                     f"  ({entry['speedup']:.2f}x)"
                 )
             print(line)
+        sharded = report["results"].get("fleet_scale_sharded")
+        if sharded is not None:
+            print("  fleet_scale_sharded (devices x tenants) x shards curve:")
+            for cell, cell_entry in sharded["by_cell"].items():
+                for shards, entry in cell_entry["by_shards"].items():
+                    line = (
+                        f"    {cell:>9s} @ {shards:>2s} shards: "
+                        f"{entry['sim_days_per_sec']:8.3f} sim-days/s"
+                    )
+                    if "speedup" in entry:
+                        line += f"  ({entry['speedup']:.2f}x vs flat)"
+                    print(line)
         profile = scale.get("profile")
         if profile is not None:
             verdict = "IN TOP-3 (!)" if profile["idle_plane_in_top3"] else "not in top-3"

@@ -257,3 +257,75 @@ class Aggregator(Actor):
             device_count=len(committed),
             secagg_metrics=metrics,
         )
+
+
+class ShardAggregator(Actor):
+    """Middle tier of the Sec. 4.2 aggregation tree: one per selector
+    shard slot of the round, folding its leaf Aggregators' flushed
+    partials into a *single* intermediate aggregate.
+
+    Devices never talk to this actor — the report/ack control path stays
+    leaf <-> master, so the round state machine is untouched.  What
+    changes is the fold fan-in: the master combines one partial per shard
+    aggregator instead of one per leaf, and a crashed shard aggregator
+    severs exactly its own subtree's contribution (its leaves are never
+    flushed), leaving the round's other shards intact — the paper's
+    "only the participating devices' results are lost" failure isolation,
+    lifted one level up the tree.
+    """
+
+    def __init__(self, round_id: int, task_id: str):
+        self.round_id = round_id
+        self.task_id = task_id
+        self.leaves: list[ActorRef] = []
+        #: Leaf partials folded by this node's last flush (per-shard
+        #: telemetry; the master records the upward fold itself).
+        self.folded_leaves = 0
+
+    def adopt(self, leaf: ActorRef) -> None:
+        self.leaves.append(leaf)
+
+    def receive(self, sender: Optional[ActorRef], message: Any) -> None:
+        pass  # folds run as synchronous intra-datacenter RPCs (flush)
+
+    def flush(self, accepted_ids: set[int]) -> msg.IntermediateAggregate:
+        """Flush every live leaf and fold the partials into one
+        intermediate aggregate — the same shape the master folds, so the
+        tree composes (``master.flush-of-shards`` ≡ ``shard.flush-of-
+        leaves``)."""
+        buffered = buffered_math_enabled()
+        accumulator: ParameterAccumulator | None = None
+        delta_sum: np.ndarray | None = None
+        weight_sum = 0.0
+        device_count = 0
+        for leaf_ref in self.leaves:
+            leaf = self.system.actor_of(leaf_ref)
+            if leaf is None:
+                continue  # crashed leaf: its devices are simply lost
+            partial = leaf.flush(accepted_ids)  # type: ignore[attr-defined]
+            if partial.delta_sum is None or partial.device_count == 0:
+                continue
+            self.folded_leaves += 1
+            device_count += partial.device_count
+            vec = np.asarray(partial.delta_sum, dtype=np.float64)
+            if buffered:
+                if accumulator is None:
+                    accumulator = ParameterAccumulator(dim=vec.size)
+                accumulator.add_vector(vec, 1.0)
+            else:
+                delta_sum = vec.copy() if delta_sum is None else delta_sum + vec
+            weight_sum += partial.weight_sum
+        if buffered:
+            folded = (
+                accumulator.sum_vector
+                if accumulator is not None and accumulator.count > 0
+                else None
+            )
+        else:
+            folded = delta_sum
+        return msg.IntermediateAggregate(
+            round_id=self.round_id,
+            delta_sum=folded,
+            weight_sum=weight_sum,
+            device_count=device_count,
+        )

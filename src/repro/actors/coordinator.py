@@ -66,6 +66,9 @@ class Coordinator(Actor):
         round_id_base: int = 0,
         checkpoint_retry=None,  # faults.RetryPolicy, handed to each master
         recovery=None,          # fleet RecoveryLedger, if any
+        shard_slots: int = 0,   # >0: rounds fold through an aggregation tree
+        shard_restart_delay_s: float = 5.0,
+        fold_recorder=None,     # per-shard fold telemetry, handed to masters
     ):
         self.population_name = population_name
         self.scheduler = scheduler
@@ -82,6 +85,13 @@ class Coordinator(Actor):
         self.round_counter = round_id_base
         self.checkpoint_retry = checkpoint_retry
         self.recovery = recovery
+        #: Control-plane sharding: on a sharded fleet this Coordinator's
+        #: ``selectors`` list is its population's owning shard only, and
+        #: every spawned master folds through ``shard_slots`` shard
+        #: aggregators (0 = the flat legacy funnel).
+        self.shard_slots = shard_slots
+        self.shard_restart_delay_s = shard_restart_delay_s
+        self.fold_recorder = fold_recorder
         self.active_master: ActorRef | None = None
         self.active_round_id: int | None = None
         self.last_round_ended_at_s: float | None = None
@@ -174,6 +184,9 @@ class Coordinator(Actor):
             metrics_store=self.metrics_store,
             checkpoint_retry=self.checkpoint_retry,
             recovery=self.recovery,
+            shard_slots=self.shard_slots,
+            shard_restart_delay_s=self.shard_restart_delay_s,
+            fold_recorder=self.fold_recorder,
         )
         master_ref = self.system.spawn(
             master, f"master/{self.population_name}/{round_id}"

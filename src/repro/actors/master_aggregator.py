@@ -14,8 +14,8 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.actors.aggregator import Aggregator
-from repro.actors.kernel import Actor, ActorRef
+from repro.actors.aggregator import Aggregator, ShardAggregator
+from repro.actors.kernel import Actor, ActorRef, DeathNotice
 from repro.actors import messages as msg
 from repro.core.checkpoint import CheckpointStore, CheckpointWriteError, FLCheckpoint
 from repro.core.config import TaskConfig, TaskKind
@@ -45,6 +45,9 @@ class MasterAggregator(Actor):
         metrics_store=None,
         checkpoint_retry=None,  # faults.RetryPolicy; None = single attempt
         recovery=None,          # fleet RecoveryLedger, if any
+        shard_slots: int = 0,   # >0: fold through that many shard aggregators
+        shard_restart_delay_s: float = 5.0,
+        fold_recorder=None,     # per-shard-partial fold telemetry callback
     ):
         self.round_id = round_id
         self.task = task
@@ -55,6 +58,17 @@ class MasterAggregator(Actor):
         self.metrics_store = metrics_store
         self.checkpoint_retry = checkpoint_retry
         self.recovery = recovery
+        #: Sec. 4.2 aggregation tree: ``0`` keeps the flat legacy funnel
+        #: (the master flushes every leaf itself — the unsharded,
+        #: byte-identical path); ``>0`` interposes that many
+        #: :class:`~repro.actors.aggregator.ShardAggregator` nodes, one
+        #: upward fold per shard per round instead of one per leaf.
+        self.shard_slots = shard_slots
+        self.shard_restart_delay_s = shard_restart_delay_s
+        self.fold_recorder = fold_recorder
+        self.shard_aggregators: list[ActorRef] = []
+        self._shard_leaves: list[list[ActorRef]] = []
+        self._shard_respawns = 0
         #: Accepted devices' report metrics, summarized at round close
         #: (Sec. 7.4 "Materialized model metrics").
         self._device_metrics: list[dict[str, float]] = []
@@ -90,6 +104,22 @@ class MasterAggregator(Actor):
             self.aggregators.append(
                 self.system.spawn(agg, f"aggregator/{self.round_id}/{i}")
             )
+        if self.shard_slots > 0:
+            # The aggregation-tree middle tier: leaves are dealt round-
+            # robin across shard aggregators, and the master watches each
+            # node so the cluster-manager-style respawn below can heal a
+            # crash that happens before the round's fold.
+            tier = max(1, min(self.shard_slots, num_aggs))
+            self._shard_leaves = [[] for _ in range(tier)]
+            for i, leaf in enumerate(self.aggregators):
+                self._shard_leaves[i % tier].append(leaf)
+            for j, leaves in enumerate(self._shard_leaves):
+                node = ShardAggregator(self.round_id, self.task.task_id)
+                for leaf in leaves:
+                    node.adopt(leaf)
+                ref = self.system.spawn(node, f"shardagg/{self.round_id}/{j}")
+                self.system.watch(self.ref, ref)
+                self.shard_aggregators.append(ref)
         self.schedule(
             self.task.round_config.selection_timeout_s,
             self._on_selection_timeout,
@@ -102,6 +132,8 @@ class MasterAggregator(Actor):
             # via its death watch and restarts.
             for agg in self.aggregators:
                 self.system.stop(agg)
+            for node in self.shard_aggregators:
+                self.system.stop(node)
 
     # -- device admission -------------------------------------------------------
     def admit_device(
@@ -135,6 +167,40 @@ class MasterAggregator(Actor):
                 message.device_id, self.now, reason=message.reason
             )
             self._maybe_finish_on_depletion()
+        elif isinstance(message, DeathNotice):
+            self._on_shard_death(message)
+
+    # -- shard-aggregator supervision ------------------------------------------
+    def _on_shard_death(self, notice: DeathNotice) -> None:
+        """A watched shard aggregator died.  Crashes are healed by a
+        delayed respawn (the Sec. 4.4 cluster manager, one tree level
+        down): the node holds no report state — its leaves do — so a
+        replacement adopting the same leaves recovers the shard's fold
+        completely.  Only a crash still unhealed when the round folds
+        costs the shard its contribution (ledgered at fold time)."""
+        if not notice.crashed or self._finished:
+            return
+        for slot, ref in enumerate(self.shard_aggregators):
+            if ref == notice.ref:
+                self.schedule(
+                    self.shard_restart_delay_s, self._respawn_shard, slot, ref
+                )
+                return
+
+    def _respawn_shard(self, slot: int, dead_ref: ActorRef) -> None:
+        if self._finished or self.shard_aggregators[slot] != dead_ref:
+            return  # round closed, or a stale duplicate notification
+        node = ShardAggregator(self.round_id, self.task.task_id)
+        for leaf in self._shard_leaves[slot]:
+            node.adopt(leaf)
+        self._shard_respawns += 1
+        ref = self.system.spawn(
+            node, f"shardagg/{self.round_id}/{slot}/r{self._shard_respawns}"
+        )
+        self.system.watch(self.ref, ref)
+        self.shard_aggregators[slot] = ref
+        if self.recovery is not None:
+            self.recovery.record_shard_aggregator_respawn()
 
     def _on_report(self, report: msg.DeviceReport) -> None:
         if report.device_id not in self.state.participants:
@@ -226,6 +292,8 @@ class MasterAggregator(Actor):
         )
         for agg in self.aggregators:
             self.system.stop(agg)
+        for node in self.shard_aggregators:
+            self.system.stop(node)
         self.system.stop(self.ref)
 
     def _aggregate_and_commit(self) -> bool:
@@ -240,11 +308,23 @@ class MasterAggregator(Actor):
         delta_sum: np.ndarray | None = None
         weight_sum = 0.0
         contributing = 0
-        for agg_ref in self.aggregators:
+        # With the aggregation tree, the master folds one partial per
+        # shard aggregator (each of which flushed its own leaves); the
+        # flat funnel folds one partial per leaf, byte-identical to the
+        # pre-tree implementation.
+        sources = self.shard_aggregators or self.aggregators
+        for agg_ref in sources:
             agg = self.system.actor_of(agg_ref)
             if agg is None:
-                continue  # crashed aggregator: its devices are simply lost
+                # Crashed aggregator: its devices (flat funnel) or its
+                # whole shard subtree (tree) are simply lost — the
+                # round's other sources still fold.
+                if self.shard_aggregators and self.recovery is not None:
+                    self.recovery.record_shard_fold_abort()
+                continue
             partial = agg.flush(accepted)  # type: ignore[attr-defined]
+            if self.shard_aggregators and self.fold_recorder is not None:
+                self.fold_recorder()
             if partial.delta_sum is None or partial.device_count == 0:
                 continue
             contributing += partial.device_count

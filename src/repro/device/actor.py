@@ -111,12 +111,17 @@ class DeviceActor(Actor):
         waiting_timeout_s: float = 1800.0,
         scheduler_policy: str = "fifo",
         upload_retry: Any = None,  # faults.RetryPolicy; None = legacy no-retry
+        shard_router: Any = None,  # system.sharding.ShardRouter; None = unsharded
     ):
         self.profile = profile
         self.availability = availability
         self.network = network
         self.conditions = conditions
         self.selectors = selectors
+        #: Control-plane sharding: each population's check-ins go to its
+        #: owning shard's Selectors only.  ``None`` (and any single-shard
+        #: router) keeps the legacy any-selector draw byte-identical.
+        self.shard_router = shard_router
         # Membership normalization: the legacy single-population call shape
         # (population_name= + trainer=) and the fleet shape (memberships= +
         # trainers=) both land in the same internal representation.
@@ -366,8 +371,23 @@ class DeviceActor(Actor):
             self.idle.schedule_checkin(self.job.next_delay(self.rng))
             return None
         self._active_population = started
-        self._selector = self.selectors[int(self.rng.integers(len(self.selectors)))]
+        pool = self._selector_pool(started)
+        self._selector = pool[int(self.rng.integers(len(pool)))]
         return started
+
+    def _selector_pool(self, population_name: str) -> list[ActorRef]:
+        """The Selectors this population may check in to: its owning
+        shard's, or the whole fleet's when unsharded.  The single-shard
+        pool *is* ``self.selectors`` (same list object, same length), so
+        the selector draw above stays byte-identical to the pre-sharding
+        fleet — and respawned Selector refs, swapped into
+        ``self.selectors`` by the cluster manager, are always picked up."""
+        if self.shard_router is None:
+            return self.selectors
+        indices = self.shard_router.selector_indices_for(population_name)
+        if len(indices) == len(self.selectors):
+            return self.selectors
+        return [self.selectors[i] for i in indices]
 
     def _materialize_checkin(self, started: str) -> None:
         """Open the real device stream: WAITING state, timers, messages."""

@@ -131,6 +131,16 @@ class FleetBuilder:
         self._config.num_selectors = int(count)
         return self
 
+    def selector_shards(self, count: int) -> "FleetBuilder":
+        """Partition the Selector set into ``count`` consistent-hash
+        shards (:mod:`repro.system.sharding`): each population's routes,
+        check-in traffic, and admission quotas live on its owning shard
+        only, and its rounds fold through a per-shard aggregation tree.
+        ``1`` (the default) is the unsharded, byte-identical legacy
+        topology."""
+        self._config.selector_shards = int(count)
+        return self
+
     def diurnal(self, model: DiurnalModel) -> "FleetBuilder":
         self._config.diurnal = model
         return self

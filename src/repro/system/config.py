@@ -49,6 +49,15 @@ class FleetConfig:
     job: JobSchedule = field(default_factory=_default_job_schedule)
     compute: ComputeModel = field(default_factory=ComputeModel)
     num_selectors: int = 2
+    #: Consistent-hash control-plane sharding (:mod:`repro.system.
+    #: sharding`): the Selector set is partitioned into this many disjoint
+    #: shards and each population lives on exactly one — its routes,
+    #: check-in traffic, and admission quotas never touch other shards,
+    #: and its rounds fold through a per-shard aggregation tree.  ``1``
+    #: (default) is the unsharded topology: every tenant on every
+    #: Selector, rounds folded by the flat leaf funnel — byte-identical
+    #: to a build without the knob.
+    selector_shards: int = 1
     sample_interval_s: float = 120.0
     compute_error_prob: float = 0.005
     #: How long a checked-in device holds its selector stream open before
@@ -87,6 +96,14 @@ class FleetConfig:
     def validate(self) -> None:
         if self.num_selectors < 1:
             raise ValueError("num_selectors must be >= 1")
+        if self.selector_shards < 1:
+            raise ValueError("selector_shards must be >= 1")
+        if self.selector_shards > self.num_selectors:
+            raise ValueError(
+                f"selector_shards ({self.selector_shards}) cannot exceed "
+                f"num_selectors ({self.num_selectors}): every shard needs "
+                f"at least one Selector"
+            )
         if self.device_scheduler not in SCHEDULER_POLICIES:
             raise ValueError(
                 f"device_scheduler must be one of {SCHEDULER_POLICIES}, "

@@ -58,8 +58,16 @@ from repro.system.reports import RecoveryReport
 if TYPE_CHECKING:
     from repro.system.fleet import FLFleet
 
-#: Server actor kinds a crash schedule may target.
-CRASH_KINDS = ("selector", "coordinator", "master_aggregator", "aggregator")
+#: Server actor kinds a crash schedule may target.  ``"aggregator"`` is
+#: the leaf tier; ``"shard_aggregator"`` targets the aggregation tree's
+#: middle tier (live only on fleets built with ``selector_shards > 1``).
+CRASH_KINDS = (
+    "selector",
+    "coordinator",
+    "master_aggregator",
+    "aggregator",
+    "shard_aggregator",
+)
 
 #: Message types subject to drop/delay faults: the device<->server edge —
 #: the paper's actually-flaky link (cellular/WiFi gRPC streams).
@@ -249,6 +257,8 @@ class RecoveryLedger:
         self.device_interrupts = 0
         self.selector_respawns = 0
         self.coordinator_respawns = 0
+        self.shard_aggregator_respawns = 0
+        self.shard_fold_aborts = 0
         self.checkpoint_write_faults = 0
         self.checkpoint_write_retries = 0
         self.rounds_abandoned_on_commit = 0
@@ -290,6 +300,20 @@ class RecoveryLedger:
         self.coordinator_respawns += 1
         self._bump("recovery/coordinator_respawns")
 
+    def record_shard_aggregator_respawn(self) -> None:
+        """A crashed shard aggregator was replaced mid-round (the node is
+        stateless between folds — its leaves hold the reports — so the
+        replacement recovers the shard's fold completely)."""
+        self.shard_aggregator_respawns += 1
+        self._bump("recovery/shard_aggregator_respawns")
+
+    def record_shard_fold_abort(self) -> None:
+        """A shard aggregator was still down when its round folded: that
+        shard's partial is lost for the round (the other shards commit
+        normally — the tree's failure isolation)."""
+        self.shard_fold_aborts += 1
+        self._bump("recovery/shard_fold_aborts")
+
     def record_checkpoint_retry(self) -> None:
         self.checkpoint_write_retries += 1
         self._bump("recovery/checkpoint_write_retries")
@@ -323,6 +347,8 @@ class RecoveryLedger:
             },
             selector_respawns=self.selector_respawns,
             coordinator_respawns=self.coordinator_respawns,
+            shard_aggregator_respawns=self.shard_aggregator_respawns,
+            shard_fold_aborts=self.shard_fold_aborts,
             messages_dropped=self.messages_dropped,
             messages_delayed=self.messages_delayed,
             device_interrupts=self.device_interrupts,
@@ -436,6 +462,18 @@ class FaultPlane:
                 masters.append(master)
         if kind == "master_aggregator":
             return masters
+        if kind == "shard_aggregator":
+            shard_nodes: list[ActorRef] = []
+            for master_ref in masters:
+                master = fleet.actors.actor_of(master_ref)
+                if master is None:
+                    continue
+                shard_nodes.extend(
+                    ref
+                    for ref in getattr(master, "shard_aggregators", ())
+                    if ref.alive
+                )
+            return shard_nodes
         aggregators: list[ActorRef] = []
         for master_ref in masters:
             master = fleet.actors.actor_of(master_ref)
@@ -563,6 +601,10 @@ class SelectorClusterManager:
         new_ref = fleet.actors.spawn(selector, f"selector/{index}")
         fleet.selectors[index] = new_ref
         for runtime in fleet.lifecycle.active.values():
+            # On a sharded fleet a selector only carries routes for the
+            # populations its shard owns (shards=1: every index qualifies).
+            if index not in fleet.shard_selector_indices(runtime.name):
+                continue
             route = fleet.lifecycle._build_route(runtime)
             route.draining = runtime.state is PopulationState.DRAINING
             coordinator_ref = fleet.lifecycle._coordinator_ref(runtime)

@@ -57,6 +57,7 @@ from repro.system.lifecycle import (
     read_snapshot,
     write_snapshot,
 )
+from repro.system.sharding import ShardRouter
 from repro.system.reports import (
     FleetHealthReport,
     PopulationLifecycleReport,
@@ -123,6 +124,13 @@ class FLFleet:
         #: ``training_plane="per_device"`` or synthetic trainers).
         self.cohort_planes: dict[str, CohortExecutionPlane] = {}
         self.selectors: list[ActorRef] = []
+        #: Consistent-hash population -> selector-shard routing (the
+        #: control-plane sharding plane; one shard = the unsharded,
+        #: byte-identical legacy topology).
+        self.shards = ShardRouter(
+            num_selectors=self.config.num_selectors,
+            num_shards=self.config.selector_shards,
+        )
         #: The population lifecycle plane: tenant registry plus the
         #: attach/drain state machine (see :mod:`repro.system.lifecycle`).
         self.lifecycle = PopulationLifecycle(self)
@@ -170,6 +178,35 @@ class FLFleet:
             if isinstance(actor, Selector):
                 actors.append(actor)
         return actors
+
+    # -- control-plane sharding --------------------------------------------------
+    def shard_selector_indices(self, population_name: str) -> tuple[int, ...]:
+        """Selector indices of the shard owning ``population_name`` (the
+        full index set on an unsharded fleet)."""
+        return self.shards.selector_indices_for(population_name)
+
+    def shard_selectors(self, population_name: str) -> list[ActorRef]:
+        """Refs of the owning shard's Selectors, in index order."""
+        return [
+            self.selectors[i]
+            for i in self.shard_selector_indices(population_name)
+        ]
+
+    def shard_selector_actors(self, population_name: str) -> list[Selector]:
+        """Live Selector objects of the owning shard (the lifecycle plane
+        registers/drains/removes a tenant's routes through these only)."""
+        actors = []
+        for ref in self.shard_selectors(population_name):
+            actor = self.actors.actor_of(ref)
+            if isinstance(actor, Selector):
+                actors.append(actor)
+        return actors
+
+    def _record_shard_fold(self, population_name: str) -> None:
+        """One shard-aggregator partial folded upward for this tenant's
+        round (per-shard telemetry for the aggregation tree)."""
+        shard = self.shards.shard_of(population_name)
+        self.dashboard.increment(f"shards/{shard}/folds")
 
     # -- deployment --------------------------------------------------------------
     def _install(
@@ -226,6 +263,7 @@ class FLFleet:
                 network=self.config.network,
                 conditions=conditions,
                 selectors=list(self.selectors),
+                shard_router=self.shards,
                 memberships=(),
                 trainers={},
                 compute=self.config.compute,

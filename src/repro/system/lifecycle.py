@@ -294,7 +294,10 @@ class PopulationLifecycle:
         return members
 
     def _register_routes(self, runtime: PopulationRuntime) -> None:
-        for selector in self.fleet.selector_actors():
+        # Routes live on the owning shard's Selectors only (the full set
+        # on an unsharded fleet): a tenant's check-in traffic and pool
+        # quotas never touch other shards.
+        for selector in self.fleet.shard_selector_actors(runtime.name):
             selector.add_route(self._build_route(runtime))
 
     def _build_route(self, runtime: PopulationRuntime) -> PopulationRoute:
@@ -313,6 +316,12 @@ class PopulationLifecycle:
         is every route's ``coordinator_factory``)."""
         fleet = self.fleet
         runtime = self.runtime(name)
+        # The tenant's Coordinator talks to its owning shard's Selectors
+        # only (the full set on an unsharded fleet); its rounds fold
+        # through one shard-aggregator per owned Selector when sharding
+        # is on (``shard_slots=0`` keeps the flat legacy funnel).
+        shard_selectors = fleet.shard_selectors(name)
+        sharded = fleet.config.selector_shards > 1
         coordinator = Coordinator(
             population_name=name,
             scheduler=TaskScheduler(
@@ -320,7 +329,7 @@ class PopulationLifecycle:
                 runtime.spec.strategy,
                 fleet.rngs.stream(f"scheduler/{name}"),
             ),
-            selectors=list(fleet.selectors),
+            selectors=shard_selectors,
             locks=fleet.locks,
             store=fleet.store,
             rng=fleet.rngs.stream(f"coordinator/{name}"),
@@ -334,6 +343,11 @@ class PopulationLifecycle:
                 else None
             ),
             recovery=fleet.recovery,
+            shard_slots=len(shard_selectors) if sharded else 0,
+            shard_restart_delay_s=fleet.config.selector_restart_delay_s,
+            fold_recorder=(
+                partial(fleet._record_shard_fold, name) if sharded else None
+            ),
         )
         # A respawn that lands mid-drain must not restart rounds.
         coordinator.draining = runtime.state is PopulationState.DRAINING
@@ -415,7 +429,7 @@ class PopulationLifecycle:
         # member devices stop *requesting* sessions (membership and queued
         # requests stripped now, so quiescence is reachable) while any
         # session already running finishes on its own clock.
-        for selector in fleet.selector_actors():
+        for selector in fleet.shard_selector_actors(name):
             selector.begin_drain(name)
         coordinator = self._coordinator_actor(runtime)
         if coordinator is not None:
@@ -527,7 +541,7 @@ class PopulationLifecycle:
         if coordinator_ref is not None:
             fleet.actors.stop(coordinator_ref)
         runtime.coordinator_ref = None
-        for selector in fleet.selector_actors():
+        for selector in fleet.shard_selector_actors(name):
             selector.remove_route(name)
         for device_id in sorted(runtime.member_ids):
             device = fleet.devices[device_id]

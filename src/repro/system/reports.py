@@ -129,6 +129,11 @@ class RecoveryReport:
     recoveries: int
     mean_recovery_latency_s: float
     max_recovery_latency_s: float
+    #: Aggregation-tree middle tier (fleets with ``selector_shards > 1``):
+    #: crashed shard aggregators replaced mid-round, and folds where a
+    #: shard node was still down so only that shard's partial was lost.
+    shard_aggregator_respawns: int = 0
+    shard_fold_aborts: int = 0
 
     @property
     def faults_total(self) -> int:

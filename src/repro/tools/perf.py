@@ -37,6 +37,14 @@ What is measured (see ROADMAP.md "Performance" for how to read it):
 * ``fleet_run_days`` — simulated days/sec of a small pinned
   ``FLFleet.run_days`` with real on-device training, run in functional
   then buffered mode (the module-level A/B switch).
+* ``fleet_scale_sharded`` — sim-days/sec of the multi-tenant control
+  plane across (devices x tenants x shards): consistent-hash selector
+  shards plus the per-shard aggregation tree vs the flat shards=1
+  baseline, with same-seed determinism asserted at every shard count and
+  shards=1 asserted byte-identical to a fleet built without the knob.
+* ``tenant_starvation`` (separate runner, ``benchmarks/perf/
+  starvation.py``) — per-tenant round-start gap p50/p95 under tenant
+  contention, ``fifo`` vs ``fair_share`` on-device scheduling.
 * ``event_loop`` — scheduler throughput under timer-cancel churn (the
   pace-steering pattern that used to leak cancelled events).
 * ``secagg_round`` — one grouped Secure Aggregation round (1k clients in
@@ -93,6 +101,10 @@ GUARDED = (
     "cohort_round",
     "fleet_run_days",
     "fleet_scale",
+    #: Control-plane sharding: compared per (devices x tenants @ shards)
+    #: cell (``speedup_by_shards``), so a quick CI run checks exactly the
+    #: cells it shares with the committed reference.
+    "fleet_scale_sharded",
     "secagg_round",
 )
 
@@ -1029,6 +1041,316 @@ def bench_fleet_scale(
     return out
 
 
+def _build_tenant_fleet(
+    seed: int,
+    devices: int,
+    tenants: int,
+    selectors: int,
+    shards: int,
+    policy: str = "fifo",
+    tick_s: float = 1.0,
+):
+    """The multi-tenant control-plane operating point: ``tenants``
+    populations (every device enrolled in all of them) on ``selectors``
+    Selectors split into ``shards`` shards.  Sessions are deliberately
+    cheap (synthetic trainer, small model) and the Coordinator tick is
+    fast, so the run times the *control plane*: route registration,
+    check-in admission, per-tick connected-count polling, and the
+    ForwardDevices/ClearForwarding round machinery — all of which an
+    unsharded fleet pays O(tenants x selectors) for, and a sharded fleet
+    O(tenants x selectors / shards).
+    """
+    from repro import FLFleet
+    from repro.actors.coordinator import CoordinatorConfig
+    from repro.core.config import RoundConfig, TaskConfig
+    from repro.device.runtime import SyntheticTrainer
+    from repro.device.scheduler import JobSchedule
+    from repro.nn.models import MLPClassifier
+    from repro.sim.population import PopulationConfig
+
+    params = MLPClassifier(
+        input_dim=16, hidden_dims=(16,), n_classes=4
+    ).init(np.random.default_rng(0))
+
+    def trainer_factory(profile):
+        return SyntheticTrainer(num_parameters=params.num_parameters)
+
+    builder = (
+        FLFleet.builder()
+        .seed(seed)
+        .devices(PopulationConfig(num_devices=devices))
+        .selectors(selectors)
+        .selector_shards(shards)
+        .device_scheduler(policy)
+        # A fast tick keeps every Coordinator polling its Selectors at
+        # the cadence a production control plane would; rounds on a
+        # 15-minute gap keep all tenants' pipelines continuously active.
+        .coordinator(
+            CoordinatorConfig(
+                tick_interval_s=tick_s,
+                pipelining=False,
+                inter_round_gap_s=900.0,
+            )
+        )
+        .job(JobSchedule(7200.0, 0.5))
+        .waiting_timeout(1800.0)
+        .sample_interval(300.0)
+    )
+    for t in range(tenants):
+        name = f"tenant{t:02d}"
+        task = TaskConfig(
+            task_id=f"train/{name}",
+            population_name=name,
+            round_config=RoundConfig(target_participants=10),
+        )
+        builder = builder.population(
+            name, tasks=[task], model=params, trainer_factory=trainer_factory
+        )
+    return builder.build()
+
+
+def _time_tenant_run(
+    seed: int,
+    devices: int,
+    tenants: int,
+    selectors: int,
+    shards: int,
+    days: float,
+    policy: str = "fifo",
+):
+    fleet = _build_tenant_fleet(
+        seed, devices, tenants, selectors, shards, policy=policy
+    )
+    t0 = time.perf_counter()
+    fleet.run_days(days)
+    return time.perf_counter() - t0, fleet
+
+
+def bench_fleet_scale_sharded(
+    days: float,
+    cells: tuple[tuple[int, int], ...],
+    shard_counts: tuple[int, ...],
+    selectors: int = 16,
+    repeats: int = 2,
+) -> dict:
+    """Sim-days/sec of the multi-tenant fleet across (devices x tenants
+    x shards).
+
+    Every cell is timed at every shard count (interleaved best-of-
+    ``repeats``); speedups are shards=1 over shards=N within the same
+    cell, so the ratio isolates what control-plane sharding buys.  Two
+    correctness gates run on the same fleets the timings use:
+
+    * every (cell, shards) config must produce the identical
+      ``RunReport`` on every repeat (same-seed determinism at every
+      shard count), and
+    * at the smallest cell, the shards=1 fleet must be byte-identical to
+      a fleet built without the ``selector_shards`` knob at all — the
+      sharded control plane at one shard *is* the flat one.
+    """
+    seed = 2019
+    if 1 not in shard_counts:
+        raise ValueError("shard_counts must include 1 (the flat baseline)")
+    by_cell: dict[str, dict] = {}
+    speedup_by_shards: dict[str, float] = {}
+    for devices, tenants in cells:
+        cell_key = f"{devices}x{tenants}"
+        best: dict[int, float] = {s: float("inf") for s in shard_counts}
+        report_of: dict[int, object] = {}
+        fleet_of: dict[int, object] = {}
+        for _ in range(repeats):
+            for s in shard_counts:
+                elapsed, fleet = _time_tenant_run(
+                    seed, devices, tenants, selectors, s, days
+                )
+                best[s] = min(best[s], elapsed)
+                report = fleet.report()
+                if s in report_of and report_of[s] != report:
+                    raise AssertionError(
+                        f"sharded fleet is not deterministic at "
+                        f"{cell_key}@{s} shards"
+                    )
+                report_of[s] = report
+                fleet_of[s] = fleet
+        by_shards = {}
+        for s in shard_counts:
+            fleet = fleet_of[s]
+            folds = sum(
+                count
+                for name, count in fleet.dashboard.counters().items()
+                if name.startswith("shards/") and name.endswith("/folds")
+            )
+            entry = {
+                "sim_days_per_sec": days / best[s],
+                "seconds": best[s],
+                "rounds": len(fleet.round_results),
+                "shard_folds": int(folds),
+            }
+            if s != 1:
+                entry["speedup"] = best[1] / best[s]
+                speedup_by_shards[f"{cell_key}@{s}"] = entry["speedup"]
+            by_shards[str(s)] = entry
+        by_cell[cell_key] = {"by_shards": by_shards}
+
+    # Flat-plane identity: shards=1 must be the legacy control plane,
+    # byte for byte, at the smallest cell.
+    devices, tenants = cells[0]
+    flat_fleet = _build_tenant_fleet(seed, devices, tenants, selectors, 1)
+    flat_fleet.run_days(days)
+    unsharded = _build_tenant_fleet_unsharded(seed, devices, tenants, selectors)
+    unsharded.run_days(days)
+    if flat_fleet.report() != unsharded.report():
+        raise AssertionError(
+            "shards=1 diverged from the unsharded control plane"
+        )
+
+    largest_cell = f"{cells[-1][0]}x{cells[-1][1]}"
+    max_shards = max(shard_counts)
+    out = {
+        "workload": (
+            f"multi-tenant control plane at {list(cells)} (devices x "
+            f"tenants) on {selectors} selectors, {days} simulated days: "
+            "every device enrolled in every tenant, ~10-device rounds on "
+            "a 15-min gap, 1s coordinator ticks (shards=1 flat baseline "
+            "vs consistent-hash selector shards + aggregation tree)"
+        ),
+        "unit": "sim_days_per_sec",
+        "days": days,
+        "selectors": selectors,
+        "by_cell": by_cell,
+        "speedup_by_shards": speedup_by_shards,
+        "identical_run_reports": True,
+        "flat_plane_identical_at_one_shard": True,
+    }
+    if max_shards != 1:
+        out["speedup"] = by_cell[largest_cell]["by_shards"][str(max_shards)][
+            "speedup"
+        ]
+        out["speedup_cell"] = f"{largest_cell}@{max_shards}"
+    return out
+
+
+def _build_tenant_fleet_unsharded(
+    seed: int, devices: int, tenants: int, selectors: int
+):
+    """The same workload built without touching the ``selector_shards``
+    knob at all — the identity baseline for shards=1
+    (:func:`_build_tenant_fleet` always sets the knob; this builder
+    proves its default is inert)."""
+    from repro import FLFleet
+    from repro.actors.coordinator import CoordinatorConfig
+    from repro.core.config import RoundConfig, TaskConfig
+    from repro.device.runtime import SyntheticTrainer
+    from repro.device.scheduler import JobSchedule
+    from repro.nn.models import MLPClassifier
+    from repro.sim.population import PopulationConfig
+
+    params = MLPClassifier(
+        input_dim=16, hidden_dims=(16,), n_classes=4
+    ).init(np.random.default_rng(0))
+
+    def trainer_factory(profile):
+        return SyntheticTrainer(num_parameters=params.num_parameters)
+
+    builder = (
+        FLFleet.builder()
+        .seed(seed)
+        .devices(PopulationConfig(num_devices=devices))
+        .selectors(selectors)
+        .coordinator(
+            CoordinatorConfig(
+                tick_interval_s=1.0, pipelining=False, inter_round_gap_s=900.0
+            )
+        )
+        .job(JobSchedule(7200.0, 0.5))
+        .waiting_timeout(1800.0)
+        .sample_interval(300.0)
+    )
+    for t in range(tenants):
+        name = f"tenant{t:02d}"
+        task = TaskConfig(
+            task_id=f"train/{name}",
+            population_name=name,
+            round_config=RoundConfig(target_participants=10),
+        )
+        builder = builder.population(
+            name, tasks=[task], model=params, trainer_factory=trainer_factory
+        )
+    return builder.build()
+
+
+def bench_tenant_starvation(
+    days: float,
+    devices: int,
+    tenants: int,
+    selectors: int = 8,
+    shards: int = 1,
+) -> dict:
+    """Per-tenant round-start latency under tenant contention, ``fifo``
+    vs ``fair_share`` device scheduling.
+
+    Many concurrent populations compete for the same devices; a tenant
+    is *starved* when its rounds start rarely because devices keep
+    serving other tenants first.  For each policy the same seeded
+    workload runs once, and each tenant's consecutive round-start gaps
+    (from its ``RoundResult.started_at_s`` trail) summarize to p50/p95.
+
+    Expect near-parity between the policies on a static fleet: the
+    worker queue coalesces requests and never drops them except at
+    drain, so FIFO cannot be overtaken and degenerates to round-robin
+    (see :class:`repro.device.scheduler.MultiTenantScheduler` — the
+    burst-leader starvation fair_share exists for needs per-window
+    request expiry).  The A/B records that parity;
+    the per-tenant p50/p95 quantify contention itself.  Not
+    speed-guarded — this benchmark measures scheduling fairness, not
+    throughput; the JSON is uploaded by CI so the trajectory is
+    reviewable."""
+    seed = 2019
+    by_policy: dict[str, dict] = {}
+    for policy in ("fifo", "fair_share"):
+        fleet = _build_tenant_fleet(
+            seed, devices, tenants, selectors, shards, policy=policy
+        )
+        fleet.run_days(days)
+        per_tenant: dict[str, dict] = {}
+        p95s: list[float] = []
+        for t in range(tenants):
+            name = f"tenant{t:02d}"
+            starts = sorted(
+                r.started_at_s for r in fleet.results_for(name)
+            )
+            gaps = np.diff(np.asarray(starts)) if len(starts) > 1 else None
+            entry: dict = {"rounds_started": len(starts)}
+            if gaps is not None and gaps.size:
+                entry["start_gap_p50_s"] = float(np.percentile(gaps, 50))
+                entry["start_gap_p95_s"] = float(np.percentile(gaps, 95))
+                p95s.append(entry["start_gap_p95_s"])
+            per_tenant[name] = entry
+        rounds_total = sum(e["rounds_started"] for e in per_tenant.values())
+        by_policy[policy] = {
+            "per_tenant": per_tenant,
+            "rounds_started_total": rounds_total,
+            "worst_p95_s": max(p95s) if p95s else None,
+            "p95_spread_s": (max(p95s) - min(p95s)) if p95s else None,
+        }
+    out = {
+        "workload": (
+            f"{tenants} tenants contending for {devices} devices on "
+            f"{selectors} selectors ({shards} shard(s)), {days} simulated "
+            "days: per-tenant round-start gap p50/p95 under fifo vs "
+            "fair_share on-device scheduling"
+        ),
+        "unit": "seconds_between_round_starts",
+        "days": days,
+        "by_policy": by_policy,
+    }
+    fifo_worst = by_policy["fifo"]["worst_p95_s"]
+    fair_worst = by_policy["fair_share"]["worst_p95_s"]
+    if fifo_worst and fair_worst:
+        out["fair_share_worst_p95_ratio"] = fifo_worst / fair_worst
+    return out
+
+
 # ---------------------------------------------------------------------------
 # harness entry points
 
@@ -1045,6 +1367,12 @@ class HarnessConfig:
     scale_baseline_counts: tuple[int, ...] = (1000, 5000)
     #: Device count for the cProfile pass (None skips profiling).
     scale_profile_devices: int | None = 20000
+    #: ``fleet_scale_sharded``: every (devices, tenants) cell timed at
+    #: every shard count on ``sharded_selectors`` Selectors.
+    sharded_days: float = 0.1
+    sharded_cells: tuple[tuple[int, int], ...] = ((1000, 6), (2000, 12))
+    sharded_shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    sharded_selectors: int = 32
     #: ``secagg_round`` cohort size (the ratio is group-local, so quick
     #: runs shrink the cohort, not the group).
     secagg_clients: int = 1000
@@ -1059,6 +1387,10 @@ class HarnessConfig:
             scale_counts=(1000,),
             scale_baseline_counts=(1000,),
             scale_profile_devices=None,
+            sharded_days=0.05,
+            sharded_cells=((1000, 6),),
+            sharded_shard_counts=(1, 4),
+            sharded_selectors=16,
             secagg_clients=200,
         )
 
@@ -1082,6 +1414,14 @@ class HarnessConfig:
             scale_counts=(1000,),
             scale_baseline_counts=(1000,),
             scale_profile_devices=None,
+            # One sharded cell, two shard counts — but the cell itself,
+            # the selector count, and the window all match the full
+            # config, so CI's 2000x12@4 ratio checks against the
+            # committed reference's on an identical workload.
+            sharded_days=HarnessConfig().sharded_days,
+            sharded_cells=((2000, 12),),
+            sharded_shard_counts=(1, 4),
+            sharded_selectors=HarnessConfig().sharded_selectors,
             secagg_clients=200,
         )
 
@@ -1144,6 +1484,13 @@ def run_harness(
             repeats=3 if config.repeats >= 10 else 2,
             profile_devices=config.scale_profile_devices,
         )
+        results["fleet_scale_sharded"] = bench_fleet_scale_sharded(
+            config.sharded_days,
+            config.sharded_cells,
+            config.sharded_shard_counts,
+            selectors=config.sharded_selectors,
+            repeats=3 if config.repeats >= 10 else 2,
+        )
     return {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -1161,6 +1508,10 @@ def run_harness(
             "scale_counts": list(config.scale_counts),
             "scale_baseline_counts": list(config.scale_baseline_counts),
             "scale_profile_devices": config.scale_profile_devices,
+            "sharded_days": config.sharded_days,
+            "sharded_cells": [list(c) for c in config.sharded_cells],
+            "sharded_shard_counts": list(config.sharded_shard_counts),
+            "sharded_selectors": config.sharded_selectors,
             "secagg_clients": config.secagg_clients,
         },
         "guarded": list(GUARDED),
@@ -1200,6 +1551,15 @@ def history_line(report: dict) -> dict:
         line["fleet_scale_by_devices"] = {
             count: round(ratio, 4) for count, ratio in by_devices.items()
         }
+    by_shards = (
+        report["results"]
+        .get("fleet_scale_sharded", {})
+        .get("speedup_by_shards")
+    )
+    if by_shards:
+        line["fleet_scale_sharded_by_shards"] = {
+            cell: round(ratio, 4) for cell, ratio in by_shards.items()
+        }
     return line
 
 
@@ -1238,22 +1598,29 @@ def check_against_reference(
     for name in reference.get("guarded", GUARDED):
         ref_entry = reference["results"].get(name, {})
         new_entry = report["results"].get(name, {})
-        # fleet_scale speedups depend on device count, so compare per
-        # count: a quick CI run (1k only) checks against the committed 1k
-        # ratio, never against the 5k headline.
-        ref_by = ref_entry.get("speedup_by_devices")
-        new_by = new_entry.get("speedup_by_devices")
-        if ref_by and new_by:
-            shared = sorted(set(ref_by) & set(new_by), key=int)
+        # Keyed speedups (per device count for fleet_scale, per
+        # devices-x-tenants@shards cell for fleet_scale_sharded) are
+        # compared per shared key: a quick CI run checks exactly the
+        # cells it shares with the committed reference, never against a
+        # headline measured on a workload it did not run.
+        keyed = None
+        for field_name in ("speedup_by_devices", "speedup_by_shards"):
+            if ref_entry.get(field_name) and new_entry.get(field_name):
+                keyed = field_name
+                break
+        if keyed is not None:
+            ref_by = ref_entry[keyed]
+            new_by = new_entry[keyed]
+            shared = sorted(set(ref_by) & set(new_by), key=str)
             if not shared:
-                failures.append(f"{name}: no shared device counts to compare")
-            for count in shared:
-                floor = ref_by[count] * (1.0 - tolerance)
-                if new_by[count] < floor:
+                failures.append(f"{name}: no shared {keyed} keys to compare")
+            for key in shared:
+                floor = ref_by[key] * (1.0 - tolerance)
+                if new_by[key] < floor:
                     failures.append(
-                        f"{name}@{count}: speedup {new_by[count]:.2f}x "
+                        f"{name}@{key}: speedup {new_by[key]:.2f}x "
                         f"regressed below {floor:.2f}x (reference "
-                        f"{ref_by[count]:.2f}x, tolerance {tolerance:.0%})"
+                        f"{ref_by[key]:.2f}x, tolerance {tolerance:.0%})"
                     )
             continue
         ref = ref_entry.get("speedup")

@@ -17,7 +17,9 @@ import numpy as np
 import pytest
 
 from repro import FLFleet, FaultPlan, RoundConfig, TaskConfig
+from repro.core.config import SecAggConfig
 from repro.device.actor import DeviceActor
+from repro.device.runtime import ComputeModel
 from repro.device.scheduler import JobSchedule
 from repro.nn.models import LogisticRegression
 from repro.sim.network import NetworkModel
@@ -197,6 +199,162 @@ def test_disabled_plane_is_inert():
     assert rec.messages_dropped == rec.messages_delayed == 0
     assert rec.upload_retries == 0
     assert rec.checkpoint_write_faults == 0
+
+
+# -- control-plane sharding under chaos (ISSUE 10) --------------------------------
+
+SHARDED_CHAOS_PLAN = FaultPlan(
+    crashes=(
+        ActorCrashSchedule("shard_aggregator", mean_interval_s=600.0),
+        ActorCrashSchedule("selector", mean_interval_s=5400.0),
+    ),
+)
+
+
+def build_sharded_chaotic_fleet(
+    seed=43,
+    faults=SHARDED_CHAOS_PLAN,
+    shards=2,
+    min_fraction=0.8,
+    secagg_group=None,
+):
+    round_config = RoundConfig(
+        target_participants=12,
+        min_participant_fraction=min_fraction,
+        selection_timeout_s=60,
+        reporting_timeout_s=300,
+    )
+    secagg = (
+        SecAggConfig(enabled=True, group_size=secagg_group)
+        if secagg_group is not None
+        else SecAggConfig()
+    )
+    task = TaskConfig(
+        task_id="shardchaos/train",
+        population_name="shardchaos",
+        round_config=round_config,
+        secagg=secagg,
+    )
+    model = LogisticRegression(input_dim=4, n_classes=2)
+    builder = (
+        FLFleet.builder()
+        .seed(seed)
+        .devices(PopulationConfig(num_devices=300))
+        .selectors(4)
+        .selector_shards(shards)
+        .job(JobSchedule(900.0, 0.5))
+        # A realistically slow compute model keeps rounds (and their
+        # shard-aggregator trees) in flight for minutes of simulated
+        # time, so the fixed-cadence crash stream actually lands on live
+        # victims; with the default near-instant trainer the tree exists
+        # for only a few seconds per round.
+        .compute(ComputeModel(examples_per_second=5.0))
+        .population(
+            "shardchaos", tasks=[task], model=model.init(np.random.default_rng(0))
+        )
+    )
+    if faults is not None:
+        builder.faults(faults)
+    return builder.build()
+
+
+def test_shard_aggregator_crashes_are_injected_and_healed():
+    fleet = build_sharded_chaotic_fleet()
+    fleet.run_for(CHAOS_HOURS * 3600.0)
+    rec = fleet.report().recovery
+    crashed = rec.faults_by_kind.get("shard_aggregator", 0)
+    assert crashed >= 1
+    # Every crash either healed (delayed respawn adopting the same
+    # leaves) or cost exactly its own shard's fold — never more.
+    assert rec.shard_aggregator_respawns >= 1
+    assert rec.shard_aggregator_respawns + rec.shard_fold_aborts <= crashed
+    # Sec. 4.4's bar: progress despite the chaos.
+    assert len(fleet.committed_rounds) >= 3
+    counters = fleet.dashboard.counters()
+    assert (
+        counters.get("recovery/shard_aggregator_respawns", 0)
+        == rec.shard_aggregator_respawns
+    )
+    assert counters.get("recovery/shard_fold_aborts", 0) == rec.shard_fold_aborts
+
+
+def test_sharded_chaos_is_deterministic():
+    def run():
+        fleet = build_sharded_chaotic_fleet()
+        fleet.run_for(4 * 3600.0)
+        return fleet.report()
+
+    report_a, report_b = run(), run()
+    assert report_a == report_b
+    assert pickle.dumps(report_a) == pickle.dumps(report_b)
+
+
+def _run_until_sharded_round(fleet, name="shardchaos", cap_hours=6.0):
+    """Step simulated time until a round is in flight with live shard
+    aggregators and at least one accepted report; returns the master."""
+    runtime = fleet.lifecycle.active[name]
+    for _ in range(int(cap_hours * 3600 / 15)):
+        fleet.run_for(15.0)
+        ref = fleet.lifecycle._coordinator_ref(runtime)
+        coordinator = fleet.actors.actor_of(ref) if ref is not None else None
+        if coordinator is None or coordinator.active_master is None:
+            continue
+        master = fleet.actors.actor_of(coordinator.active_master)
+        if (
+            master is not None
+            and master.shard_aggregators
+            and master.state.completed_count >= 1
+        ):
+            return master
+    raise AssertionError("no sharded round reached reporting in time")
+
+
+def test_crashed_shard_aggregator_aborts_only_its_shard_fold():
+    """The failure-isolation bar: a shard aggregator still down when its
+    round folds costs that shard's partial and nothing else — the other
+    shards' reports commit the round."""
+    # SecAgg with small groups gives the round several leaves, so the
+    # tree gets multiple shard nodes and "the other shards" is nonempty;
+    # a low min-participant fraction lets the round commit without the
+    # crashed shard's devices.
+    fleet = build_sharded_chaotic_fleet(
+        faults=None, min_fraction=0.25, secagg_group=6
+    )
+    master = _run_until_sharded_round(fleet)
+    assert len(master.shard_aggregators) >= 2
+    round_id = master.round_id
+    # Pin the heal far past the fold: the crash must still be open when
+    # the round closes.
+    master.shard_restart_delay_s = 1e9
+    fleet.actors.crash(master.shard_aggregators[0])
+    fleet.run_for(2 * 3600.0)
+    rec = fleet.report().recovery
+    assert rec.shard_fold_aborts == 1  # exactly the crashed shard
+    assert rec.shard_aggregator_respawns == 0
+    result = next(r for r in fleet.round_results if r.round_id == round_id)
+    # The round closed with the surviving shards' contributions.
+    assert result.completed_count >= 1
+    # Later rounds are untouched: fresh trees, full folds.
+    later = [r for r in fleet.round_results if r.round_id > round_id]
+    assert any(r.committed for r in later)
+
+
+def test_respawned_shard_aggregator_recovers_the_fold():
+    """The healing path: with the default restart delay the replacement
+    node adopts the same leaves before the round folds, so the crash
+    costs nothing — no fold abort, same commit."""
+    fleet = build_sharded_chaotic_fleet(
+        faults=None, min_fraction=0.25, secagg_group=6
+    )
+    master = _run_until_sharded_round(fleet)
+    round_id = master.round_id
+    fleet.actors.crash(master.shard_aggregators[-1])
+    fleet.run_for(2 * 3600.0)
+    rec = fleet.report().recovery
+    assert rec.shard_aggregator_respawns == 1
+    assert rec.shard_fold_aborts == 0
+    result = next(r for r in fleet.round_results if r.round_id == round_id)
+    assert result.committed
 
 
 def test_upload_retry_recovers_transient_failures():
